@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the construction kernels: finite fields,
+//! MMS graph generation, and baseline topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoc_field::{GeneratorSets, Gf};
+use snoc_topology::Topology;
+use std::hint::black_box;
+
+fn bench_fields(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_construction");
+    for q in [5usize, 8, 9, 16, 25] {
+        group.bench_with_input(BenchmarkId::new("gf", q), &q, |b, &q| {
+            b.iter(|| Gf::new(black_box(q)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("generator_sets");
+    for q in [5usize, 7, 8, 9, 11] {
+        let field = Gf::new(q).unwrap();
+        group.bench_with_input(BenchmarkId::new("generate", q), &field, |b, f| {
+            b.iter(|| GeneratorSets::generate(black_box(f)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_construction");
+    for (name, q, p) in [("sn_s", 5usize, 4usize), ("sn_1024", 8, 8), ("sn_l", 9, 8)] {
+        group.bench_function(name, |b| {
+            b.iter(|| Topology::slim_noc(black_box(q), black_box(p)).unwrap());
+        });
+    }
+    group.bench_function("fbf9", |b| {
+        b.iter(|| Topology::flattened_butterfly(black_box(12), 12, 9));
+    });
+    group.bench_function("t2d9", |b| {
+        b.iter(|| Topology::torus(black_box(12), 12, 9));
+    });
+    group.bench_function("dragonfly_h3", |b| {
+        b.iter(|| Topology::dragonfly(black_box(3)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("topology_analysis");
+    let sn = Topology::slim_noc(9, 8).unwrap();
+    group.bench_function("path_stats_sn_l", |b| {
+        b.iter(|| black_box(&sn).path_stats());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fields, bench_topologies);
+criterion_main!(benches);

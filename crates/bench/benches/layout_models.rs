@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the layout cost models: placement, wire
+//! statistics (Eq. 3), and the buffer models (Eqs. 5–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoc_layout::{BufferModel, BufferSpec, Layout, SnLayout};
+use snoc_topology::Topology;
+use std::hint::black_box;
+
+fn bench_layouts(c: &mut Criterion) {
+    let sn = Topology::slim_noc(9, 8).unwrap();
+    let mut group = c.benchmark_group("layout_placement");
+    for (name, kind) in [
+        ("basic", SnLayout::Basic),
+        ("subgroup", SnLayout::Subgroup),
+        ("group", SnLayout::Group),
+        ("random", SnLayout::Random(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sn_l", name), &kind, |b, &k| {
+            b.iter(|| Layout::slim_noc(black_box(&sn), k).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_stats(c: &mut Criterion) {
+    let sn = Topology::slim_noc(9, 8).unwrap();
+    let layout = Layout::slim_noc(&sn, SnLayout::Subgroup).unwrap();
+    c.bench_function("wire_stats_sn_l", |b| {
+        b.iter(|| black_box(&layout).wire_stats(&sn));
+    });
+    c.bench_function("avg_wire_length_sn_l", |b| {
+        b.iter(|| black_box(&layout).average_wire_length(&sn));
+    });
+}
+
+fn bench_buffer_models(c: &mut Criterion) {
+    let sn = Topology::slim_noc(9, 8).unwrap();
+    let layout = Layout::slim_noc(&sn, SnLayout::Group).unwrap();
+    let mut group = c.benchmark_group("buffer_models");
+    group.bench_function("edge_buffers_no_smart", |b| {
+        b.iter(|| BufferModel::edge_buffers(&sn, black_box(&layout), BufferSpec::standard()));
+    });
+    group.bench_function("edge_buffers_smart", |b| {
+        b.iter(|| BufferModel::edge_buffers(&sn, black_box(&layout), BufferSpec::smart()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_wire_stats, bench_buffer_models);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the simulator engine: routing-table
+//! construction and end-to-end simulation throughput (cycles/second)
+//! for representative configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snoc_core::{BufferPreset, Setup};
+use snoc_sim::{RoutingTable, SimConfig, Simulator};
+use snoc_topology::Topology;
+use snoc_traffic::TrafficPattern;
+use std::hint::black_box;
+
+fn bench_routing_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_table");
+    for (name, topo) in [
+        ("sn_s", Topology::slim_noc(5, 4).unwrap()),
+        ("sn_l", Topology::slim_noc(9, 8).unwrap()),
+        ("fbf9", Topology::flattened_butterfly(12, 12, 9)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| RoutingTable::minimal(black_box(&topo)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let cycles = 2_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    for (name, topo) in [
+        ("sn54_rnd", Topology::slim_noc(3, 3).unwrap()),
+        ("sn_s_rnd", Topology::slim_noc(5, 4).unwrap()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+                sim.run_synthetic(TrafficPattern::Random, 0.05, 200, cycles)
+            });
+        });
+    }
+    group.bench_function("sn_s_cbr_rnd", |b| {
+        let topo = Topology::slim_noc(5, 4).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &SimConfig::cbr(20)).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.05, 200, cycles)
+        });
+    });
+    group.finish();
+}
+
+fn bench_figure_smoke(c: &mut Criterion) {
+    // Smoke versions of the figure sweeps: one low-load point per class.
+    let mut group = c.benchmark_group("figure_smoke");
+    group.sample_size(10);
+    for name in ["sn_s", "fbf4", "pfbf4", "t2d4", "cm4"] {
+        group.bench_function(format!("fig12_point_{name}"), |b| {
+            let setup = Setup::paper(name).unwrap().with_smart(true);
+            b.iter(|| setup.run_load(TrafficPattern::Random, 0.03, 200, 1_000));
+        });
+    }
+    group.bench_function("fig11_point_cbr", |b| {
+        let setup = Setup::paper("sn_s")
+            .unwrap()
+            .with_buffers(BufferPreset::Cbr(20));
+        b.iter(|| setup.run_load(TrafficPattern::Random, 0.03, 200, 1_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_tables, bench_simulation, bench_figure_smoke);
+criterion_main!(benches);

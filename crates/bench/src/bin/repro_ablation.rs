@@ -1,0 +1,98 @@
+//! Ablation study of Slim NoC's design ingredients (the DESIGN.md
+//! ablation index): starting from the naive design (basic layout, small
+//! edge buffers, no SMART) and adding one mechanism at a time —
+//! layout → RTT-sized buffers → SMART links → central-buffer routers —
+//! measuring latency, saturation throughput, buffer area and
+//! throughput/power at each step.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, BufferPreset, Setup, TextTable};
+use snoc_layout::SnLayout;
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+struct Step {
+    name: &'static str,
+    layout: SnLayout,
+    buffers: BufferPreset,
+    smart: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps = [
+        Step {
+            name: "naive (basic, EB-Small)",
+            layout: SnLayout::Basic,
+            buffers: BufferPreset::EbSmall,
+            smart: false,
+        },
+        Step {
+            name: "+ subgroup layout",
+            layout: SnLayout::Subgroup,
+            buffers: BufferPreset::EbSmall,
+            smart: false,
+        },
+        Step {
+            name: "+ RTT-sized buffers",
+            layout: SnLayout::Subgroup,
+            buffers: BufferPreset::EbVar,
+            smart: false,
+        },
+        Step {
+            name: "+ SMART links",
+            layout: SnLayout::Subgroup,
+            buffers: BufferPreset::EbVar,
+            smart: true,
+        },
+        Step {
+            name: "+ CBR-20 (full design)",
+            layout: SnLayout::Subgroup,
+            buffers: BufferPreset::Cbr(20),
+            smart: true,
+        },
+    ];
+    let mut table = TextTable::new(
+        "Ablation: Slim NoC design ingredients (SN-S, RND)",
+        &[
+            "configuration",
+            "latency @0.05",
+            "sat thpt",
+            "buf flits/rtr",
+            "thpt/power [flits/J]",
+        ],
+    );
+    for step in &steps {
+        let setup = Setup::paper("sn_s")
+            .expect("sn_s")
+            .with_sn_layout(step.layout)
+            .expect("layout")
+            .with_buffers(step.buffers)
+            .with_smart(step.smart);
+        let lat = setup
+            .run_load(TrafficPattern::Random, 0.05, args.warmup(), args.measure())
+            .avg_packet_latency();
+        let sat = setup.saturation_throughput(
+            TrafficPattern::Random,
+            args.warmup() / 2,
+            args.measure() / 2,
+        );
+        let tpp = setup
+            .evaluate_power(
+                TechNode::N45,
+                TrafficPattern::Random,
+                0.2,
+                args.warmup(),
+                args.measure(),
+            )
+            .throughput_per_power();
+        table.push_row(vec![
+            step.name.to_string(),
+            format_float(lat, 2),
+            format_float(sat, 3),
+            setup.buffer_flits_per_router().to_string(),
+            format_float(tpp, 3),
+        ]);
+    }
+    table.print(args.csv);
+}

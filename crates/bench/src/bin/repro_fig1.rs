@@ -1,0 +1,64 @@
+//! Reproduces Figure 1: the headline comparison at N = 1296.
+//!
+//! - (a) latency vs. load under the adversarial pattern (ADV1) for
+//!   Slim NoC, torus, mesh, and bisection-matched Flattened Butterflies;
+//! - (b)/(c) throughput per power at 45 nm and 22 nm under random
+//!   traffic near each network's operating load.
+//!
+//! All networks use the paper's shared microarchitecture (SMART links +
+//! CBR-20, per §1's "all using the same microarchitectural schemes").
+
+use snoc_bench::{latency_curves, Args};
+use snoc_core::{format_float, parallel_map, BufferPreset, Series, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+fn setups() -> Vec<Setup> {
+    ["t2d9", "cm9", "pfbf9", "sn_l", "fbf9"]
+        .iter()
+        .map(|n| {
+            Setup::paper(n)
+                .expect("paper config")
+                .with_smart(true)
+                .with_buffers(BufferPreset::Cbr(20))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // (a) ADV1 latency-load curves.
+    let curves = latency_curves(&setups(), TrafficPattern::Adversarial1, &args);
+    Series::tabulate(
+        "Fig 1a: latency [cycles] vs load, ADV1, N=1296 (SMART + CBR-20)",
+        "load",
+        &curves,
+    )
+    .print(args.csv);
+
+    // (b)/(c) Throughput per power at a heavy common offered load (0.4
+    // flits/node/cycle of random traffic): every network delivers its
+    // saturated throughput, and the metric divides flits delivered per
+    // second by the power consumed during delivery.
+    for tech in [TechNode::N45, TechNode::N22] {
+        let rows = parallel_map(setups(), |s| {
+            let r = s.evaluate_power(
+                tech,
+                TrafficPattern::Random,
+                0.40,
+                args.warmup(),
+                args.measure(),
+            );
+            (s.name.clone(), r.throughput_per_power())
+        });
+        let mut table = TextTable::new(
+            format!("Fig 1b/c: throughput per power ({tech}), RND @ 0.4 offered"),
+            &["network", "throughput/power [flits/J]"],
+        );
+        for (name, tpp) in rows {
+            table.push_row(vec![name, format_float(tpp, 3)]);
+        }
+        table.print(args.csv);
+    }
+}

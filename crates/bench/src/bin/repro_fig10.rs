@@ -1,0 +1,91 @@
+//! Reproduces Figure 10: the effect of Slim NoC layouts on performance
+//! at N = 200 without SMART links.
+//!
+//! - (a) latency vs. load for REV / RND / SHF under each layout;
+//! - (b) average latency on the 14 PARSEC/SPLASH-like workloads per
+//!   layout.
+
+use snoc_bench::{latency_curve, Args};
+use snoc_core::{format_float, parallel_map, Series, Setup, TextTable};
+use snoc_layout::SnLayout;
+use snoc_traffic::{benchmark_workloads, TrafficPattern};
+
+fn layout_setups() -> Vec<(String, Setup)> {
+    [
+        ("sn_basic", SnLayout::Basic),
+        ("sn_gr", SnLayout::Group),
+        ("sn_rand", SnLayout::Random(1)),
+        ("sn_subgr", SnLayout::Subgroup),
+    ]
+    .into_iter()
+    .map(|(name, l)| {
+        let mut s = Setup::paper("sn_s")
+            .expect("sn_s")
+            .with_sn_layout(l)
+            .expect("layout");
+        s.name = name.to_string();
+        (name.to_string(), s)
+    })
+    .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // (a) Synthetic patterns.
+    for pattern in [
+        TrafficPattern::BitReversal,
+        TrafficPattern::Random,
+        TrafficPattern::BitShuffle,
+    ] {
+        let curves = parallel_map(layout_setups(), |(_, s)| latency_curve(&s, pattern, &args));
+        Series::tabulate(
+            format!("Fig 10a ({pattern}): latency vs load per SN layout, N=200, no SMART"),
+            "load",
+            &curves,
+        )
+        .print(args.csv);
+    }
+
+    // (b) Trace workloads.
+    let mut table = TextTable::new(
+        "Fig 10b: PARSEC/SPLASH-like latency [cycles] per SN layout",
+        &["benchmark", "sn_basic", "sn_gr", "sn_subgr"],
+    );
+    let rows = parallel_map(benchmark_workloads(), |w| {
+        let lat = |layout: SnLayout| {
+            let s = Setup::paper("sn_s")
+                .expect("sn_s")
+                .with_sn_layout(layout)
+                .expect("layout");
+            s.run_trace_workload(&w, args.trace_cycles()).avg_packet_latency()
+        };
+        (
+            w.name,
+            lat(SnLayout::Basic),
+            lat(SnLayout::Group),
+            lat(SnLayout::Subgroup),
+        )
+    });
+    let mut geo_basic = 1.0f64;
+    let mut geo_sub = 1.0f64;
+    let mut count = 0u32;
+    for (name, basic, gr, sub) in rows {
+        geo_basic *= basic;
+        geo_sub *= sub;
+        count += 1;
+        table.push_row(vec![
+            name.to_string(),
+            format_float(basic, 2),
+            format_float(gr, 2),
+            format_float(sub, 2),
+        ]);
+    }
+    table.print(args.csv);
+    let gain =
+        100.0 * (1.0 - (geo_sub / geo_basic).powf(1.0 / f64::from(count.max(1))));
+    println!(
+        "sn_subgr vs sn_basic (geometric mean latency): {:.1}% lower (paper: ~5%)\n",
+        gain
+    );
+}

@@ -1,0 +1,46 @@
+//! Reproduces Figure 11: the impact of buffering strategies (edge
+//! buffers, elastic links, central buffers) on Slim NoC latency, with
+//! and without SMART links, for N = 200 and N = 1296.
+
+use snoc_bench::{latency_curve, Args};
+use snoc_core::{parallel_map, BufferPreset, Series, Setup};
+use snoc_traffic::TrafficPattern;
+
+fn presets() -> Vec<(&'static str, BufferPreset)> {
+    vec![
+        ("EB-Small", BufferPreset::EbSmall),
+        ("EB-Var", BufferPreset::EbVar),
+        ("EB-Large", BufferPreset::EbLarge),
+        ("EL-Links", BufferPreset::ElLinks),
+        ("CBR-40", BufferPreset::Cbr(40)),
+        ("CBR-6", BufferPreset::Cbr(6)),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    for (size_label, cfg_name) in [("200", "sn_s"), ("1296", "sn_l")] {
+        for smart in [false, true] {
+            let smart_label = if smart { "SMART" } else { "No-SMART" };
+            let setups: Vec<(String, Setup)> = presets()
+                .into_iter()
+                .map(|(name, preset)| {
+                    let mut s = Setup::paper(cfg_name)
+                        .expect("config")
+                        .with_buffers(preset)
+                        .with_smart(smart);
+                    s.name = name.to_string();
+                    (name.to_string(), s)
+                })
+                .collect();
+            let curves =
+                parallel_map(setups, |(_, s)| latency_curve(&s, TrafficPattern::Random, &args));
+            Series::tabulate(
+                format!("Fig 11 (N={size_label}, {smart_label}): latency vs load, RND"),
+                "load",
+                &curves,
+            )
+            .print(args.csv);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduces Figure 13: synthetic-traffic performance with SMART links
+//! for the large network class (N = 1296).
+
+use snoc_bench::{latency_curves, large_class_setups, Args};
+use snoc_core::{Series, TextTable};
+use snoc_traffic::TrafficPattern;
+
+fn main() {
+    let args = Args::parse();
+    let setups: Vec<_> = large_class_setups()
+        .into_iter()
+        .map(|s| s.with_smart(true))
+        .collect();
+    for pattern in TrafficPattern::paper_set() {
+        let curves = latency_curves(&setups, pattern, &args);
+        Series::tabulate(
+            format!("Fig 13 ({pattern}): latency vs load, SMART, N=1296"),
+            "load",
+            &curves,
+        )
+        .print(args.csv);
+        let at_low = |name: &str| -> Option<f64> {
+            curves
+                .iter()
+                .find(|s| s.name == name)?
+                .points
+                .first()
+                .map(|&(_, y)| y)
+        };
+        if let Some(sn) = at_low("sn_l") {
+            let mut table = TextTable::new(
+                format!("Fig 13 ({pattern}): SN latency ratio at load 0.008"),
+                &["baseline", "SN/baseline"],
+            );
+            for base in ["cm9", "t2d9", "pfbf9", "fbf9"] {
+                if let Some(b) = at_low(base) {
+                    table.push_row(vec![base.to_string(), format!("{:.0}%", 100.0 * sn / b)]);
+                }
+            }
+            table.print(args.csv);
+        }
+    }
+}

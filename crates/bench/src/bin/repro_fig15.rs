@@ -1,0 +1,69 @@
+//! Reproduces Figure 15: area and static power without SMART links at
+//! N = 200.
+//!
+//! - (a) total area of the four Slim NoC layouts;
+//! - (b) total area per network (fbf4, pfbf4, sn_subgr, t2d4, cm4);
+//! - (c) total static power per network.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, BufferPreset, Setup, TextTable};
+use snoc_layout::SnLayout;
+use snoc_power::TechNode;
+
+fn main() {
+    let args = Args::parse();
+    let tech = TechNode::N45;
+
+    // (a) SN layouts (RTT-sized buffers make layout quality visible).
+    let mut table = TextTable::new(
+        "Fig 15a: total area of SN layouts (N=200, no SMART, EB-Var)",
+        &["layout", "area [cm^2]"],
+    );
+    for (name, l) in [
+        ("sn_rand", SnLayout::Random(1)),
+        ("sn_basic", SnLayout::Basic),
+        ("sn_gr", SnLayout::Group),
+        ("sn_subgr", SnLayout::Subgroup),
+    ] {
+        let s = Setup::paper("sn_s")
+            .expect("sn_s")
+            .with_sn_layout(l)
+            .expect("layout")
+            .with_buffers(BufferPreset::EbVar);
+        let model = s.power_model(tech);
+        let area = model.area(&s.topology, &s.layout, s.buffer_flits_per_router());
+        table.push_row(vec![
+            name.to_string(),
+            format_float(area.total_mm2() / 100.0, 4),
+        ]);
+    }
+    table.print(args.csv);
+
+    // (b) + (c) per network.
+    let mut table = TextTable::new(
+        "Fig 15b/c: area and static power per network (N=200, no SMART)",
+        &[
+            "network",
+            "area routers [cm^2]",
+            "area wires [cm^2]",
+            "area total [cm^2]",
+            "static power [W]",
+        ],
+    );
+    for name in ["fbf4", "pfbf4", "sn_s", "t2d4", "cm4"] {
+        let s = Setup::paper(name)
+            .expect("config")
+            .with_buffers(BufferPreset::EbVar);
+        let model = s.power_model(tech);
+        let area = model.area(&s.topology, &s.layout, s.buffer_flits_per_router());
+        let stat = model.static_power(&s.topology, &s.layout, &area);
+        table.push_row(vec![
+            s.name.clone(),
+            format_float(area.routers_mm2() / 100.0, 4),
+            format_float(area.wires_mm2() / 100.0, 4),
+            format_float(area.total_mm2() / 100.0, 4),
+            format_float(stat.total_w(), 3),
+        ]);
+    }
+    table.print(args.csv);
+}

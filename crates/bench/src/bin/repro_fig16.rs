@@ -1,0 +1,52 @@
+//! Reproduces Figure 16: per-node area, static power and dynamic power
+//! with SMART links for the small class (N ∈ {192, 200}) at 45 nm and
+//! 22 nm.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, parallel_map, BufferPreset, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+fn main() {
+    let args = Args::parse();
+    let names = ["fbf3", "fbf4", "pfbf3", "sn_s", "t2d4", "cm4"];
+    for tech in [TechNode::N45, TechNode::N22] {
+        let rows = parallel_map(names.to_vec(), |name| {
+            let s = Setup::paper(name)
+                .expect("config")
+                .with_smart(true)
+                .with_buffers(BufferPreset::EbVar);
+            let r = s.evaluate_power(
+                tech,
+                TrafficPattern::Random,
+                0.10,
+                args.warmup(),
+                args.measure(),
+            );
+            (
+                name.to_string(),
+                r.area.per_node_cm2(),
+                r.static_power.per_node_w(),
+                r.dynamic_power.per_node_w(),
+            )
+        });
+        let mut table = TextTable::new(
+            format!("Fig 16 ({tech}): per-node area/power, SMART, N in {{192,200}}"),
+            &[
+                "network",
+                "area/node [cm^2]",
+                "static/node [W]",
+                "dynamic/node [W]",
+            ],
+        );
+        for (name, a, sp, dp) in rows {
+            table.push_row(vec![
+                name,
+                format_float(a, 5),
+                format_float(sp, 5),
+                format_float(dp, 5),
+            ]);
+        }
+        table.print(args.csv);
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces Figure 17: per-node area, static power and dynamic power
+//! with SMART links for the large class (N = 1296) at 45 nm and 22 nm.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, parallel_map, BufferPreset, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+fn main() {
+    let args = Args::parse();
+    let names = ["fbf8", "fbf9", "pfbf9", "sn_l", "t2d9", "cm9"];
+    for tech in [TechNode::N45, TechNode::N22] {
+        let rows = parallel_map(names.to_vec(), |name| {
+            let s = Setup::paper(name)
+                .expect("config")
+                .with_smart(true)
+                .with_buffers(BufferPreset::EbVar);
+            let r = s.evaluate_power(
+                tech,
+                TrafficPattern::Random,
+                0.10,
+                args.warmup(),
+                args.measure(),
+            );
+            (
+                name.to_string(),
+                r.area.per_node_cm2(),
+                r.static_power.per_node_w(),
+                r.dynamic_power.per_node_w(),
+            )
+        });
+        let mut table = TextTable::new(
+            format!("Fig 17 ({tech}): per-node area/power, SMART, N=1296"),
+            &[
+                "network",
+                "area/node [cm^2]",
+                "static/node [W]",
+                "dynamic/node [W]",
+            ],
+        );
+        for (name, a, sp, dp) in rows {
+            table.push_row(vec![
+                name,
+                format_float(a, 5),
+                format_float(sp, 5),
+                format_float(dp, 5),
+            ]);
+        }
+        table.print(args.csv);
+    }
+}

@@ -1,0 +1,62 @@
+//! Reproduces Figure 18: energy–delay product on the PARSEC/SPLASH-like
+//! workloads, normalized to FBF, for fbf3 / pfbf3 / cm3 / sn_subgr
+//! (SMART links on, 45 nm).
+
+use snoc_bench::Args;
+use snoc_core::{format_float, parallel_map, BufferPreset, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::benchmark_workloads;
+
+fn main() {
+    let args = Args::parse();
+    let nets = ["fbf3", "pfbf3", "cm3", "sn_s"];
+    let rows = parallel_map(benchmark_workloads(), |w| {
+        let edp = |name: &str| -> f64 {
+            let s = Setup::paper(name)
+                .expect("config")
+                .with_smart(true)
+                .with_buffers(BufferPreset::EbVar);
+            let report = s.run_trace_workload(&w, args.trace_cycles());
+            let model = s.power_model(TechNode::N45);
+            model
+                .evaluate(
+                    &s.topology,
+                    &s.layout,
+                    s.buffer_flits_per_router(),
+                    &report,
+                )
+                .energy_delay()
+        };
+        let values: Vec<f64> = nets.iter().map(|n| edp(n)).collect();
+        (w.name, values)
+    });
+    let mut table = TextTable::new(
+        "Fig 18: energy-delay product normalized to FBF (SMART, 45nm)",
+        &["benchmark", "fbf3", "pfbf3", "cm3", "sn_subgr"],
+    );
+    let mut geo: Vec<f64> = vec![1.0; nets.len()];
+    let mut count = 0u32;
+    for (name, values) in rows {
+        let base = values[0];
+        let mut cells = vec![name.to_string()];
+        for (i, v) in values.iter().enumerate() {
+            let norm = v / base;
+            geo[i] *= norm;
+            cells.push(format_float(norm, 3));
+        }
+        count += 1;
+        table.push_row(cells);
+    }
+    table.print(args.csv);
+    let mut summary = TextTable::new(
+        "Fig 18 summary: geometric-mean EDP vs FBF (paper: SN 55% better)",
+        &["network", "geomean EDP / FBF"],
+    );
+    for (i, n) in nets.iter().enumerate() {
+        summary.push_row(vec![
+            n.to_string(),
+            format_float(geo[i].powf(1.0 / f64::from(count.max(1))), 3),
+        ]);
+    }
+    summary.print(args.csv);
+}

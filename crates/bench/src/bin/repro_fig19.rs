@@ -1,0 +1,57 @@
+//! Reproduces Figure 19: today's small-scale designs (N = 54, the KNL
+//! scale of §5.6) — latency, per-node area and per-node dynamic power
+//! at 45 nm with SMART links.
+
+use snoc_bench::{latency_curves, Args};
+use snoc_core::{format_float, parallel_map, BufferPreset, Series, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+fn setups() -> Vec<Setup> {
+    ["fbf54", "pfbf54", "sn54", "t2d54"]
+        .iter()
+        .map(|n| {
+            Setup::paper(n)
+                .expect("config")
+                .with_smart(true)
+                .with_buffers(BufferPreset::EbVar)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // (a) Latency-load.
+    let curves = latency_curves(&setups(), TrafficPattern::Random, &args);
+    Series::tabulate(
+        "Fig 19a: latency vs load, N=54, SMART, RND",
+        "load",
+        &curves,
+    )
+    .print(args.csv);
+
+    // (b)+(c) Area and dynamic power per node.
+    let rows = parallel_map(setups(), |s| {
+        let r = s.evaluate_power(
+            TechNode::N45,
+            TrafficPattern::Random,
+            0.10,
+            args.warmup(),
+            args.measure(),
+        );
+        (
+            s.name.clone(),
+            r.area.per_node_cm2(),
+            r.dynamic_power.per_node_w(),
+        )
+    });
+    let mut table = TextTable::new(
+        "Fig 19b/c: per-node area and dynamic power, N=54 (45nm, SMART)",
+        &["network", "area/node [cm^2]", "dynamic/node [W]"],
+    );
+    for (name, a, dp) in rows {
+        table.push_row(vec![name, format_float(a, 5), format_float(dp, 5)]);
+    }
+    table.print(args.csv);
+}

@@ -1,0 +1,49 @@
+//! Reproduces Figure 20: preliminary adaptive-routing analysis at
+//! N = 200 in simple input-queued routers (no CBR / SMART / elastic
+//! links): SN with MIN / UGAL-L / UGAL-G vs. FBF with MIN / UGAL-L /
+//! XY-adaptive, under uniform random and the asymmetric pattern of §6.
+
+use snoc_bench::{load_grid, Args};
+use snoc_core::{parallel_map, Series, Setup};
+use snoc_sim::RoutingKind;
+use snoc_traffic::TrafficPattern;
+
+fn setups() -> Vec<(String, Setup)> {
+    let sn = || Setup::paper("sn_s").expect("sn_s");
+    let fbf = || Setup::paper("fbf4").expect("fbf4");
+    vec![
+        ("SN_MIN".to_string(), sn()),
+        ("SN_UGAL-L".to_string(), sn().with_routing(RoutingKind::UgalL)),
+        ("SN_UGAL-G".to_string(), sn().with_routing(RoutingKind::UgalG)),
+        ("FBF_MIN".to_string(), fbf()),
+        ("FBF_UGAL-L".to_string(), fbf().with_routing(RoutingKind::UgalL)),
+        (
+            "FBF_XY-ADAPT".to_string(),
+            fbf().with_routing(RoutingKind::XyAdaptive),
+        ),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    for pattern in [TrafficPattern::Random, TrafficPattern::Asymmetric] {
+        let curves = parallel_map(setups(), |(name, setup)| {
+            let mut series = Series::new(name);
+            for p in
+                setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure())
+            {
+                if p.saturated {
+                    break;
+                }
+                series.push(p.load, p.latency);
+            }
+            series
+        });
+        Series::tabulate(
+            format!("Fig 20 ({pattern}): adaptive routing, N=200, input-queued routers"),
+            "load",
+            &curves,
+        )
+        .print(args.csv);
+    }
+}

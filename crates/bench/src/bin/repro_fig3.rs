@@ -1,0 +1,122 @@
+//! Reproduces Figure 3: the cost of using Slim Fly and Dragonfly
+//! *straightforwardly* as NoCs.
+//!
+//! - (a) average wire length (hops) vs. core count for SF (naive basic
+//!   layout), DF, FBF (fixed radix and full bandwidth) and T2D;
+//! - (b) area per node at N ≈ 200 for FBF, PFBF, T2D, CM, SF, DF;
+//! - (c) static power per node for the same set.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, Series, TextTable};
+use snoc_layout::{BufferModel, BufferSpec, Layout, SnLayout};
+use snoc_power::{PowerModel, TechNode};
+use snoc_topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+
+    // (a) Average wire length vs. core count.
+    let mut sf = Series::new("slim-fly (naive)");
+    for q in [3usize, 5, 7, 8, 9, 11, 13] {
+        let p = (3 * q).div_ceil(4); // near-ideal concentration
+        let t = Topology::slim_noc(q, p).expect("slim noc");
+        let l = Layout::slim_noc(&t, SnLayout::Basic).expect("basic layout");
+        if t.node_count() <= 2500 {
+            sf.push(t.node_count() as f64, l.average_wire_length(&t));
+        }
+    }
+    let mut df = Series::new("dragonfly");
+    for h in [1usize, 2, 3, 4] {
+        let t = Topology::dragonfly(h);
+        let l = Layout::natural(&t);
+        if t.node_count() <= 2500 {
+            df.push(t.node_count() as f64, l.average_wire_length(&t));
+        }
+    }
+    let mut fbf_full = Series::new("fbf (full bandwidth)");
+    let mut t2d = Series::new("t2d");
+    for side in [6usize, 8, 10, 12, 14, 16] {
+        let p = 4;
+        let fb = Topology::flattened_butterfly(side, side, p);
+        let to = Topology::torus(side, side, p);
+        if fb.node_count() <= 2500 {
+            fbf_full.push(
+                fb.node_count() as f64,
+                Layout::natural(&fb).average_wire_length(&fb),
+            );
+            t2d.push(
+                to.node_count() as f64,
+                Layout::natural(&to).average_wire_length(&to),
+            );
+        }
+    }
+    let mut fbf_fixed = Series::new("fbf (fixed radix)");
+    for (side, p) in [(4usize, 4usize), (4, 8), (4, 16), (4, 32), (4, 64), (4, 128)] {
+        let t = Topology::flattened_butterfly(side, side, p);
+        if t.node_count() <= 2500 {
+            fbf_fixed.push(
+                t.node_count() as f64,
+                Layout::natural(&t).average_wire_length(&t),
+            );
+        }
+    }
+    Series::tabulate(
+        "Fig 3a: average wire length [tile hops] vs cores",
+        "N",
+        &[sf, df, fbf_fixed, fbf_full, t2d],
+    )
+    .print(args.csv);
+
+    // (b) + (c): area and static power per node at N ≈ 200.
+    let model = PowerModel::new(TechNode::N45);
+    let spec = BufferSpec::standard();
+    let nets: Vec<(&str, Topology, Layout)> = vec![
+        {
+            let t = Topology::flattened_butterfly(10, 5, 4);
+            let l = Layout::natural(&t);
+            ("FBF", t, l)
+        },
+        {
+            let t = Topology::partitioned_fbf(2, 1, 5, 5, 4);
+            let l = Layout::natural(&t);
+            ("PFBF", t, l)
+        },
+        {
+            let t = Topology::torus(10, 5, 4);
+            let l = Layout::natural(&t);
+            ("T2D", t, l)
+        },
+        {
+            let t = Topology::mesh(10, 5, 4);
+            let l = Layout::natural(&t);
+            ("CM", t, l)
+        },
+        {
+            // Naive Slim Fly: basic layout, RTT-sized buffers.
+            let t = Topology::slim_noc(5, 4).expect("sn");
+            let l = Layout::slim_noc(&t, SnLayout::Basic).expect("layout");
+            ("SF", t, l)
+        },
+        {
+            let t = Topology::dragonfly(3); // 342 nodes, nearest DF size
+            let l = Layout::natural(&t);
+            ("DF", t, l)
+        },
+    ];
+    let mut table = TextTable::new(
+        "Fig 3b/3c: naive off-chip topologies on-chip (≈200 cores, 45nm)",
+        &["network", "N", "area/node [cm^2]", "static power/node [W]"],
+    );
+    for (name, t, l) in &nets {
+        let flits = BufferModel::edge_buffers(t, l, spec).average_per_router() as usize;
+        let area = model.area(t, l, flits);
+        let stat = model.static_power(t, l, &area);
+        table.push_row(vec![
+            name.to_string(),
+            t.node_count().to_string(),
+            format_float(area.per_node_cm2(), 5),
+            format_float(stat.per_node_w(), 5),
+        ]);
+    }
+    table.print(args.csv);
+}

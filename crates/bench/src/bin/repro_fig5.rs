@@ -1,0 +1,109 @@
+//! Reproduces Figure 5: layout cost analysis over the Slim NoC
+//! configuration space.
+//!
+//! - (a) average wire length `M` vs. N for the four layouts;
+//! - (b) per-router total buffer size without SMART (+ CBR-20/40 lines);
+//! - (c) the same with SMART links;
+//! - (d) maximum wire crossings `W` vs. the 22 nm technology bound.
+
+use snoc_bench::Args;
+use snoc_core::{Series, TextTable};
+use snoc_layout::{
+    max_wires_per_tile, per_router_central_buffers, BufferModel, BufferSpec, Layout,
+    SnLayout, TechNode,
+};
+use snoc_topology::Topology;
+
+fn layouts() -> Vec<(&'static str, SnLayout)> {
+    vec![
+        ("sn_rand", SnLayout::Random(1)),
+        ("sn_basic", SnLayout::Basic),
+        ("sn_gr", SnLayout::Group),
+        ("sn_subgr", SnLayout::Subgroup),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let qs = [3usize, 4, 5, 7, 8, 9, 11];
+
+    // (a) Average wire length M.
+    let mut m_series: Vec<Series> = layouts()
+        .iter()
+        .map(|(n, _)| Series::new(*n))
+        .collect();
+    for &q in &qs {
+        let p = (3 * q).div_ceil(4);
+        let t = Topology::slim_noc(q, p).expect("sn");
+        if t.node_count() > 2000 {
+            continue;
+        }
+        for (i, (_, kind)) in layouts().into_iter().enumerate() {
+            let l = Layout::slim_noc(&t, kind).expect("layout");
+            m_series[i].push(t.node_count() as f64, l.average_wire_length(&t));
+        }
+    }
+    Series::tabulate("Fig 5a: average wire length M [hops]", "N", &m_series).print(args.csv);
+
+    // (b)+(c) Per-router buffer totals.
+    for (title, spec) in [
+        ("Fig 5b: buffer flits per router (no SMART)", BufferSpec::standard()),
+        ("Fig 5c: buffer flits per router (SMART, H=9)", BufferSpec::smart()),
+    ] {
+        let mut series: Vec<Series> = layouts()
+            .iter()
+            .map(|(n, _)| Series::new(*n))
+            .collect();
+        let mut cbr20 = Series::new("CBR20");
+        let mut cbr40 = Series::new("CBR40");
+        for &q in &qs {
+            let p = (3 * q).div_ceil(4);
+            let t = Topology::slim_noc(q, p).expect("sn");
+            if t.node_count() > 2000 {
+                continue;
+            }
+            for (i, (_, kind)) in layouts().into_iter().enumerate() {
+                let l = Layout::slim_noc(&t, kind).expect("layout");
+                let model = BufferModel::edge_buffers(&t, &l, spec);
+                series[i].push(t.node_count() as f64, model.average_per_router());
+            }
+            cbr20.push(
+                t.node_count() as f64,
+                per_router_central_buffers(&t, 20, spec.vcs) as f64,
+            );
+            cbr40.push(
+                t.node_count() as f64,
+                per_router_central_buffers(&t, 40, spec.vcs) as f64,
+            );
+        }
+        series.push(cbr20);
+        series.push(cbr40);
+        Series::tabulate(title, "N", &series).print(args.csv);
+    }
+
+    // (d) Max wire crossings vs. the 22nm bound.
+    let mut table = TextTable::new(
+        "Fig 5d: max wires over one tile vs the technology bound",
+        &["N", "layout", "max W", "bound(22nm)", "ok"],
+    );
+    for &q in &qs {
+        let p = (3 * q).div_ceil(4);
+        let t = Topology::slim_noc(q, p).expect("sn");
+        if t.node_count() > 2500 {
+            continue;
+        }
+        let bound = max_wires_per_tile(TechNode::N22, p);
+        for (name, kind) in layouts() {
+            let l = Layout::slim_noc(&t, kind).expect("layout");
+            let stats = l.wire_stats(&t);
+            table.push_row(vec![
+                t.node_count().to_string(),
+                name.to_string(),
+                stats.max_crossings.to_string(),
+                bound.to_string(),
+                if stats.satisfies_limit(bound) { "yes" } else { "VIOLATED" }.to_string(),
+            ]);
+        }
+    }
+    table.print(args.csv);
+}

@@ -1,0 +1,33 @@
+//! Reproduces Figure 6: the distribution of link Manhattan distances in
+//! Slim NoCs with N ∈ {200, 1024, 1296} for the two best layouts
+//! (sn_gr and sn_subgr), binned in ranges of 2 as in the paper.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, TextTable};
+use snoc_layout::{Layout, SnLayout};
+use snoc_topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let configs = [("N=200", 5usize, 4usize), ("N=1024", 8, 8), ("N=1296", 9, 8)];
+    for (label, q, p) in configs {
+        let t = Topology::slim_noc(q, p).expect("sn");
+        let gr = Layout::slim_noc(&t, SnLayout::Group).expect("group");
+        let sub = Layout::slim_noc(&t, SnLayout::Subgroup).expect("subgroup");
+        let d_gr = gr.link_distance_density(&t, 2);
+        let d_sub = sub.link_distance_density(&t, 2);
+        let bins = d_gr.len().max(d_sub.len());
+        let mut table = TextTable::new(
+            format!("Fig 6 ({label}): link distance probability density"),
+            &["distance range", "sn_gr", "sn_subgr"],
+        );
+        for b in 0..bins {
+            table.push_row(vec![
+                format!("{}-{}", 2 * b + 1, 2 * b + 2),
+                format_float(d_gr.get(b).copied().unwrap_or(0.0), 3),
+                format_float(d_sub.get(b).copied().unwrap_or(0.0), 3),
+            ]);
+        }
+        table.print(args.csv);
+    }
+}

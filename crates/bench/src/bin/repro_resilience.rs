@@ -1,0 +1,57 @@
+//! Extension study: link-failure resilience.
+//!
+//! §2.1 credits MMS graphs with "high resilience to link failures
+//! because the considered graphs are good expanders". This binary
+//! quantifies that claim: random link failures vs. connectivity,
+//! diameter and average path length, for Slim NoC against the paper's
+//! baselines at the 200-node scale.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, TextTable};
+use snoc_topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let nets: Vec<(&str, Topology)> = vec![
+        ("sn_s", Topology::slim_noc(5, 4).expect("sn")),
+        ("fbf4", Topology::flattened_butterfly(10, 5, 4)),
+        ("pfbf4", Topology::partitioned_fbf(2, 1, 5, 5, 4)),
+        ("t2d4", Topology::torus(10, 5, 4)),
+        ("cm4", Topology::mesh(10, 5, 4)),
+    ];
+    let seeds: Vec<u64> = (0..8).collect();
+    for fraction in [0.05, 0.10, 0.20, 0.30] {
+        let mut table = TextTable::new(
+            format!("Resilience under {:.0}% random link failures (8 seeds)", fraction * 100.0),
+            &[
+                "network",
+                "connected runs",
+                "avg diameter",
+                "avg path",
+                "avg largest component",
+            ],
+        );
+        for (name, topo) in &nets {
+            let mut connected = 0usize;
+            let mut diam = 0.0;
+            let mut path = 0.0;
+            let mut comp = 0.0;
+            for &seed in &seeds {
+                let r = topo.link_failure_report(fraction, seed);
+                connected += usize::from(r.connected);
+                diam += r.diameter as f64;
+                path += r.average_path;
+                comp += r.largest_component as f64;
+            }
+            let n = seeds.len() as f64;
+            table.push_row(vec![
+                name.to_string(),
+                format!("{connected}/{}", seeds.len()),
+                format_float(diam / n, 2),
+                format_float(path / n, 3),
+                format_float(comp / n, 1),
+            ]);
+        }
+        table.print(args.csv);
+    }
+}

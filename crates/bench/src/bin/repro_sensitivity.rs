@@ -1,0 +1,145 @@
+//! Reproduces the §5.5 sensitivity summary: Slim NoC's advantages under
+//! varying concentration, injection rate, technology node, network size
+//! and traffic pattern.
+//!
+//! Each sub-study prints SN next to its strongest competitor so the
+//! robustness claim ("SN's benefits are robust") can be checked row by
+//! row.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, BufferPreset, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_topology::Topology;
+use snoc_traffic::TrafficPattern;
+
+fn main() {
+    let args = Args::parse();
+
+    // (1) Concentration sweep: SN with p in {3, 4, 5} at q = 5.
+    let mut table = TextTable::new(
+        "Sensitivity: concentration p (q = 5, RND)",
+        &["p", "N", "latency @0.05", "saturation thpt"],
+    );
+    for p in [3usize, 4, 5] {
+        let topo = Topology::slim_noc(5, p).expect("sn");
+        let setup = Setup::from_topology(&format!("sn p={p}"), topo, 0.5).expect("setup");
+        let lat = setup
+            .run_load(TrafficPattern::Random, 0.05, args.warmup(), args.measure())
+            .avg_packet_latency();
+        let sat = setup.saturation_throughput(
+            TrafficPattern::Random,
+            args.warmup() / 2,
+            args.measure() / 2,
+        );
+        table.push_row(vec![
+            p.to_string(),
+            setup.topology.node_count().to_string(),
+            format_float(lat, 2),
+            format_float(sat, 3),
+        ]);
+    }
+    table.print(args.csv);
+
+    // (2) Injection-rate sweep: SN vs FBF advantage across loads.
+    let mut table = TextTable::new(
+        "Sensitivity: injection rate (SN-S vs fbf3, SMART, RND latency)",
+        &["load", "sn_s", "fbf3"],
+    );
+    let sn = Setup::paper("sn_s").expect("sn").with_smart(true);
+    let fbf = Setup::paper("fbf3").expect("fbf").with_smart(true);
+    for load in [0.01, 0.05, 0.1, 0.2] {
+        let l1 = sn
+            .run_load(TrafficPattern::Random, load, args.warmup(), args.measure())
+            .avg_packet_latency();
+        let l2 = fbf
+            .run_load(TrafficPattern::Random, load, args.warmup(), args.measure())
+            .avg_packet_latency();
+        table.push_row(vec![
+            format_float(load, 2),
+            format_float(l1, 2),
+            format_float(l2, 2),
+        ]);
+    }
+    table.print(args.csv);
+
+    // (3) Technology node: area/static-power advantage at 45/22/11 nm.
+    let mut table = TextTable::new(
+        "Sensitivity: technology node (SN-S vs fbf3, EB-Var)",
+        &["tech", "SN area/FBF area", "SN static/FBF static"],
+    );
+    for tech in [TechNode::N45, TechNode::N22, TechNode::N11] {
+        let eval = |s: &Setup| {
+            let m = s.power_model(tech);
+            let a = m.area(&s.topology, &s.layout, s.buffer_flits_per_router());
+            let p = m.static_power(&s.topology, &s.layout, &a);
+            (a.total_mm2(), p.total_w())
+        };
+        let sn_e = Setup::paper("sn_s")
+            .expect("sn")
+            .with_buffers(BufferPreset::EbVar);
+        let fbf_e = Setup::paper("fbf3")
+            .expect("fbf")
+            .with_buffers(BufferPreset::EbVar);
+        let (a1, p1) = eval(&sn_e);
+        let (a2, p2) = eval(&fbf_e);
+        table.push_row(vec![
+            tech.to_string(),
+            format_float(a1 / a2, 3),
+            format_float(p1 / p2, 3),
+        ]);
+    }
+    table.print(args.csv);
+
+    // (4) Other network sizes (§5.5 lists 588, 686, 1024).
+    let mut table = TextTable::new(
+        "Sensitivity: network size (SN vs torus of equal N, RND saturation)",
+        &["N", "sn thpt", "t2d thpt", "gain"],
+    );
+    for (q, p, tx, ty, tp) in [(7usize, 6usize, 14usize, 7usize, 6usize), (8, 8, 16, 8, 8)] {
+        let sn_t = Topology::slim_noc(q, p).expect("sn");
+        let n = sn_t.node_count();
+        let sn_s = Setup::from_topology("sn", sn_t, 0.5).expect("setup");
+        let t2d_s =
+            Setup::from_topology("t2d", Topology::torus(tx, ty, tp), 0.4).expect("setup");
+        let s1 = sn_s.saturation_throughput(
+            TrafficPattern::Random,
+            args.warmup() / 2,
+            args.measure() / 2,
+        );
+        let s2 = t2d_s.saturation_throughput(
+            TrafficPattern::Random,
+            args.warmup() / 2,
+            args.measure() / 2,
+        );
+        table.push_row(vec![
+            n.to_string(),
+            format_float(s1, 3),
+            format_float(s2, 3),
+            format!("{:.1}x", s1 / s2),
+        ]);
+    }
+    table.print(args.csv);
+
+    // (5) Traffic patterns: SN latency across all patterns at one load.
+    let mut table = TextTable::new(
+        "Sensitivity: traffic pattern (SN-S, SMART, load 0.05)",
+        &["pattern", "latency", "avg hops"],
+    );
+    for pattern in [
+        TrafficPattern::Random,
+        TrafficPattern::BitShuffle,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Transpose,
+        TrafficPattern::Adversarial1,
+        TrafficPattern::Adversarial2,
+        TrafficPattern::Asymmetric,
+    ] {
+        let r = sn.run_load(pattern, 0.05, args.warmup(), args.measure());
+        table.push_row(vec![
+            pattern.to_string(),
+            format_float(r.avg_packet_latency(), 2),
+            format_float(r.avg_hops(), 3),
+        ]);
+    }
+    table.print(args.csv);
+}

@@ -1,0 +1,41 @@
+//! Reproduces Table 2: all Slim NoC configurations with N ≤ 1300 nodes,
+//! split into non-prime and prime finite fields, with the paper's
+//! highlight columns (power-of-two N; equal groups per die side).
+
+use snoc_bench::Args;
+use snoc_core::TextTable;
+use snoc_topology::table2_rows;
+
+fn main() {
+    let args = Args::parse();
+    let rows = table2_rows(1300);
+    for prime in [false, true] {
+        let title = if prime {
+            "Table 2 (lower half): prime finite fields"
+        } else {
+            "Table 2 (upper half): non-prime finite fields"
+        };
+        let mut table = TextTable::new(
+            title,
+            &[
+                "k'", "p", "p_ideal", "sub%", "N", "N_r", "q", "pow2(N)", "eq.groups",
+                "square(N)",
+            ],
+        );
+        for r in rows.iter().filter(|r| r.prime_field == prime) {
+            table.push_row(vec![
+                r.network_radix.to_string(),
+                r.concentration.to_string(),
+                r.ideal_concentration.to_string(),
+                format!("{}%", r.subscription_percent),
+                r.network_size.to_string(),
+                r.router_count.to_string(),
+                r.q.to_string(),
+                if r.n_power_of_two { "bold" } else { "" }.to_string(),
+                if r.equal_groups_per_side { "grey" } else { "" }.to_string(),
+                if r.n_perfect_square { "dark" } else { "" }.to_string(),
+            ]);
+        }
+        table.print(args.csv);
+    }
+}

@@ -1,0 +1,73 @@
+//! Reproduces Table 3: addition, product and inverse-element tables for
+//! GF(9) and GF(8), plus the generator element ξ and the generator sets
+//! X and X′ of §3.5.2.
+//!
+//! GF(9) uses the canonical first irreducible modulus (x² + 1), which is
+//! exactly the field printed in the paper. The paper's GF(8) table
+//! corresponds to the modulus x³ + x² + 1, which we pass explicitly.
+
+use snoc_bench::Args;
+use snoc_core::TextTable;
+use snoc_field::{GeneratorSets, Gf};
+
+fn print_field(name: &str, field: &Gf, csv: bool) {
+    let names: Vec<String> = field.elements().map(|e| field.element_name(e)).collect();
+    let mut header: Vec<&str> = vec!["+"];
+    header.extend(names.iter().map(String::as_str));
+
+    let mut add = TextTable::new(format!("{name}: addition"), &header);
+    for (i, row) in field.addition_table().into_iter().enumerate() {
+        let mut cells = vec![names[i].clone()];
+        cells.extend(row);
+        add.push_row(cells);
+    }
+    add.print(csv);
+
+    header[0] = "x";
+    let mut mul = TextTable::new(format!("{name}: product"), &header);
+    for (i, row) in field.multiplication_table().into_iter().enumerate() {
+        let mut cells = vec![names[i].clone()];
+        cells.extend(row);
+        mul.push_row(cells);
+    }
+    mul.print(csv);
+
+    let mut neg = TextTable::new(format!("{name}: inverse elements"), &["e", "-e"]);
+    for (e, ne) in field.negation_table() {
+        neg.push_row(vec![e, ne]);
+    }
+    neg.print(csv);
+
+    let sets = GeneratorSets::generate(field).expect("paper fields have generator sets");
+    let fmt = |set: &[snoc_field::Elem]| {
+        set.iter()
+            .map(|&e| field.element_name(e))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut meta = TextTable::new(format!("{name}: generators"), &["item", "value"]);
+    meta.push_row(vec![
+        "xi (smallest)".into(),
+        field.element_name(field.generator()),
+    ]);
+    meta.push_row(vec![
+        "all generators".into(),
+        field
+            .all_generators()
+            .iter()
+            .map(|&g| field.element_name(g))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    meta.push_row(vec!["X".into(), fmt(sets.x())]);
+    meta.push_row(vec!["X'".into(), fmt(sets.x_prime())]);
+    meta.print(csv);
+}
+
+fn main() {
+    let args = Args::parse();
+    let f9 = Gf::new(9).expect("GF(9)");
+    print_field("GF(9) [modulus x^2 + 1]", &f9, args.csv);
+    let f8 = Gf::with_modulus(8, &[1, 0, 1, 1]).expect("GF(8) with x^3 + x^2 + 1");
+    print_field("GF(8) [modulus x^3 + x^2 + 1]", &f8, args.csv);
+}

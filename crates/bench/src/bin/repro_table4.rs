@@ -1,0 +1,36 @@
+//! Reproduces Table 4: the evaluated network configurations for both
+//! size classes, with derived parameters (p, k', k, router grid, N) and
+//! measured structural properties (diameter, bisection links).
+
+use snoc_bench::Args;
+use snoc_core::TextTable;
+use snoc_layout::Layout;
+use snoc_topology::paper_config;
+
+fn main() {
+    let args = Args::parse();
+    let mut table = TextTable::new(
+        "Table 4: considered configurations",
+        &["sym", "D", "p", "k'", "k", "routers", "N", "bisection links"],
+    );
+    let names = [
+        "t2d3", "t2d4", "cm3", "cm4", "fbf3", "fbf4", "pfbf3", "pfbf4", "sn_s",
+        "t2d9", "t2d8", "cm9", "cm8", "fbf9", "fbf8", "pfbf9", "pfbf8", "sn_l",
+    ];
+    for name in names {
+        let cfg = paper_config(name).expect("paper config");
+        let t = &cfg.topology;
+        let layout = Layout::natural(t);
+        table.push_row(vec![
+            name.to_string(),
+            t.diameter().to_string(),
+            t.concentration().to_string(),
+            t.network_radix().to_string(),
+            t.router_radix().to_string(),
+            format!("{}x{}", layout.grid().0, layout.grid().1),
+            t.node_count().to_string(),
+            layout.bisection_links(t).to_string(),
+        ]);
+    }
+    table.print(args.csv);
+}

@@ -1,0 +1,58 @@
+//! Reproduces Table 5: Slim NoC's relative throughput-per-power gains
+//! over every other topology under random traffic, at 45 nm and 22 nm,
+//! for both size classes.
+//!
+//! Each network runs near its own saturating load (the paper divides
+//! delivered flits per cycle by the power consumed during delivery).
+
+use snoc_bench::Args;
+use snoc_core::{parallel_map, BufferPreset, Setup, TextTable};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+
+fn tpp(s: &Setup, tech: TechNode, args: &Args) -> f64 {
+    // A heavy common offered load: every network delivers its saturated
+    // throughput while consuming its own saturated power.
+    s.evaluate_power(tech, TrafficPattern::Random, 0.40, args.warmup(), args.measure())
+        .throughput_per_power()
+}
+
+fn main() {
+    let args = Args::parse();
+    for (class, sn_name, baselines) in [
+        (
+            "N in {192,200}",
+            "sn_s",
+            vec!["t2d4", "cm4", "pfbf3", "fbf3", "fbf4"],
+        ),
+        (
+            "N = 1296",
+            "sn_l",
+            vec!["t2d9", "cm9", "pfbf9", "fbf8", "fbf9"],
+        ),
+    ] {
+        for tech in [TechNode::N45, TechNode::N22] {
+            let mut names = vec![sn_name];
+            names.extend(baselines.iter().copied());
+            let values = parallel_map(names.clone(), |n| {
+                let s = Setup::paper(n)
+                    .expect("config")
+                    .with_smart(true)
+                    .with_buffers(BufferPreset::EbVar);
+                tpp(&s, tech, &args)
+            });
+            let sn_tpp = values[0];
+            let mut table = TextTable::new(
+                format!("Table 5 ({class}, {tech}): SN throughput/power advantage, RND"),
+                &["baseline", "SN gain"],
+            );
+            for (n, v) in names.iter().zip(values.iter()).skip(1) {
+                table.push_row(vec![
+                    n.to_string(),
+                    format!("{:+.0}%", 100.0 * (sn_tpp / v - 1.0)),
+                ]);
+            }
+            table.print(args.csv);
+        }
+    }
+}

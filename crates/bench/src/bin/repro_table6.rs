@@ -1,0 +1,62 @@
+//! Reproduces Table 6: the percentage decrease in average packet latency
+//! due to SMART links, per topology, per PARSEC/SPLASH-like benchmark
+//! (N = 192/200 class).
+
+use snoc_bench::Args;
+use snoc_core::{parallel_map, BufferPreset, Setup, TextTable};
+use snoc_traffic::benchmark_workloads;
+
+fn main() {
+    let args = Args::parse();
+    let nets = ["fbf3", "pfbf3", "cm3", "sn_s"];
+    let rows = parallel_map(benchmark_workloads(), |w| {
+        let gains: Vec<f64> = nets
+            .iter()
+            .map(|name| {
+                let lat = |smart: bool| {
+                    let s = Setup::paper(name)
+                        .expect("config")
+                        .with_smart(smart)
+                        .with_buffers(BufferPreset::EbVar);
+                    s.run_trace_workload(&w, args.trace_cycles())
+                        .avg_packet_latency()
+                };
+                let no = lat(false);
+                let yes = lat(true);
+                if no > 0.0 {
+                    100.0 * (1.0 - yes / no)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (w.name, gains)
+    });
+    let mut table = TextTable::new(
+        "Table 6: % latency decrease due to SMART links",
+        &["benchmark", "fbf3", "pfbf3", "cm3", "sn"],
+    );
+    let mut sums = vec![0.0f64; nets.len()];
+    let mut count = 0u32;
+    for (name, gains) in rows {
+        let mut cells = vec![name.to_string()];
+        for (i, g) in gains.iter().enumerate() {
+            sums[i] += g;
+            cells.push(format!("{g:.1}"));
+        }
+        count += 1;
+        table.push_row(cells);
+    }
+    table.print(args.csv);
+    let mut avg = TextTable::new(
+        "Table 6 summary: mean latency gain from SMART (paper: SN largest at ~11%)",
+        &["network", "mean gain %"],
+    );
+    for (i, n) in nets.iter().enumerate() {
+        avg.push_row(vec![
+            n.to_string(),
+            format!("{:.1}", sums[i] / f64::from(count.max(1))),
+        ]);
+    }
+    avg.print(args.csv);
+}

@@ -1,0 +1,165 @@
+//! Shared helpers for the reproduction binaries (`repro_*`).
+//!
+//! Every binary regenerates one table or figure of the paper. All accept:
+//!
+//! - `--csv` — emit CSV instead of aligned text;
+//! - `--quick` — shorter warmup/measurement windows (for smoke runs and
+//!   CI; the default windows match the shapes reported in
+//!   `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snoc_core::{parallel_map, Series, Setup};
+use snoc_traffic::TrafficPattern;
+
+/// Command-line options shared by all reproduction binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Args {
+    /// Emit CSV instead of aligned text tables.
+    pub csv: bool,
+    /// Use short simulation windows.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`. Unknown flags abort with a usage hint.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = Args::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--csv" => args.csv = true,
+                "--quick" => args.quick = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: repro_* [--csv] [--quick]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Simulation warmup window in cycles.
+    #[must_use]
+    pub fn warmup(&self) -> u64 {
+        if self.quick {
+            300
+        } else {
+            2_000
+        }
+    }
+
+    /// Simulation measurement window in cycles.
+    #[must_use]
+    pub fn measure(&self) -> u64 {
+        if self.quick {
+            1_200
+        } else {
+            10_000
+        }
+    }
+
+    /// Trace length in cycles.
+    #[must_use]
+    pub fn trace_cycles(&self) -> u64 {
+        if self.quick {
+            3_000
+        } else {
+            20_000
+        }
+    }
+}
+
+/// The standard load grid of the paper's latency–load figures
+/// (log-spaced from 0.008 to 0.4 flits/node/cycle).
+#[must_use]
+pub fn load_grid() -> Vec<f64> {
+    vec![0.008, 0.016, 0.03, 0.06, 0.1, 0.16, 0.24, 0.4]
+}
+
+/// Runs one latency–load curve for a setup and returns it as a series
+/// (stops at saturation, like the figures).
+#[must_use]
+pub fn latency_curve(
+    setup: &Setup,
+    pattern: TrafficPattern,
+    args: &Args,
+) -> Series {
+    let mut series = Series::new(setup.name.clone());
+    for p in setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure()) {
+        if p.saturated {
+            break;
+        }
+        series.push(p.load, p.latency);
+    }
+    series
+}
+
+/// Runs latency curves for several setups in parallel.
+#[must_use]
+pub fn latency_curves(
+    setups: &[Setup],
+    pattern: TrafficPattern,
+    args: &Args,
+) -> Vec<Series> {
+    parallel_map(setups.to_vec(), |s| latency_curve(&s, pattern, args))
+}
+
+/// The paper's small-class comparison set (N ∈ {192, 200}).
+///
+/// # Panics
+///
+/// Panics if a paper configuration fails to build (they never do).
+#[must_use]
+pub fn small_class_setups() -> Vec<Setup> {
+    ["cm3", "t2d3", "pfbf3", "pfbf4", "sn_s", "fbf3"]
+        .iter()
+        .map(|n| Setup::paper(n).expect("paper config"))
+        .collect()
+}
+
+/// The paper's large-class comparison set (N = 1296).
+///
+/// # Panics
+///
+/// Panics if a paper configuration fails to build (they never do).
+#[must_use]
+pub fn large_class_setups() -> Vec<Setup> {
+    ["cm9", "t2d9", "pfbf9", "sn_l", "fbf9"]
+        .iter()
+        .map(|n| Setup::paper(n).expect("paper config"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_grid_is_increasing() {
+        let g = load_grid();
+        for w in g.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(g[0], 0.008);
+    }
+
+    #[test]
+    fn setup_lists_build() {
+        assert_eq!(small_class_setups().len(), 6);
+        assert_eq!(large_class_setups().len(), 5);
+    }
+
+    #[test]
+    fn quick_windows_are_shorter() {
+        let quick = Args { csv: false, quick: true };
+        let full = Args::default();
+        assert!(quick.warmup() < full.warmup());
+        assert!(quick.measure() < full.measure());
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment configurations, runners and reporting for the Slim NoC
+//! reproduction.
+//!
+//! This crate glues the substrates together: it knows how the paper
+//! configures each named network (Table 4 cycle times, per-topology VC
+//! counts, buffer presets of §5.1), runs latency–load sweeps with
+//! saturation detection, replays trace workloads, evaluates the power
+//! model, and renders results as aligned text tables or CSV.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_core::{BufferPreset, Setup};
+//! use snoc_traffic::TrafficPattern;
+//!
+//! // The paper's SN-S configuration with SMART links.
+//! let setup = Setup::paper("sn_s")?.with_smart(true);
+//! let report = setup.run_load(TrafficPattern::Random, 0.02, 500, 1_500);
+//! assert!(report.delivered_packets > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parallel;
+mod report;
+mod setup;
+
+pub use parallel::parallel_map;
+pub use report::{format_float, Series, TextTable};
+pub use setup::{BufferPreset, Setup, SetupError};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::{parallel_map, BufferPreset, Series, Setup, TextTable};
+}

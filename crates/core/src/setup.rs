@@ -1,0 +1,449 @@
+//! Named experiment setups: topology + layout + simulator configuration
+//! as the paper specifies them (§5.1, Table 4).
+
+use snoc_layout::{
+    per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout,
+};
+use snoc_power::{PowerModel, TechNode};
+use snoc_sim::{
+    LatencyLoadPoint, RoutingKind, SimConfig, SimError, SimReport, Simulator,
+};
+use snoc_topology::{paper_config, Topology, TopologyError, TopologyKind};
+use snoc_traffic::{TraceWorkload, TrafficPattern};
+use std::error::Error;
+use std::fmt;
+
+/// Buffering strategy presets from §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPreset {
+    /// EB-Small: 5-flit edge buffers per VC.
+    EbSmall,
+    /// EB-Large: 15-flit edge buffers per VC.
+    EbLarge,
+    /// EB-Var: RTT-sized edge buffers (minimal sizes for 100% link
+    /// utilization; `-S`/`-N` distinction comes from the SMART setting).
+    EbVar,
+    /// EL-Links: elastic links only (1-flit staging).
+    ElLinks,
+    /// CBR-x: central buffer router with `x` flits of central buffer.
+    Cbr(usize),
+}
+
+impl fmt::Display for BufferPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferPreset::EbSmall => write!(f, "EB-Small"),
+            BufferPreset::EbLarge => write!(f, "EB-Large"),
+            BufferPreset::EbVar => write!(f, "EB-Var"),
+            BufferPreset::ElLinks => write!(f, "EL-Links"),
+            BufferPreset::Cbr(x) => write!(f, "CBR-{x}"),
+        }
+    }
+}
+
+/// Errors from setup construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SetupError {
+    /// Unknown configuration or topology failure.
+    Topology(TopologyError),
+    /// Simulator rejected the configuration.
+    Sim(SimError),
+    /// Layout construction failed.
+    Layout(snoc_layout::LayoutError),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::Topology(e) => write!(f, "topology: {e}"),
+            SetupError::Sim(e) => write!(f, "simulator: {e}"),
+            SetupError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl Error for SetupError {}
+
+impl From<TopologyError> for SetupError {
+    fn from(e: TopologyError) -> Self {
+        SetupError::Topology(e)
+    }
+}
+impl From<SimError> for SetupError {
+    fn from(e: SimError) -> Self {
+        SetupError::Sim(e)
+    }
+}
+impl From<snoc_layout::LayoutError> for SetupError {
+    fn from(e: snoc_layout::LayoutError) -> Self {
+        SetupError::Layout(e)
+    }
+}
+
+/// A fully specified experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Display name (the paper's configuration name).
+    pub name: String,
+    /// The network topology.
+    pub topology: Topology,
+    /// The physical layout.
+    pub layout: Layout,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Router cycle time in nanoseconds (0.4/0.5/0.6 per radix class).
+    pub cycle_time_ns: f64,
+    /// Buffer preset used (drives the power model's buffer term).
+    pub buffers: BufferPreset,
+}
+
+impl Setup {
+    /// Builds a named paper configuration (Table 4 names such as
+    /// `"sn_s"`, `"fbf3"`, `"pfbf9"`, `"t2d4"`; see
+    /// [`snoc_topology::paper_config_names`]) with the §5.1 defaults:
+    /// EB-Small buffers, credited links, no SMART, minimal routing, and
+    /// per-topology VC counts (hop count of the longest minimal path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] for unknown names.
+    pub fn paper(name: &str) -> Result<Self, SetupError> {
+        let desc = paper_config(name)?;
+        Setup::from_topology(name, desc.topology, desc.cycle_time_ns)
+    }
+
+    /// Builds a setup from an arbitrary topology with natural layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] if the simulator configuration is invalid.
+    pub fn from_topology(
+        name: &str,
+        topology: Topology,
+        cycle_time_ns: f64,
+    ) -> Result<Self, SetupError> {
+        let layout = Layout::natural(&topology);
+        // Deadlock freedom for hop-indexed VCs needs |VC| >= max hops;
+        // meshes/tori use DOR+dateline and stay at 2.
+        let vcs = match topology.kind() {
+            TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => 2,
+            _ => topology.diameter().max(2),
+        };
+        let sim = SimConfig::default().with_vcs(vcs);
+        Ok(Setup {
+            name: name.to_string(),
+            topology,
+            layout,
+            sim,
+            cycle_time_ns,
+            buffers: BufferPreset::EbSmall,
+        })
+    }
+
+    /// Switches the Slim NoC layout (no-op for other topologies).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for Slim NoC topologies; returns the unchanged setup
+    /// otherwise.
+    pub fn with_sn_layout(mut self, which: SnLayout) -> Result<Self, SetupError> {
+        if matches!(self.topology.kind(), TopologyKind::SlimNoc { .. }) {
+            self.layout = Layout::slim_noc(&self.topology, which)?;
+        }
+        Ok(self)
+    }
+
+    /// Enables or disables SMART links (`H = 9` vs `H = 1`).
+    #[must_use]
+    pub fn with_smart(mut self, smart: bool) -> Self {
+        self.sim.smart_hops = if smart { 9 } else { 1 };
+        self
+    }
+
+    /// Applies a buffering preset.
+    #[must_use]
+    pub fn with_buffers(mut self, preset: BufferPreset) -> Self {
+        let vcs = self.sim.vcs;
+        let smart = self.sim.smart_hops;
+        let routing = self.sim.routing;
+        let seed = self.sim.seed;
+        self.sim = match preset {
+            BufferPreset::EbSmall => SimConfig::eb_small(),
+            BufferPreset::EbLarge => SimConfig::eb_large(),
+            BufferPreset::EbVar => SimConfig::eb_var(),
+            BufferPreset::ElLinks => SimConfig::elastic_links(),
+            BufferPreset::Cbr(x) => SimConfig::cbr(x),
+        };
+        self.sim.vcs = vcs;
+        self.sim.smart_hops = smart;
+        self.sim.routing = routing;
+        self.sim.seed = seed;
+        self.buffers = preset;
+        self
+    }
+
+    /// Selects the routing algorithm (UGAL variants force 4 VCs to cover
+    /// the doubled Valiant path length).
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.sim.routing = routing;
+        if matches!(routing, RoutingKind::UgalL | RoutingKind::UgalG) {
+            self.sim.vcs = self.sim.vcs.max(4);
+        }
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Builds the simulator for this setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError::Sim`] when the configuration is invalid.
+    pub fn simulator(&self) -> Result<Simulator, SetupError> {
+        Ok(Simulator::build_with_layout(
+            &self.topology,
+            &self.layout,
+            &self.sim,
+        )?)
+    }
+
+    /// Runs one synthetic-traffic point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setup cannot construct a simulator (all presets in
+    /// this crate can).
+    pub fn run_load(
+        &self,
+        pattern: TrafficPattern,
+        rate: f64,
+        warmup: u64,
+        measure: u64,
+    ) -> SimReport {
+        let mut sim = self.simulator().expect("valid setup");
+        sim.run_synthetic(pattern, rate, warmup, measure)
+    }
+
+    /// Sweeps a latency–load curve, stopping after the first saturated
+    /// point (as the paper's figures do: "we omit performance data for
+    /// points after network saturation").
+    pub fn latency_load_curve(
+        &self,
+        pattern: TrafficPattern,
+        loads: &[f64],
+        warmup: u64,
+        measure: u64,
+    ) -> Vec<LatencyLoadPoint> {
+        let mut points = Vec::new();
+        let mut zero_load = 0.0;
+        for &load in loads {
+            let report = self.run_load(pattern, load, warmup, measure);
+            if zero_load == 0.0 {
+                zero_load = report.avg_packet_latency();
+            }
+            let saturated = report.is_saturated(zero_load);
+            points.push(LatencyLoadPoint {
+                load,
+                latency: report.avg_packet_latency(),
+                throughput: report.throughput(),
+                saturated,
+            });
+            if saturated {
+                break;
+            }
+        }
+        points
+    }
+
+    /// Estimates saturation throughput: the highest accepted throughput
+    /// over a geometric load sweep.
+    pub fn saturation_throughput(
+        &self,
+        pattern: TrafficPattern,
+        warmup: u64,
+        measure: u64,
+    ) -> f64 {
+        let mut best: f64 = 0.0;
+        let mut load = 0.05;
+        while load <= 1.0 {
+            let report = self.run_load(pattern, load, warmup, measure);
+            best = best.max(report.throughput());
+            if report.acceptance() < 0.8 {
+                break;
+            }
+            load *= 1.6;
+        }
+        best
+    }
+
+    /// Runs a PARSEC/SPLASH-like trace workload.
+    pub fn run_trace_workload(&self, workload: &TraceWorkload, cycles: u64) -> SimReport {
+        let trace = workload.generate(&self.topology, cycles, self.sim.seed);
+        let mut sim = self.simulator().expect("valid setup");
+        sim.run_trace(&trace, cycles / 10)
+    }
+
+    /// Total buffer flits in one router under the active preset — the
+    /// buffer term for the power model (Eqs. 5–6).
+    #[must_use]
+    pub fn buffer_flits_per_router(&self) -> usize {
+        let spec = BufferSpec {
+            vcs: self.sim.vcs,
+            smart_hops: self.sim.smart_hops,
+        };
+        match self.buffers {
+            BufferPreset::EbVar => {
+                BufferModel::edge_buffers(&self.topology, &self.layout, spec)
+                    .average_per_router()
+                    .round() as usize
+            }
+            BufferPreset::EbSmall | BufferPreset::EbLarge => {
+                let per_vc = if self.buffers == BufferPreset::EbSmall { 5 } else { 15 };
+                self.topology.network_radix() * self.sim.vcs * per_vc
+            }
+            BufferPreset::ElLinks => self.topology.network_radix() * self.sim.vcs,
+            BufferPreset::Cbr(x) => {
+                per_router_central_buffers(&self.topology, x, self.sim.vcs)
+            }
+        }
+    }
+
+    /// The power model configured for this setup's cycle time.
+    #[must_use]
+    pub fn power_model(&self, tech: TechNode) -> PowerModel {
+        PowerModel::new(tech).with_cycle_time(self.cycle_time_ns)
+    }
+
+    /// Full §5.4-style evaluation: run traffic, then feed activity into
+    /// the power model.
+    pub fn evaluate_power(
+        &self,
+        tech: TechNode,
+        pattern: TrafficPattern,
+        rate: f64,
+        warmup: u64,
+        measure: u64,
+    ) -> snoc_power::PowerReport {
+        let report = self.run_load(pattern, rate, warmup, measure);
+        self.power_model(tech).evaluate(
+            &self.topology,
+            &self.layout,
+            self.buffer_flits_per_router(),
+            &report,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use snoc_sim::RouterArch;
+    use super::*;
+
+    #[test]
+    fn paper_setups_build_and_run() {
+        for name in ["sn54", "t2d54", "cm54", "fbf54", "pfbf54"] {
+            let setup = Setup::paper(name).unwrap();
+            let report = setup.run_load(TrafficPattern::Random, 0.03, 300, 1_000);
+            assert!(report.delivered_packets > 0, "{name}: {report}");
+        }
+    }
+
+    #[test]
+    fn vc_counts_cover_diameter() {
+        assert_eq!(Setup::paper("sn_s").unwrap().sim.vcs, 2);
+        assert_eq!(Setup::paper("pfbf3").unwrap().sim.vcs, 4);
+        assert_eq!(Setup::paper("t2d4").unwrap().sim.vcs, 2);
+        assert_eq!(Setup::paper("fbf3").unwrap().sim.vcs, 2);
+    }
+
+    #[test]
+    fn buffer_presets_apply() {
+        let s = Setup::paper("sn54").unwrap();
+        let cbr = s.clone().with_buffers(BufferPreset::Cbr(20));
+        assert!(matches!(
+            cbr.sim.router_arch,
+            RouterArch::CentralBuffer { cb_flits: 20 }
+        ));
+        assert_eq!(cbr.sim.vcs, s.sim.vcs, "vcs preserved across preset");
+        let var = s.clone().with_buffers(BufferPreset::EbVar);
+        assert!(var.simulator().is_ok(), "EB-Var works with a layout");
+    }
+
+    #[test]
+    fn buffer_flits_per_router_values() {
+        let s = Setup::paper("sn54").unwrap();
+        // EB-Small: k' * vcs * 5 = 5 * 2 * 5.
+        assert_eq!(s.buffer_flits_per_router(), 50);
+        let cbr = s.clone().with_buffers(BufferPreset::Cbr(20));
+        // Eq. 6 per router: 20 + 2 * 5 * 2 = 40.
+        assert_eq!(cbr.buffer_flits_per_router(), 40);
+        let el = s.with_buffers(BufferPreset::ElLinks);
+        assert_eq!(el.buffer_flits_per_router(), 10);
+    }
+
+    #[test]
+    fn smart_toggles_h() {
+        let s = Setup::paper("sn54").unwrap();
+        assert_eq!(s.sim.smart_hops, 1);
+        assert_eq!(s.clone().with_smart(true).sim.smart_hops, 9);
+        assert_eq!(s.with_smart(true).with_smart(false).sim.smart_hops, 1);
+    }
+
+    #[test]
+    fn ugal_forces_four_vcs() {
+        let s = Setup::paper("sn_s")
+            .unwrap()
+            .with_routing(RoutingKind::UgalL);
+        assert_eq!(s.sim.vcs, 4);
+    }
+
+    #[test]
+    fn latency_load_curve_stops_at_saturation() {
+        let setup = Setup::paper("sn54").unwrap();
+        let loads = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+        let curve =
+            setup.latency_load_curve(TrafficPattern::Random, &loads, 300, 1_200);
+        assert!(!curve.is_empty());
+        // Monotone non-decreasing latency along the curve (tolerantly).
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].latency > pair[0].latency * 0.8,
+                "latency curve should trend upward"
+            );
+        }
+        // If saturation was hit, it is the last point.
+        for (i, p) in curve.iter().enumerate() {
+            if p.saturated {
+                assert_eq!(i, curve.len() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_throughput_is_positive_and_bounded() {
+        let setup = Setup::paper("sn54").unwrap();
+        let thpt = setup.saturation_throughput(TrafficPattern::Random, 300, 1_000);
+        assert!(thpt > 0.05, "throughput {thpt}");
+        assert!(thpt <= 1.0);
+    }
+
+    #[test]
+    fn trace_workload_runs() {
+        let setup = Setup::paper("sn54").unwrap();
+        let w = TraceWorkload::by_name("fft").unwrap();
+        let report = setup.run_trace_workload(&w, 2_000);
+        assert!(report.delivered_packets > 0, "{report}");
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!(Setup::paper("hyperx").is_err());
+    }
+}

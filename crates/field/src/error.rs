@@ -1,0 +1,116 @@
+//! Error type for finite-field construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing finite fields or Slim Fly parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// The requested order is not a prime power (finite fields only exist
+    /// for prime-power orders).
+    NotPrimePower {
+        /// The requested field order.
+        q: usize,
+    },
+    /// The requested order is too small to be a field (needs `q >= 2`).
+    OrderTooSmall {
+        /// The requested field order.
+        q: usize,
+    },
+    /// The supplied modulus polynomial is not irreducible over GF(p), so it
+    /// does not define a field.
+    ReducibleModulus {
+        /// The characteristic.
+        p: usize,
+        /// The encoded polynomial that failed the irreducibility test.
+        poly: Vec<usize>,
+    },
+    /// The supplied modulus polynomial has the wrong degree for the
+    /// requested extension.
+    WrongModulusDegree {
+        /// Expected degree (the extension degree `n` where `q = p^n`).
+        expected: usize,
+        /// Actual degree of the supplied polynomial.
+        actual: usize,
+    },
+    /// `q` does not satisfy the MMS constraint `q = 4w + u` with
+    /// `u ∈ {−1, 0, 1}` (the only exception the paper admits is `q = 2`).
+    NotMmsCompatible {
+        /// The requested parameter.
+        q: usize,
+    },
+    /// An element index was out of range for the field order.
+    NoSuchElement {
+        /// The requested element index.
+        index: usize,
+        /// The field order.
+        q: usize,
+    },
+    /// No valid generator sets `X`, `X'` could be found for this field.
+    ///
+    /// This indicates either an unsupported order or an internal search
+    /// failure; all orders used in the paper are supported.
+    NoGeneratorSets {
+        /// The field order for which the search failed.
+        q: usize,
+    },
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::NotPrimePower { q } => {
+                write!(f, "{q} is not a prime power, so GF({q}) does not exist")
+            }
+            FieldError::OrderTooSmall { q } => {
+                write!(f, "field order must be at least 2, got {q}")
+            }
+            FieldError::ReducibleModulus { p, poly } => {
+                write!(f, "polynomial {poly:?} is reducible over GF({p})")
+            }
+            FieldError::WrongModulusDegree { expected, actual } => {
+                write!(f, "modulus has degree {actual}, expected {expected}")
+            }
+            FieldError::NotMmsCompatible { q } => {
+                write!(f, "q = {q} is not of the form 4w + u with u in {{-1, 0, 1}}")
+            }
+            FieldError::NoSuchElement { index, q } => {
+                write!(f, "index {index} is out of range for GF({q})")
+            }
+            FieldError::NoGeneratorSets { q } => {
+                write!(f, "no valid MMS generator sets found for GF({q})")
+            }
+        }
+    }
+}
+
+impl Error for FieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            FieldError::NotPrimePower { q: 6 },
+            FieldError::OrderTooSmall { q: 1 },
+            FieldError::ReducibleModulus { p: 2, poly: vec![1, 0, 1] },
+            FieldError::WrongModulusDegree { expected: 2, actual: 3 },
+            FieldError::NotMmsCompatible { q: 6 },
+            FieldError::NoGeneratorSets { q: 6 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FieldError>();
+    }
+}

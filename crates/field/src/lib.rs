@@ -1,0 +1,53 @@
+//! Finite fields for the Slim NoC reproduction.
+//!
+//! Slim NoC builds its underlying MMS (McKay–Miller–Širáň) graphs from a
+//! finite field `GF(q)` where `q` is a prime *or a prime power*. The paper's
+//! key construction idea (§3.1, §3.5.2) is that non-prime fields such as
+//! `GF(4)`, `GF(8)` and `GF(9)` unlock network sizes that fit on-chip
+//! constraints (power-of-two node counts, equal group counts per die side).
+//!
+//! This crate provides:
+//!
+//! - [`Gf`]: a concrete finite field with full operation tables — addition,
+//!   multiplication, negation, inversion — built either from modular
+//!   arithmetic (prime `q`) or from polynomial arithmetic modulo an
+//!   irreducible polynomial (prime power `q`), exactly as the paper builds
+//!   its Table 3 by hand.
+//! - [`SlimFlyParams`]: the `q = 4w + u` parameterization with derived
+//!   network quantities (`N_r = 2q²`, `k' = (3q − u)/2`, …).
+//! - [`GeneratorSets`]: the generator sets `X` and `X'` that define
+//!   intra-subgroup connectivity (Eqs. 8–9 of the paper), with closed forms
+//!   for `u ∈ {0, 1}` and a verified search for `u = −1`.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_field::{Gf, SlimFlyParams};
+//!
+//! // GF(9): the non-prime field behind the paper's 1296-node SN-L design.
+//! let f9 = Gf::new(9)?;
+//! assert_eq!(f9.order(), 9);
+//! let xi = f9.generator();
+//! // ξ generates the multiplicative group: ξ^8 = 1 and no smaller power is 1.
+//! assert_eq!(f9.pow(xi, 8), f9.one());
+//!
+//! let params = SlimFlyParams::new(9)?;
+//! assert_eq!(params.router_count(), 162);
+//! assert_eq!(params.network_radix(), 13);
+//! # Ok::<(), snoc_field::FieldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gf;
+mod poly;
+mod prime;
+mod slimfly;
+
+pub use error::FieldError;
+pub use gf::{Elem, Gf};
+pub use poly::Poly;
+pub use prime::{factor_prime_power, is_prime, primes_below};
+pub use slimfly::{GeneratorSets, SlimFlyParams};

@@ -1,0 +1,387 @@
+//! Polynomials over GF(p) — the machinery behind non-prime fields.
+//!
+//! The paper (§3.5.2) builds `GF(9)` and `GF(8)` "by hand" via addition and
+//! multiplication tables. Those tables are exactly polynomial arithmetic
+//! modulo an irreducible polynomial; this module implements it so any
+//! prime-power field can be generated, not just the two in the paper.
+//!
+//! Elements of `GF(p^n)` are polynomials of degree `< n` with coefficients
+//! in `GF(p)`. A polynomial `c_0 + c_1 x + … + c_{n-1} x^{n-1}` is encoded
+//! as the integer `c_0 + c_1 p + … + c_{n-1} p^{n-1}`, which gives every
+//! element a canonical index in `0..p^n` — the same indexing the paper uses
+//! when it names `GF(9)` elements `{0, 1, 2, u, v, w, x, y, z}`.
+
+use std::fmt;
+
+/// A polynomial over GF(p), stored as coefficients in increasing degree
+/// order with no trailing zeros (the zero polynomial has no coefficients).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Poly {
+    p: usize,
+    coeffs: Vec<usize>,
+}
+
+impl Poly {
+    /// Creates a polynomial over GF(p) from coefficients in increasing
+    /// degree order. Coefficients are reduced modulo `p` and trailing zeros
+    /// are trimmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
+    #[must_use]
+    pub fn new(p: usize, coeffs: &[usize]) -> Self {
+        assert!(p >= 2, "characteristic must be at least 2");
+        let mut c: Vec<usize> = coeffs.iter().map(|&x| x % p).collect();
+        while c.last() == Some(&0) {
+            c.pop();
+        }
+        Poly { p, coeffs: c }
+    }
+
+    /// The zero polynomial over GF(p).
+    #[must_use]
+    pub fn zero(p: usize) -> Self {
+        Poly::new(p, &[])
+    }
+
+    /// Decodes an integer `code = c_0 + c_1 p + …` into a polynomial.
+    #[must_use]
+    pub fn from_code(p: usize, mut code: usize) -> Self {
+        let mut coeffs = Vec::new();
+        while code > 0 {
+            coeffs.push(code % p);
+            code /= p;
+        }
+        Poly::new(p, &coeffs)
+    }
+
+    /// Encodes this polynomial back into its canonical integer code.
+    #[must_use]
+    pub fn code(&self) -> usize {
+        let mut code = 0;
+        for &c in self.coeffs.iter().rev() {
+            code = code * self.p + c;
+        }
+        code
+    }
+
+    /// The characteristic `p` of the coefficient field.
+    #[must_use]
+    pub fn characteristic(&self) -> usize {
+        self.p
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient of `x^i` (zero beyond the degree).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> usize {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Polynomial addition in GF(p)[x].
+    #[must_use]
+    pub fn add(&self, other: &Poly) -> Poly {
+        assert_eq!(self.p, other.p, "mismatched characteristics");
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs: Vec<usize> = (0..n)
+            .map(|i| (self.coeff(i) + other.coeff(i)) % self.p)
+            .collect();
+        Poly::new(self.p, &coeffs)
+    }
+
+    /// Polynomial negation in GF(p)[x].
+    #[must_use]
+    pub fn neg(&self) -> Poly {
+        let coeffs: Vec<usize> = self
+            .coeffs
+            .iter()
+            .map(|&c| (self.p - c) % self.p)
+            .collect();
+        Poly::new(self.p, &coeffs)
+    }
+
+    /// Polynomial multiplication in GF(p)[x].
+    #[must_use]
+    pub fn mul(&self, other: &Poly) -> Poly {
+        assert_eq!(self.p, other.p, "mismatched characteristics");
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero(self.p);
+        }
+        let mut coeffs = vec![0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = (coeffs[i + j] + a * b) % self.p;
+            }
+        }
+        Poly::new(self.p, &coeffs)
+    }
+
+    /// Remainder of `self` divided by `modulus` in GF(p)[x].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or the characteristics differ.
+    #[must_use]
+    pub fn rem(&self, modulus: &Poly) -> Poly {
+        assert_eq!(self.p, modulus.p, "mismatched characteristics");
+        assert!(!modulus.is_zero(), "division by zero polynomial");
+        let mdeg = modulus.degree().expect("nonzero");
+        let lead = modulus.coeffs[mdeg];
+        let lead_inv = mod_inverse(lead, self.p);
+        let mut rem = self.coeffs.clone();
+        while rem.len() > mdeg {
+            let shift = rem.len() - 1 - mdeg;
+            let factor = (rem[rem.len() - 1] * lead_inv) % self.p;
+            if factor != 0 {
+                for (i, &mc) in modulus.coeffs.iter().enumerate() {
+                    let idx = i + shift;
+                    let sub = (factor * mc) % self.p;
+                    rem[idx] = (rem[idx] + self.p - sub) % self.p;
+                }
+            }
+            // The leading coefficient is now zero by construction.
+            rem.pop();
+            while rem.last() == Some(&0) {
+                rem.pop();
+            }
+            if rem.len() <= mdeg {
+                break;
+            }
+        }
+        Poly::new(self.p, &rem)
+    }
+
+    /// Evaluates the polynomial at a point of GF(p).
+    #[must_use]
+    pub fn eval(&self, x: usize) -> usize {
+        let x = x % self.p;
+        let mut acc = 0;
+        for &c in self.coeffs.iter().rev() {
+            acc = (acc * x + c) % self.p;
+        }
+        acc
+    }
+
+    /// Returns `true` if the polynomial is irreducible over GF(p).
+    ///
+    /// Uses trial division by all monic polynomials of degree up to
+    /// `deg/2` — entirely adequate for the small degrees used here.
+    #[must_use]
+    pub fn is_irreducible(&self) -> bool {
+        let Some(deg) = self.degree() else {
+            return false; // zero polynomial
+        };
+        if deg == 0 {
+            return false; // units are not irreducible
+        }
+        if deg == 1 {
+            return true;
+        }
+        // Degree 2 and 3 are irreducible iff they have no roots.
+        if deg <= 3 {
+            return (0..self.p).all(|x| self.eval(x) != 0);
+        }
+        // General trial division by monic polynomials of degree 1..=deg/2.
+        for d in 1..=deg / 2 {
+            let count = pow_usize(self.p, d);
+            for code in 0..count {
+                // Monic polynomial of degree d: lower coefficients from the
+                // code, leading coefficient 1.
+                let mut coeffs = Poly::from_code(self.p, code).coeffs;
+                coeffs.resize(d, 0);
+                coeffs.push(1);
+                let divisor = Poly::new(self.p, &coeffs);
+                if self.rem(&divisor).is_zero() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Finds the first irreducible monic polynomial of degree `n` over
+    /// GF(p), scanning lower-coefficient codes in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `p < 2`. An irreducible polynomial of every
+    /// positive degree exists over every prime field, so this always
+    /// returns for valid inputs.
+    #[must_use]
+    pub fn first_irreducible(p: usize, n: usize) -> Poly {
+        assert!(n >= 1, "degree must be positive");
+        assert!(p >= 2, "characteristic must be at least 2");
+        let count = pow_usize(p, n);
+        for code in 0..count {
+            let mut coeffs = Poly::from_code(p, code).coeffs;
+            coeffs.resize(n, 0);
+            coeffs.push(1);
+            let cand = Poly::new(p, &coeffs);
+            if cand.is_irreducible() {
+                return cand;
+            }
+        }
+        unreachable!("an irreducible polynomial of degree {n} exists over GF({p})")
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match (i, c) {
+                (0, c) => write!(f, "{c}")?,
+                (1, 1) => write!(f, "x")?,
+                (1, c) => write!(f, "{c}x")?,
+                (i, 1) => write!(f, "x^{i}")?,
+                (i, c) => write!(f, "{c}x^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Modular inverse of `a` modulo prime `p` via Fermat's little theorem.
+fn mod_inverse(a: usize, p: usize) -> usize {
+    mod_pow(a, p - 2, p)
+}
+
+fn mod_pow(mut base: usize, mut exp: usize, modulus: usize) -> usize {
+    let mut acc = 1;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+fn pow_usize(base: usize, exp: usize) -> usize {
+    let mut acc = 1usize;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base).expect("prime power overflow");
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for p in [2, 3, 5, 7] {
+            for code in 0..p * p * p {
+                let poly = Poly::from_code(p, code);
+                assert_eq!(poly.code(), code, "p = {p}, code = {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_neg_cancels() {
+        for code in 0..27 {
+            let poly = Poly::from_code(3, code);
+            assert!(poly.add(&poly.neg()).is_zero());
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let zero = Poly::zero(5);
+        let one = Poly::new(5, &[1]);
+        let poly = Poly::new(5, &[2, 3, 4]);
+        assert!(poly.mul(&zero).is_zero());
+        assert_eq!(poly.mul(&one), poly);
+    }
+
+    #[test]
+    fn rem_small_cases() {
+        // (x^2 + 1) mod (x + 1) over GF(3): substitute x = -1 = 2 -> 4 + 1 = 5 = 2.
+        let f = Poly::new(3, &[1, 0, 1]);
+        let m = Poly::new(3, &[1, 1]);
+        assert_eq!(f.rem(&m), Poly::new(3, &[2]));
+    }
+
+    #[test]
+    fn rem_degree_is_below_modulus() {
+        for code in 0..81 {
+            let f = Poly::from_code(3, code);
+            let m = Poly::new(3, &[1, 0, 1]); // x^2 + 1
+            let r = f.rem(&m);
+            assert!(r.degree().map_or(true, |d| d < 2));
+        }
+    }
+
+    #[test]
+    fn x2_plus_1_irreducible_over_gf3_not_gf5() {
+        // Over GF(3): no roots -> irreducible. Over GF(5): 2^2 + 1 = 0.
+        assert!(Poly::new(3, &[1, 0, 1]).is_irreducible());
+        assert!(!Poly::new(5, &[1, 0, 1]).is_irreducible());
+    }
+
+    #[test]
+    fn known_irreducibles_gf2() {
+        assert!(Poly::new(2, &[1, 1, 0, 1]).is_irreducible()); // x^3 + x + 1
+        assert!(Poly::new(2, &[1, 0, 1, 1]).is_irreducible()); // x^3 + x^2 + 1
+        assert!(!Poly::new(2, &[1, 0, 0, 1]).is_irreducible()); // x^3 + 1
+        assert!(Poly::new(2, &[1, 1, 0, 0, 1]).is_irreducible()); // x^4 + x + 1
+    }
+
+    #[test]
+    fn first_irreducible_has_right_degree() {
+        for (p, n) in [(2, 2), (2, 3), (2, 4), (2, 5), (3, 2), (3, 3), (5, 2), (7, 2)] {
+            let f = Poly::first_irreducible(p, n);
+            assert_eq!(f.degree(), Some(n));
+            assert!(f.is_irreducible());
+        }
+    }
+
+    #[test]
+    fn first_irreducible_gf9_is_x2_plus_1() {
+        // The paper's GF(9) table corresponds to x^2 + 1; our search order
+        // finds the same polynomial first.
+        assert_eq!(Poly::first_irreducible(3, 2), Poly::new(3, &[1, 0, 1]));
+    }
+
+    #[test]
+    fn eval_horner() {
+        let f = Poly::new(7, &[1, 2, 3]); // 3x^2 + 2x + 1
+        assert_eq!(f.eval(0), 1);
+        assert_eq!(f.eval(1), 6);
+        assert_eq!(f.eval(2), (3 * 4 + 2 * 2 + 1) % 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Poly::zero(3).to_string(), "0");
+        assert_eq!(Poly::new(3, &[1, 0, 1]).to_string(), "x^2 + 1");
+        assert_eq!(Poly::new(3, &[0, 2]).to_string(), "2x");
+        assert_eq!(Poly::new(2, &[1, 1, 0, 1]).to_string(), "x^3 + x + 1");
+    }
+}

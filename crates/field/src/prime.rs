@@ -1,0 +1,172 @@
+//! Primality testing and prime-power factorization.
+//!
+//! Slim NoC parameters `q` are always small (the paper analyzes `q ≤ 37`,
+//! and all its designs use `q ≤ 9`), so simple trial division is both
+//! sufficient and the easiest implementation to audit.
+
+/// Returns `true` if `n` is prime.
+///
+/// Uses trial division; intended for the small parameters that appear in
+/// Slim NoC configurations.
+///
+/// # Examples
+///
+/// ```
+/// use snoc_field::is_prime;
+/// assert!(is_prime(7));
+/// assert!(!is_prime(9));
+/// assert!(!is_prime(1));
+/// ```
+#[must_use]
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n < 4 {
+        return true;
+    }
+    if n % 2 == 0 {
+        return false;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Returns all primes strictly below `limit`, in increasing order.
+///
+/// # Examples
+///
+/// ```
+/// use snoc_field::primes_below;
+/// assert_eq!(primes_below(12), vec![2, 3, 5, 7, 11]);
+/// ```
+#[must_use]
+pub fn primes_below(limit: usize) -> Vec<usize> {
+    if limit < 3 {
+        return Vec::new();
+    }
+    let mut sieve = vec![true; limit];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2;
+    while i * i < limit {
+        if sieve[i] {
+            let mut j = i * i;
+            while j < limit {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(n, &p)| if p { Some(n) } else { None })
+        .collect()
+}
+
+/// If `q = p^n` for a prime `p` and `n >= 1`, returns `(p, n)`.
+///
+/// Returns `None` when `q` is not a prime power (including `q < 2`).
+///
+/// # Examples
+///
+/// ```
+/// use snoc_field::factor_prime_power;
+/// assert_eq!(factor_prime_power(9), Some((3, 2)));
+/// assert_eq!(factor_prime_power(8), Some((2, 3)));
+/// assert_eq!(factor_prime_power(7), Some((7, 1)));
+/// assert_eq!(factor_prime_power(6), None);
+/// ```
+#[must_use]
+pub fn factor_prime_power(q: usize) -> Option<(usize, usize)> {
+    if q < 2 {
+        return None;
+    }
+    // Find the smallest prime divisor, then check q is a pure power of it.
+    let mut p = 0;
+    let mut d = 2;
+    while d * d <= q {
+        if q % d == 0 {
+            p = d;
+            break;
+        }
+        d += 1;
+    }
+    if p == 0 {
+        // q itself is prime.
+        return Some((q, 1));
+    }
+    let mut rest = q;
+    let mut n = 0;
+    while rest % p == 0 {
+        rest /= p;
+        n += 1;
+    }
+    if rest == 1 {
+        Some((p, n))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<usize> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn primes_below_matches_is_prime() {
+        let sieved = primes_below(200);
+        let trial: Vec<usize> = (0..200).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieved, trial);
+    }
+
+    #[test]
+    fn primes_below_tiny_limits() {
+        assert!(primes_below(0).is_empty());
+        assert!(primes_below(2).is_empty());
+        assert_eq!(primes_below(3), vec![2]);
+    }
+
+    #[test]
+    fn prime_power_factorizations() {
+        assert_eq!(factor_prime_power(2), Some((2, 1)));
+        assert_eq!(factor_prime_power(4), Some((2, 2)));
+        assert_eq!(factor_prime_power(8), Some((2, 3)));
+        assert_eq!(factor_prime_power(9), Some((3, 2)));
+        assert_eq!(factor_prime_power(16), Some((2, 4)));
+        assert_eq!(factor_prime_power(25), Some((5, 2)));
+        assert_eq!(factor_prime_power(27), Some((3, 3)));
+        assert_eq!(factor_prime_power(32), Some((2, 5)));
+        assert_eq!(factor_prime_power(49), Some((7, 2)));
+        assert_eq!(factor_prime_power(121), Some((11, 2)));
+    }
+
+    #[test]
+    fn non_prime_powers_rejected() {
+        for q in [0, 1, 6, 10, 12, 15, 18, 20, 24, 36, 100] {
+            assert_eq!(factor_prime_power(q), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn all_paper_table2_inputs_are_prime_powers() {
+        // Input parameters q from Table 2 of the paper.
+        for q in [2, 3, 4, 5, 7, 8, 9] {
+            assert!(factor_prime_power(q).is_some(), "q = {q}");
+        }
+    }
+}

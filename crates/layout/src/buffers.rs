@@ -1,0 +1,249 @@
+//! Buffer-size models (§3.2.2): edge buffers sized by round-trip time,
+//! and central buffers of fixed size.
+
+use crate::Layout;
+use snoc_topology::{RouterId, Topology};
+
+/// Parameters of the buffer-size model.
+///
+/// The paper's edge-buffer size is `δ_ij = T_ij · b · |VC| / L` flits,
+/// with round-trip time `T_ij = 2⌈(|Δx| + |Δy|)/H⌉ + 3` (two cycles of
+/// router processing plus one of serialization). Links deliver one flit
+/// per link cycle (`b / L = 1` flit/cycle), so `δ_ij = T_ij · |VC|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferSpec {
+    /// Virtual channels per physical link (`|VC|`).
+    pub vcs: usize,
+    /// Tile hops traversed in one link cycle (`H`): 1 without SMART
+    /// links, typically 9 with SMART at 1 GHz in 45 nm (§5.1).
+    pub smart_hops: usize,
+}
+
+impl BufferSpec {
+    /// The paper's standard configuration: 2 VCs, no SMART.
+    #[must_use]
+    pub fn standard() -> Self {
+        BufferSpec {
+            vcs: 2,
+            smart_hops: 1,
+        }
+    }
+
+    /// The paper's SMART configuration: 2 VCs, `H = 9`.
+    #[must_use]
+    pub fn smart() -> Self {
+        BufferSpec {
+            vcs: 2,
+            smart_hops: 9,
+        }
+    }
+
+    /// Link traversal time in cycles for a wire of `dist` tile hops
+    /// (`⌈dist/H⌉`, minimum 1).
+    #[must_use]
+    pub fn link_cycles(&self, dist: usize) -> usize {
+        debug_assert!(self.smart_hops >= 1);
+        dist.div_ceil(self.smart_hops).max(1)
+    }
+
+    /// Round-trip time `T_ij = 2⌈dist/H⌉ + 3` in cycles.
+    #[must_use]
+    pub fn round_trip(&self, dist: usize) -> usize {
+        2 * self.link_cycles(dist) + 3
+    }
+
+    /// Edge-buffer size `δ_ij` in flits for a wire of `dist` tile hops.
+    #[must_use]
+    pub fn edge_buffer_flits(&self, dist: usize) -> usize {
+        self.round_trip(dist) * self.vcs
+    }
+}
+
+impl Default for BufferSpec {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Aggregated buffer-size results for one (topology, layout) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferModel {
+    per_router: Vec<usize>,
+    min_edge: usize,
+    max_edge: usize,
+}
+
+impl BufferModel {
+    /// Evaluates the edge-buffer model over all links (Eq. 5).
+    ///
+    /// Each undirected link contributes one buffer at each endpoint
+    /// (matching the paper's double sum over ordered pairs).
+    #[must_use]
+    pub fn edge_buffers(topo: &Topology, layout: &Layout, spec: BufferSpec) -> Self {
+        let mut per_router = vec![0usize; topo.router_count()];
+        let mut min_edge = usize::MAX;
+        let mut max_edge = 0usize;
+        for (a, b) in topo.links() {
+            let dist = layout.manhattan(a, b);
+            let flits = spec.edge_buffer_flits(dist);
+            per_router[a.index()] += flits;
+            per_router[b.index()] += flits;
+            min_edge = min_edge.min(flits);
+            max_edge = max_edge.max(flits);
+        }
+        if min_edge == usize::MAX {
+            min_edge = 0;
+        }
+        BufferModel {
+            per_router,
+            min_edge,
+            max_edge,
+        }
+    }
+
+    /// Total buffer flits in the network (`Δ_eb`, Eq. 5).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.per_router.iter().sum()
+    }
+
+    /// Average buffer flits per router — the quantity plotted in
+    /// Figs. 5b–5c ("total size of all buffers in one router").
+    #[must_use]
+    pub fn average_per_router(&self) -> f64 {
+        if self.per_router.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.per_router.len() as f64
+        }
+    }
+
+    /// Buffer flits at one router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn at(&self, r: RouterId) -> usize {
+        self.per_router[r.index()]
+    }
+
+    /// The smallest single edge buffer in the network (§3.2.2's uniform
+    /// manufacturing option 1).
+    #[must_use]
+    pub fn min_edge_buffer(&self) -> usize {
+        self.min_edge
+    }
+
+    /// The largest single edge buffer in the network (§3.2.2's uniform
+    /// manufacturing option 2).
+    #[must_use]
+    pub fn max_edge_buffer(&self) -> usize {
+        self.max_edge
+    }
+}
+
+/// Total central-buffer flits (`Δ_cb`, Eq. 6): every router holds one
+/// central buffer of `cb_flits` plus per-VC I/O staging buffers,
+/// `Δ_cb = N_r · (δ_cb + 2·k'·|VC|)`. Independent of wire lengths and of
+/// SMART links.
+#[must_use]
+pub fn total_central_buffers(topo: &Topology, cb_flits: usize, vcs: usize) -> usize {
+    topo.router_count() * per_router_central_buffers(topo, cb_flits, vcs)
+}
+
+/// Central-buffer flits in one router: `δ_cb + 2·k'·|VC|`.
+#[must_use]
+pub fn per_router_central_buffers(topo: &Topology, cb_flits: usize, vcs: usize) -> usize {
+    cb_flits + 2 * topo.network_radix() * vcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnLayout;
+    use snoc_topology::Topology;
+
+    #[test]
+    fn rtt_formula() {
+        let s = BufferSpec::standard();
+        // T = 2·dist + 3 without SMART.
+        assert_eq!(s.round_trip(1), 5);
+        assert_eq!(s.round_trip(4), 11);
+        // Zero-distance links still take one cycle.
+        assert_eq!(s.round_trip(0), 5);
+    }
+
+    #[test]
+    fn smart_divides_link_cycles() {
+        let s = BufferSpec::smart();
+        assert_eq!(s.link_cycles(9), 1);
+        assert_eq!(s.link_cycles(10), 2);
+        assert_eq!(s.link_cycles(18), 2);
+        assert_eq!(s.round_trip(9), 5);
+    }
+
+    #[test]
+    fn edge_buffer_scales_with_vcs() {
+        let one = BufferSpec { vcs: 1, smart_hops: 1 };
+        let two = BufferSpec { vcs: 2, smart_hops: 1 };
+        assert_eq!(two.edge_buffer_flits(5), 2 * one.edge_buffer_flits(5));
+    }
+
+    #[test]
+    fn mesh_buffer_totals() {
+        // 3x1 mesh, 2 links of length 1: δ = (2+3)·2 = 10 per endpoint.
+        let m = Topology::mesh(3, 1, 1);
+        let l = Layout::natural(&m);
+        let model = BufferModel::edge_buffers(&m, &l, BufferSpec::standard());
+        assert_eq!(model.total(), 4 * 10);
+        assert_eq!(model.at(snoc_topology::RouterId(1)), 20);
+        assert_eq!(model.min_edge_buffer(), 10);
+        assert_eq!(model.max_edge_buffer(), 10);
+    }
+
+    #[test]
+    fn smart_reduces_total_edge_buffers() {
+        let t = Topology::slim_noc(9, 8).unwrap();
+        let l = Layout::slim_noc(&t, SnLayout::Subgroup).unwrap();
+        let plain = BufferModel::edge_buffers(&t, &l, BufferSpec::standard());
+        let smart = BufferModel::edge_buffers(&t, &l, BufferSpec::smart());
+        assert!(smart.total() < plain.total());
+        // With H = 9 most SN-L wires become single-cycle, so buffers
+        // approach the minimum 5·|VC| = 10 per port.
+        assert!(smart.average_per_router() < plain.average_per_router());
+    }
+
+    #[test]
+    fn better_layouts_reduce_edge_buffers() {
+        // Fig. 5b: sn_subgr/sn_gr cut Δ_eb versus sn_basic/sn_rand.
+        let t = Topology::slim_noc(9, 8).unwrap();
+        let spec = BufferSpec::standard();
+        let total = |k: SnLayout| {
+            let l = Layout::slim_noc(&t, k).unwrap();
+            BufferModel::edge_buffers(&t, &l, spec).total()
+        };
+        assert!(total(SnLayout::Subgroup) < total(SnLayout::Basic));
+        assert!(total(SnLayout::Group) < total(SnLayout::Random(1)));
+    }
+
+    #[test]
+    fn central_buffer_total_matches_eq6() {
+        // SN-L: N_r = 162, k' = 13, |VC| = 2, δ_cb = 20:
+        // Δ_cb = 162 · (20 + 2·13·2) = 162 · 72.
+        let t = Topology::slim_noc(9, 8).unwrap();
+        assert_eq!(per_router_central_buffers(&t, 20, 2), 72);
+        assert_eq!(total_central_buffers(&t, 20, 2), 162 * 72);
+    }
+
+    #[test]
+    fn central_buffers_beat_edge_buffers_for_large_networks() {
+        // Figs. 5b-5c: CBs give the lowest total buffer size because δ_cb
+        // is independent of radix and RTT.
+        let t = Topology::slim_noc(9, 8).unwrap();
+        let l = Layout::slim_noc(&t, SnLayout::Group).unwrap();
+        let eb = BufferModel::edge_buffers(&t, &l, BufferSpec::standard());
+        let cb = total_central_buffers(&t, 40, 2);
+        assert!(cb < eb.total());
+    }
+}

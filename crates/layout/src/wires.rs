@@ -1,0 +1,238 @@
+//! Manhattan wire paths and the Eq. (3) wire-crossing constraint.
+//!
+//! Wires run along one of the two L-shaped Manhattan paths between the
+//! connected routers. The paper's tie-breaking rule (§3.2.1): the first
+//! segment (leaving router `i`) runs vertically when the vertical distance
+//! is the larger one, horizontally otherwise — formally, the path bends at
+//! `(x_i, y_j)` if `|x_i − x_j| > |y_i − y_j|` ("bottom-left" path `ϕ`),
+//! else at `(x_j, y_i)` ("top-right" path `ψ`).
+
+use crate::Layout;
+use snoc_topology::Topology;
+
+/// The L-shaped path of one wire: endpoints plus the bend tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePath {
+    /// Source tile.
+    pub from: (usize, usize),
+    /// Bend tile (equals an endpoint for straight wires).
+    pub bend: (usize, usize),
+    /// Destination tile.
+    pub to: (usize, usize),
+}
+
+impl WirePath {
+    /// All tiles covered by the wire, including both endpoints and the
+    /// bend, each exactly once.
+    #[must_use]
+    pub fn tiles(&self) -> Vec<(usize, usize)> {
+        let mut tiles = Vec::new();
+        push_segment(&mut tiles, self.from, self.bend);
+        push_segment(&mut tiles, self.bend, self.to);
+        tiles.dedup();
+        // The two segments share only the bend; dedup on the joined list
+        // removes that single duplicate because it is adjacent.
+        tiles
+    }
+
+    /// Manhattan length of the path in tile hops.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.from.0.abs_diff(self.to.0) + self.from.1.abs_diff(self.to.1)
+    }
+}
+
+fn push_segment(out: &mut Vec<(usize, usize)>, a: (usize, usize), b: (usize, usize)) {
+    if a.0 == b.0 {
+        let (lo, hi) = (a.1.min(b.1), a.1.max(b.1));
+        if a.1 <= b.1 {
+            out.extend((lo..=hi).map(|y| (a.0, y)));
+        } else {
+            out.extend((lo..=hi).rev().map(|y| (a.0, y)));
+        }
+    } else {
+        debug_assert_eq!(a.1, b.1, "segment must be axis-aligned");
+        let (lo, hi) = (a.0.min(b.0), a.0.max(b.0));
+        if a.0 <= b.0 {
+            out.extend((lo..=hi).map(|x| (x, a.1)));
+        } else {
+            out.extend((lo..=hi).rev().map(|x| (x, a.1)));
+        }
+    }
+}
+
+/// Computes the wire path between two tiles using the paper's
+/// tie-breaking rule.
+#[must_use]
+pub(crate) fn wire_path(from: (usize, usize), to: (usize, usize)) -> WirePath {
+    let dx = from.0.abs_diff(to.0);
+    let dy = from.1.abs_diff(to.1);
+    // Φ = 1 (bend at (x_i, y_j), vertical first) when |Δx| > |Δy|;
+    // Ψ = 1 (bend at (x_j, y_i), horizontal first) when |Δx| ≤ |Δy|.
+    let bend = if dx > dy {
+        (from.0, to.1)
+    } else {
+        (to.0, from.1)
+    };
+    WirePath { from, bend, to }
+}
+
+/// Wire statistics for a layout: per-tile crossing counts and the Eq. (3)
+/// check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// Grid extent `(X, Y)`.
+    pub grid: (usize, usize),
+    /// `crossings[y * X + x]` = number of wires over tile `(x, y)`
+    /// (endpoints and bends included, as in the paper's ϕ/ψ formulation).
+    pub crossings: Vec<usize>,
+    /// Maximum crossing count over all tiles — the layout's `max W`
+    /// plotted in Fig. 5d.
+    pub max_crossings: usize,
+    /// Total wire length in tile hops (the sum in Eq. 4's numerator).
+    pub total_wire_length: usize,
+}
+
+impl WireStats {
+    /// Crossing count at a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is outside the grid.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.grid.0 && y < self.grid.1, "tile out of grid");
+        self.crossings[y * self.grid.0 + x]
+    }
+
+    /// Verifies the technology constraint of Eq. (3): every tile's
+    /// crossing count is at most `w_limit`.
+    #[must_use]
+    pub fn satisfies_limit(&self, w_limit: usize) -> bool {
+        self.max_crossings <= w_limit
+    }
+}
+
+pub(crate) fn wire_stats(layout: &Layout, topo: &Topology) -> WireStats {
+    let grid = layout.grid();
+    let mut crossings = vec![0usize; grid.0 * grid.1];
+    let mut total = 0usize;
+    for (a, b) in topo.links() {
+        let path = wire_path(layout.coord(a), layout.coord(b));
+        total += path.length();
+        for (x, y) in path.tiles() {
+            crossings[y * grid.0 + x] += 1;
+        }
+    }
+    let max_crossings = crossings.iter().copied().max().unwrap_or(0);
+    WireStats {
+        grid,
+        crossings,
+        max_crossings,
+        total_wire_length: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layout, SnLayout};
+    use snoc_topology::Topology;
+
+    #[test]
+    fn straight_wire_tiles() {
+        let p = wire_path((1, 1), (4, 1));
+        assert_eq!(p.length(), 3);
+        assert_eq!(p.tiles(), vec![(1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn vertical_first_when_dx_larger() {
+        // |Δx| = 3 > |Δy| = 1 → bend at (x_i, y_j): vertical first.
+        let p = wire_path((0, 0), (3, 1));
+        assert_eq!(p.bend, (0, 1));
+        let tiles = p.tiles();
+        assert_eq!(tiles.first(), Some(&(0, 0)));
+        assert_eq!(tiles[1], (0, 1), "first move is vertical");
+        assert_eq!(tiles.last(), Some(&(3, 1)));
+        assert_eq!(tiles.len(), p.length() + 1);
+    }
+
+    #[test]
+    fn horizontal_first_when_dy_larger_or_equal() {
+        // |Δx| = 1 ≤ |Δy| = 3 → bend at (x_j, y_i): horizontal first.
+        let p = wire_path((0, 0), (1, 3));
+        assert_eq!(p.bend, (1, 0));
+        let tiles = p.tiles();
+        assert_eq!(tiles[1], (1, 0), "first move is horizontal");
+        assert_eq!(tiles.len(), p.length() + 1);
+    }
+
+    #[test]
+    fn paper_example_wire_placement() {
+        // §3.2.1 worked example: routers A, B with |x_A − x_B| > |y_A − y_B|
+        // place the wire over the tile (x_A, y_B).
+        let a = (2, 5);
+        let b = (7, 3);
+        let p = wire_path(a, b);
+        assert!(p.tiles().contains(&(2, 3)));
+    }
+
+    #[test]
+    fn path_tiles_are_unique_and_contiguous() {
+        let p = wire_path((5, 2), (1, 7));
+        let tiles = p.tiles();
+        let mut sorted = tiles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tiles.len(), "no duplicate tiles");
+        for w in tiles.windows(2) {
+            let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+            assert_eq!(d, 1, "tiles are grid-adjacent");
+        }
+    }
+
+    #[test]
+    fn zero_length_wire() {
+        let p = wire_path((3, 3), (3, 3));
+        assert_eq!(p.length(), 0);
+        assert_eq!(p.tiles(), vec![(3, 3)]);
+    }
+
+    #[test]
+    fn crossing_counts_mesh() {
+        // 3x1 mesh: link (0,1) covers tiles 0,1; link (1,2) covers 1,2.
+        let m = Topology::mesh(3, 1, 1);
+        let l = Layout::natural(&m);
+        let s = l.wire_stats(&m);
+        assert_eq!(s.at(0, 0), 1);
+        assert_eq!(s.at(1, 0), 2);
+        assert_eq!(s.at(2, 0), 1);
+        assert_eq!(s.max_crossings, 2);
+        assert_eq!(s.total_wire_length, 2);
+    }
+
+    #[test]
+    fn total_wire_length_matches_average() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let l = Layout::slim_noc(&t, SnLayout::Subgroup).unwrap();
+        let s = l.wire_stats(&t);
+        let m = l.average_wire_length(&t);
+        assert!(
+            (m - s.total_wire_length as f64 / t.link_count() as f64).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn better_layouts_do_not_increase_max_crossings_wildly() {
+        // Sanity: subgroup layout's max W stays within the same order of
+        // magnitude as basic (Fig. 5d shows all layouts far below the
+        // bound).
+        let t = Topology::slim_noc(9, 1).unwrap();
+        let basic = Layout::slim_noc(&t, SnLayout::Basic).unwrap().wire_stats(&t);
+        let subgr = Layout::slim_noc(&t, SnLayout::Subgroup)
+            .unwrap()
+            .wire_stats(&t);
+        assert!(subgr.max_crossings <= 2 * basic.max_crossings);
+    }
+}

@@ -1,0 +1,176 @@
+//! Flits and packets.
+
+use snoc_topology::{NodeId, RouterId};
+use std::fmt;
+
+/// Unique packet identifier (monotonic per simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing state.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases resources.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit starts a packet.
+    #[must_use]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit ends a packet.
+    #[must_use]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flit in flight.
+///
+/// All routing state lives on the flit so body flits can follow their
+/// head through the wormhole (in hardware only the head carries it; the
+/// duplication here is a simulator convenience).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Destination router (cached from the topology).
+    pub dst_router: RouterId,
+    /// Valiant intermediate router for UGAL non-minimal routes.
+    pub intermediate: Option<RouterId>,
+    /// Whether the Valiant intermediate has been reached.
+    pub intermediate_done: bool,
+    /// Router hops completed so far (selects the VC layer).
+    pub hops: u32,
+    /// Cycle the packet was created (start of latency measurement).
+    pub created: u64,
+    /// Cycle the head entered the network (left the injection queue).
+    pub injected: u64,
+    /// Packet length in flits.
+    pub packet_len: u32,
+    /// `true` if this packet belongs to the measured phase (injected
+    /// after warmup).
+    pub measured: bool,
+    /// Trace integration: `true` if delivery must trigger a reply packet.
+    pub wants_reply: bool,
+}
+
+impl Flit {
+    /// Builds the `len` flits of one packet, in order.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn packet(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        dst_router: RouterId,
+        len: u32,
+        created: u64,
+        measured: bool,
+        wants_reply: bool,
+    ) -> Vec<Flit> {
+        assert!(len >= 1, "packets need at least one flit");
+        (0..len)
+            .map(|i| Flit {
+                packet: id,
+                kind: match (i, len) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, l) if i == l - 1 => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                },
+                src,
+                dst,
+                dst_router,
+                intermediate: None,
+                intermediate_done: false,
+                hops: 0,
+                created,
+                injected: created,
+                packet_len: len,
+                measured,
+                wants_reply,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let flits = Flit::packet(
+            PacketId(1),
+            NodeId(0),
+            NodeId(5),
+            RouterId(1),
+            1,
+            10,
+            true,
+            false,
+        );
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head() && flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn six_flit_packet_structure() {
+        let flits = Flit::packet(
+            PacketId(2),
+            NodeId(3),
+            NodeId(9),
+            RouterId(2),
+            6,
+            0,
+            false,
+            true,
+        );
+        assert_eq!(flits.len(), 6);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[5].kind, FlitKind::Tail);
+        for f in &flits[1..5] {
+            assert_eq!(f.kind, FlitKind::Body);
+        }
+        assert!(flits.iter().all(|f| f.wants_reply));
+        assert!(flits.iter().all(|f| f.packet_len == 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_panics() {
+        let _ = Flit::packet(
+            PacketId(0),
+            NodeId(0),
+            NodeId(1),
+            RouterId(0),
+            0,
+            0,
+            false,
+            false,
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Link channels: credited pipelined wires and elastic (ElastiStore)
+//! pipelines.
+//!
+//! A physical link between two routers is modeled as two unidirectional
+//! [`Channel`]s. Channel latency in cycles is `⌈dist/H⌉` where `dist` is
+//! the Manhattan wire length in tiles and `H` the SMART hops-per-cycle
+//! (§3.2.2); without a layout every link is one cycle.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+
+/// A unidirectional link channel.
+#[derive(Debug, Clone)]
+pub(crate) enum Channel {
+    /// Ideal pipelined wire with credit-based end-to-end flow control:
+    /// any number of flits may be in flight; the sender's credit counter
+    /// bounds them by the downstream buffer size.
+    Credited {
+        /// Latency in cycles.
+        latency: u64,
+        /// In-flight flits tagged with arrival cycle and VC.
+        in_flight: VecDeque<(u64, usize, Flit)>,
+        /// In-flight credits (returning upstream) tagged with arrival
+        /// cycle and VC.
+        credits: VecDeque<(u64, usize)>,
+    },
+    /// Elastic-buffer link (EL-Links with ElastiStore, §4.2): `latency`
+    /// pipeline stages, each with one slave latch per VC; the shared
+    /// master latch lets at most one flit advance per stage per cycle.
+    Elastic {
+        /// `stages[s][vc]`: the slave latch of stage `s` for `vc`.
+        stages: Vec<Vec<Option<Flit>>>,
+        /// Round-robin pointer per stage for the shared master latch.
+        rr: Vec<usize>,
+    },
+}
+
+impl Channel {
+    pub(crate) fn credited(latency: u64) -> Self {
+        Channel::Credited {
+            latency: latency.max(1),
+            in_flight: VecDeque::new(),
+            credits: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn elastic(latency: u64, vcs: usize) -> Self {
+        let stages = (0..latency.max(1)).map(|_| vec![None; vcs]).collect();
+        Channel::Elastic {
+            stages,
+            rr: vec![0; latency.max(1) as usize],
+        }
+    }
+
+    /// Latency in cycles.
+    pub(crate) fn latency(&self) -> u64 {
+        match self {
+            Channel::Credited { latency, .. } => *latency,
+            Channel::Elastic { stages, .. } => stages.len() as u64,
+        }
+    }
+
+    /// Whether the sender may push a flit on `vc` this cycle.
+    ///
+    /// Credited channels always accept (the sender's credit counter is
+    /// the real limit); elastic channels accept when stage 0's slave
+    /// latch for `vc` is free.
+    pub(crate) fn can_accept(&self, vc: usize) -> bool {
+        match self {
+            Channel::Credited { .. } => true,
+            Channel::Elastic { stages, .. } => stages[0][vc].is_none(),
+        }
+    }
+
+    /// Pushes a flit into the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics (elastic mode) if stage 0 is occupied — callers must check
+    /// [`Channel::can_accept`].
+    pub(crate) fn push(&mut self, now: u64, vc: usize, flit: Flit) {
+        match self {
+            Channel::Credited {
+                latency, in_flight, ..
+            } => in_flight.push_back((now + *latency, vc, flit)),
+            Channel::Elastic { stages, .. } => {
+                assert!(stages[0][vc].is_none(), "elastic stage 0 busy");
+                stages[0][vc] = Some(flit);
+            }
+        }
+    }
+
+    /// Pushes a credit upstream (credited mode only; no-op for elastic).
+    pub(crate) fn push_credit(&mut self, now: u64, vc: usize) {
+        if let Channel::Credited {
+            latency, credits, ..
+        } = self
+        {
+            credits.push_back((now + *latency, vc));
+        }
+    }
+
+    /// Advances the elastic pipeline by one cycle, except the final
+    /// stage (drained by [`Channel::pop_deliverable`]). At most one flit
+    /// advances per stage (shared master latch).
+    pub(crate) fn tick(&mut self) {
+        if let Channel::Elastic { stages, rr } = self {
+            // Advance from the tail towards the head so a slot freed this
+            // cycle can be refilled next cycle only (one-stage-per-cycle).
+            for s in (0..stages.len().saturating_sub(1)).rev() {
+                let vcs = stages[s].len();
+                let start = rr[s];
+                for i in 0..vcs {
+                    let vc = (start + i) % vcs;
+                    if stages[s][vc].is_some() && stages[s + 1][vc].is_none() {
+                        let flit = stages[s][vc].take();
+                        stages[s + 1][vc] = flit;
+                        rr[s] = (vc + 1) % vcs;
+                        break; // shared master: one advance per stage
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops one flit that has arrived at the receiver, if any.
+    ///
+    /// `accept(vc)` tells the channel whether the receiver has space on
+    /// that VC; elastic channels leave blocked flits in the final stage
+    /// (backpressure), credited channels assert acceptance (credits
+    /// guarantee space).
+    pub(crate) fn pop_deliverable(
+        &mut self,
+        now: u64,
+        mut accept: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, Flit)> {
+        match self {
+            Channel::Credited { in_flight, .. } => {
+                if let Some(&(when, vc, _)) = in_flight.front() {
+                    if when <= now {
+                        assert!(accept(vc), "credited delivery must have space");
+                        let (_, vc, flit) = in_flight.pop_front().expect("checked");
+                        return Some((vc, flit));
+                    }
+                }
+                None
+            }
+            Channel::Elastic { stages, rr } => {
+                let last = stages.len() - 1;
+                let vcs = stages[last].len();
+                let start = rr[last];
+                for i in 0..vcs {
+                    let vc = (start + i) % vcs;
+                    if stages[last][vc].is_some() && accept(vc) {
+                        rr[last] = (vc + 1) % vcs;
+                        return stages[last][vc].take().map(|f| (vc, f));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Pops all credits that have arrived by `now` (credited mode).
+    pub(crate) fn pop_credits(&mut self, now: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Channel::Credited { credits, .. } = self {
+            while let Some(&(when, vc)) = credits.front() {
+                if when <= now {
+                    credits.pop_front();
+                    out.push(vc);
+                } else {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of flits currently inside the channel (for occupancy-based
+    /// adaptive routing and drain checks).
+    pub(crate) fn occupancy(&self) -> usize {
+        match self {
+            Channel::Credited { in_flight, .. } => in_flight.len(),
+            Channel::Elastic { stages, .. } => stages
+                .iter()
+                .map(|s| s.iter().filter(|x| x.is_some()).count())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId};
+    use snoc_topology::{NodeId, RouterId};
+
+    fn flit(n: u64) -> Flit {
+        Flit {
+            packet: PacketId(n),
+            kind: FlitKind::HeadTail,
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_router: RouterId(1),
+            intermediate: None,
+            intermediate_done: false,
+            hops: 0,
+            created: 0,
+            injected: 0,
+            packet_len: 1,
+            measured: true,
+            wants_reply: false,
+        }
+    }
+
+    #[test]
+    fn credited_delivers_after_latency() {
+        let mut ch = Channel::credited(3);
+        ch.push(10, 0, flit(1));
+        assert!(ch.pop_deliverable(12, |_| true).is_none());
+        let (vc, f) = ch.pop_deliverable(13, |_| true).unwrap();
+        assert_eq!(vc, 0);
+        assert_eq!(f.packet, PacketId(1));
+        assert!(ch.pop_deliverable(14, |_| true).is_none());
+    }
+
+    #[test]
+    fn credited_preserves_order() {
+        let mut ch = Channel::credited(2);
+        ch.push(0, 0, flit(1));
+        ch.push(1, 1, flit(2));
+        assert_eq!(
+            ch.pop_deliverable(2, |_| true).unwrap().1.packet,
+            PacketId(1)
+        );
+        assert_eq!(
+            ch.pop_deliverable(3, |_| true).unwrap().1.packet,
+            PacketId(2)
+        );
+    }
+
+    #[test]
+    fn credit_return_is_delayed() {
+        let mut ch = Channel::credited(4);
+        ch.push_credit(5, 1);
+        assert!(ch.pop_credits(8).is_empty());
+        assert_eq!(ch.pop_credits(9), vec![1]);
+        assert!(ch.pop_credits(10).is_empty());
+    }
+
+    #[test]
+    fn elastic_pipeline_advances_one_stage_per_cycle() {
+        let mut ch = Channel::elastic(3, 2);
+        assert!(ch.can_accept(0));
+        ch.push(0, 0, flit(7));
+        assert!(!ch.can_accept(0));
+        assert!(ch.can_accept(1), "other VC slot still free");
+        // After one tick the flit is in stage 1; after two, stage 2
+        // (final). Only then is it deliverable.
+        ch.tick();
+        assert!(ch.pop_deliverable(2, |_| true).is_none());
+        ch.tick();
+        let (vc, f) = ch.pop_deliverable(3, |_| true).unwrap();
+        assert_eq!((vc, f.packet), (0, PacketId(7)));
+    }
+
+    #[test]
+    fn elastic_backpressure_holds_flit_in_final_stage() {
+        let mut ch = Channel::elastic(1, 1);
+        ch.push(0, 0, flit(1));
+        // Receiver refuses: flit stays, stage 0 remains blocked.
+        assert!(ch.pop_deliverable(1, |_| false).is_none());
+        assert!(!ch.can_accept(0));
+        // Receiver accepts later.
+        assert!(ch.pop_deliverable(2, |_| true).is_some());
+        assert!(ch.can_accept(0));
+    }
+
+    #[test]
+    fn elastic_shared_master_admits_one_advance_per_stage() {
+        let mut ch = Channel::elastic(2, 2);
+        ch.push(0, 0, flit(1));
+        ch.push(0, 1, flit(2));
+        ch.tick(); // only one of the two can advance to stage 1
+        let advanced = !ch.can_accept(0) as usize + !ch.can_accept(1) as usize;
+        assert_eq!(advanced, 1, "one VC still occupies stage 0");
+    }
+
+    #[test]
+    fn elastic_round_robin_alternates_vcs() {
+        let mut ch = Channel::elastic(1, 2);
+        ch.push(0, 0, flit(1));
+        ch.push(0, 1, flit(2));
+        let (vc1, _) = ch.pop_deliverable(1, |_| true).unwrap();
+        let (vc2, _) = ch.pop_deliverable(2, |_| true).unwrap();
+        assert_ne!(vc1, vc2, "round-robin serves both VCs");
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut ch = Channel::credited(2);
+        assert_eq!(ch.occupancy(), 0);
+        ch.push(0, 0, flit(1));
+        ch.push(0, 1, flit(2));
+        assert_eq!(ch.occupancy(), 2);
+        ch.pop_deliverable(2, |_| true);
+        assert_eq!(ch.occupancy(), 1);
+    }
+}

@@ -1,0 +1,895 @@
+//! Router microarchitectures: the 2-stage edge-buffer router and the
+//! Central Buffer Router (§4).
+//!
+//! Port conventions for a router with network radix `k'` and
+//! concentration `p`:
+//!
+//! - **input ports** `0..k'` receive from neighbor routers, ports
+//!   `k'..k'+p` are injection ports from local nodes;
+//! - **output ports** `0..k'` send to neighbor routers, ports
+//!   `k'..k'+p` are ejection ports to local nodes.
+//!
+//! Both architectures share the output side: a one-entry switch-traversal
+//! (ST) register per output port, per-VC wormhole output allocation, and
+//! credit counters toward downstream buffers (credited links).
+
+use crate::config::{LinkMode, RouterArch};
+use crate::flit::Flit;
+use crate::routing::{RouteDecision, RoutingTable};
+use snoc_topology::RouterId;
+use std::collections::VecDeque;
+
+/// A flit sitting in the ST register, ready to traverse the switch onto
+/// its output channel in the current cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StFlit {
+    pub flit: Flit,
+    pub out_vc: usize,
+}
+
+/// Per-input-VC state of an edge-buffer router.
+#[derive(Debug, Clone, Default)]
+struct InputVc {
+    buf: VecDeque<Flit>,
+    /// Route held from head to tail of the current packet.
+    route: Option<RouteDecision>,
+}
+
+/// Packet path through a CBR (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CbMode {
+    Bypass,
+    Central,
+}
+
+/// Per-input-VC state of a central-buffer router.
+#[derive(Debug, Clone, Default)]
+struct StagingVc {
+    slot: Option<Flit>,
+    route: Option<RouteDecision>,
+    mode: Option<CbMode>,
+}
+
+/// A flit parked in the central buffer with its eligibility cycle.
+#[derive(Debug, Clone, Copy)]
+struct CbFlit {
+    flit: Flit,
+    eligible_at: u64,
+}
+
+#[derive(Debug, Clone)]
+enum ArchState {
+    Edge {
+        /// `[in_port][vc]`.
+        inputs: Vec<Vec<InputVc>>,
+        /// Per-VC input buffer capacity per network input port (injection
+        /// ports use the same capacity).
+        capacity: Vec<usize>,
+    },
+    Cb {
+        /// `[in_port][vc]` single-flit staging.
+        staging: Vec<Vec<StagingVc>>,
+        /// Virtual output queues in the CB: `[out_port][vc]`.
+        queues: Vec<Vec<VecDeque<CbFlit>>>,
+        /// Packet currently streaming through each CB queue (head
+        /// admitted, tail not yet). A new head may enter a queue only
+        /// when this is `None` — flits of two packets must never
+        /// interleave within one queue, or each would deadlock waiting
+        /// for the other (§4.3's atomicity requirement).
+        open_pkt: Vec<Vec<Option<crate::flit::PacketId>>>,
+        /// Remaining unreserved CB space in flits.
+        free: usize,
+        /// Round-robin over outputs for the single CB read port.
+        rr_read: usize,
+        /// Round-robin over inputs for the single CB write port.
+        rr_write: usize,
+    },
+}
+
+/// One router instance.
+#[derive(Debug, Clone)]
+pub(crate) struct RouterCore {
+    pub id: RouterId,
+    pub net_ports: usize,
+    pub local_ports: usize,
+    pub vcs: usize,
+    credited: bool,
+    arch: ArchState,
+    /// ST register per output port (`net_ports + local_ports`).
+    st: Vec<Option<StFlit>>,
+    /// Wormhole output-VC allocation per network output port.
+    out_pkt: Vec<Vec<Option<crate::flit::PacketId>>>,
+    /// Credits toward downstream per network output port and VC.
+    out_credits: Vec<Vec<usize>>,
+    /// Round-robin pointer per input port (VC selection).
+    rr_in: Vec<usize>,
+    /// Round-robin pointer per output port (input selection).
+    rr_out: Vec<usize>,
+}
+
+/// Resource release information produced by the allocation phase.
+#[derive(Debug, Default)]
+pub(crate) struct AllocResult {
+    /// Network input ports whose buffer freed one slot: `(port, vc)` —
+    /// the network returns one credit upstream for each.
+    pub freed_inputs: Vec<(usize, usize)>,
+    /// Injection input ports that freed a slot: `(local_index, vc)`.
+    pub freed_injection: Vec<(usize, usize)>,
+    /// Number of buffer read+write pairs performed (activity counter).
+    pub buffer_accesses: u64,
+    /// Number of central-buffer writes (activity counter).
+    pub cb_writes: u64,
+    /// Number of central-buffer reads (activity counter).
+    pub cb_reads: u64,
+    /// Flits that took the bypass path this cycle (activity counter).
+    pub bypasses: u64,
+}
+
+impl RouterCore {
+    /// Builds a router. `input_capacity[port]` gives the per-VC buffer
+    /// capacity of each network input port (RTT-sized buffers differ per
+    /// port); injection ports use `inj_capacity`.
+    pub(crate) fn new(
+        id: RouterId,
+        net_ports: usize,
+        local_ports: usize,
+        vcs: usize,
+        arch: RouterArch,
+        link_mode: LinkMode,
+        input_capacity: &[usize],
+        inj_capacity: usize,
+    ) -> Self {
+        assert_eq!(input_capacity.len(), net_ports, "one capacity per port");
+        let in_ports = net_ports + local_ports;
+        let out_ports = net_ports + local_ports;
+        let arch = match arch {
+            RouterArch::EdgeBuffer => {
+                let mut capacity: Vec<usize> = input_capacity.to_vec();
+                capacity.extend(std::iter::repeat_n(inj_capacity, local_ports));
+                ArchState::Edge {
+                    inputs: (0..in_ports)
+                        .map(|_| vec![InputVc::default(); vcs])
+                        .collect(),
+                    capacity,
+                }
+            }
+            RouterArch::CentralBuffer { cb_flits } => ArchState::Cb {
+                staging: (0..in_ports)
+                    .map(|_| vec![StagingVc::default(); vcs])
+                    .collect(),
+                queues: (0..out_ports)
+                    .map(|_| (0..vcs).map(|_| VecDeque::new()).collect())
+                    .collect(),
+                open_pkt: vec![vec![None; vcs]; out_ports],
+                free: cb_flits,
+                rr_read: 0,
+                rr_write: 0,
+            },
+        };
+        RouterCore {
+            id,
+            net_ports,
+            local_ports,
+            vcs,
+            credited: link_mode == LinkMode::Credited,
+            arch,
+            st: vec![None; out_ports],
+            out_pkt: vec![vec![None; vcs]; net_ports],
+            out_credits: vec![Vec::new(); net_ports],
+            rr_in: vec![0; in_ports],
+            rr_out: vec![0; out_ports],
+        }
+    }
+
+    /// Initializes credit counters for a network output port.
+    pub(crate) fn set_credits(&mut self, out_port: usize, per_vc: usize) {
+        self.out_credits[out_port] = vec![per_vc; self.vcs];
+    }
+
+    /// Adds one returned credit.
+    pub(crate) fn add_credit(&mut self, out_port: usize, vc: usize) {
+        self.out_credits[out_port][vc] += 1;
+    }
+
+    /// Whether input `port` can accept a flit on `vc` right now.
+    pub(crate) fn can_deliver(&self, port: usize, vc: usize) -> bool {
+        match &self.arch {
+            ArchState::Edge { inputs, capacity } => inputs[port][vc].buf.len() < capacity[port],
+            ArchState::Cb { staging, .. } => staging[port][vc].slot.is_none(),
+        }
+    }
+
+    /// Deposits an arriving flit into input `port`, VC `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has no space ([`RouterCore::can_deliver`]).
+    pub(crate) fn deliver(&mut self, port: usize, vc: usize, mut flit: Flit) {
+        // Valiant bookkeeping: reaching the intermediate re-targets the
+        // flit at its true destination.
+        if flit.intermediate == Some(self.id) {
+            flit.intermediate_done = true;
+        }
+        match &mut self.arch {
+            ArchState::Edge { inputs, capacity } => {
+                assert!(
+                    inputs[port][vc].buf.len() < capacity[port],
+                    "input buffer overflow at {} port {port} vc {vc}",
+                    self.id
+                );
+                inputs[port][vc].buf.push_back(flit);
+            }
+            ArchState::Cb { staging, .. } => {
+                assert!(
+                    staging[port][vc].slot.is_none(),
+                    "staging overflow at {} port {port} vc {vc}",
+                    self.id
+                );
+                staging[port][vc].slot = Some(flit);
+            }
+        }
+    }
+
+    /// Drains the ST registers: returns the flits traversing the switch
+    /// this cycle, by output port.
+    pub(crate) fn take_st(&mut self) -> Vec<(usize, StFlit)> {
+        let mut out = Vec::new();
+        for (port, slot) in self.st.iter_mut().enumerate() {
+            if let Some(st) = slot.take() {
+                out.push((port, st));
+            }
+        }
+        out
+    }
+
+    /// Occupancy of an output direction (ST register + consumed credits),
+    /// used by adaptive routing as the local congestion signal.
+    pub(crate) fn output_occupancy(&self, out_port: usize, init_credits: usize) -> usize {
+        let st = usize::from(self.st[out_port].is_some());
+        if self.credited && out_port < self.net_ports {
+            let held: usize = self.out_credits[out_port].iter().sum();
+            let total = init_credits * self.vcs;
+            st + total.saturating_sub(held)
+        } else {
+            st
+        }
+    }
+
+    /// Total flits buffered inside the router (drain detection).
+    pub(crate) fn buffered_flits(&self) -> usize {
+        let inside: usize = match &self.arch {
+            ArchState::Edge { inputs, .. } => inputs
+                .iter()
+                .flat_map(|p| p.iter().map(|v| v.buf.len()))
+                .sum(),
+            ArchState::Cb { staging, queues, .. } => {
+                let s: usize = staging
+                    .iter()
+                    .flat_map(|p| p.iter().map(|v| usize::from(v.slot.is_some())))
+                    .sum();
+                let q: usize = queues
+                    .iter()
+                    .flat_map(|p| p.iter().map(VecDeque::len))
+                    .sum();
+                s + q
+            }
+        };
+        inside + self.st.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The allocation phase. `link_ready(out_port, vc)` reports whether
+    /// the outgoing channel can accept a flit next cycle (elastic mode;
+    /// credited mode uses the internal credit counters).
+    pub(crate) fn alloc(
+        &mut self,
+        now: u64,
+        table: &RoutingTable,
+        concentration: usize,
+        link_ready: &dyn Fn(usize, usize) -> bool,
+    ) -> AllocResult {
+        let mut result = AllocResult::default();
+        match &self.arch {
+            ArchState::Edge { .. } => self.alloc_edge(table, concentration, link_ready, &mut result),
+            ArchState::Cb { .. } => {
+                self.alloc_cb(now, table, concentration, link_ready, &mut result)
+            }
+        }
+        result
+    }
+
+    /// Computes the route for a flit at this router.
+    fn compute_route(
+        &self,
+        table: &RoutingTable,
+        concentration: usize,
+        flit: &Flit,
+        in_vc: usize,
+    ) -> RouteDecision {
+        if flit.dst_router == self.id
+            && (flit.intermediate.is_none() || flit.intermediate_done)
+        {
+            // Eject to the local node's port.
+            let local = flit.dst.index() % concentration;
+            RouteDecision {
+                port: self.net_ports + local,
+                vc: 0,
+            }
+        } else {
+            table.route(self.id, flit, in_vc, self.vcs)
+        }
+    }
+
+    /// Whether output resources are available for `(out_port, out_vc)`
+    /// for the given packet head/body.
+    fn output_ready(
+        &self,
+        claimed: &[bool],
+        out: RouteDecision,
+        flit: &Flit,
+        link_ready: &dyn Fn(usize, usize) -> bool,
+    ) -> bool {
+        if self.st[out.port].is_some() || claimed[out.port] {
+            return false;
+        }
+        if out.port >= self.net_ports {
+            return true; // ejection: node always consumes
+        }
+        // Wormhole VC allocation.
+        match self.out_pkt[out.port][out.vc] {
+            Some(pid) if pid != flit.packet => return false,
+            _ => {}
+        }
+        if self.credited {
+            self.out_credits[out.port][out.vc] > 0
+        } else {
+            link_ready(out.port, out.vc)
+        }
+    }
+
+    /// Books the departure of `flit` through `out`: updates wormhole
+    /// state, credits, and the ST register.
+    fn commit_departure(&mut self, out: RouteDecision, mut flit: Flit) {
+        if out.port < self.net_ports {
+            if flit.kind.is_head() {
+                self.out_pkt[out.port][out.vc] = Some(flit.packet);
+            }
+            if flit.kind.is_tail() {
+                self.out_pkt[out.port][out.vc] = None;
+            }
+            if self.credited {
+                self.out_credits[out.port][out.vc] -= 1;
+            }
+            flit.hops += 1;
+        }
+        self.st[out.port] = Some(StFlit {
+            flit,
+            out_vc: out.vc,
+        });
+    }
+
+    fn alloc_edge(
+        &mut self,
+        table: &RoutingTable,
+        concentration: usize,
+        link_ready: &dyn Fn(usize, usize) -> bool,
+        result: &mut AllocResult,
+    ) {
+        let in_ports = self.net_ports + self.local_ports;
+        // Pass 1 (input arbitration): each input port nominates one VC.
+        let mut nominations: Vec<(usize, usize, RouteDecision)> = Vec::new();
+        let mut claimed = vec![false; self.st.len()];
+        for port in 0..in_ports {
+            let start = self.rr_in[port];
+            for i in 0..self.vcs {
+                let vc = (start + i) % self.vcs;
+                // Compute or fetch the route without holding a mutable
+                // borrow of the arch state.
+                let (head, route) = {
+                    let ArchState::Edge { inputs, .. } = &self.arch else {
+                        unreachable!()
+                    };
+                    let unit = &inputs[port][vc];
+                    let Some(flit) = unit.buf.front() else {
+                        continue;
+                    };
+                    let route = match unit.route {
+                        Some(r) => r,
+                        None => self.compute_route(table, concentration, flit, vc),
+                    };
+                    (*flit, route)
+                };
+                if self.output_ready(&claimed, route, &head, link_ready) {
+                    nominations.push((port, vc, route));
+                    break;
+                }
+            }
+        }
+        // Pass 2 (output arbitration): one grant per output port.
+        nominations.sort_by_key(|&(port, _, route)| {
+            let prio = (port + self.st.len() - self.rr_out[route.port] % self.st.len())
+                % self.st.len().max(1);
+            (route.port, prio)
+        });
+        for &(port, vc, route) in &nominations {
+            if claimed[route.port] || self.st[route.port].is_some() {
+                continue;
+            }
+            claimed[route.port] = true;
+            let ArchState::Edge { inputs, .. } = &mut self.arch else {
+                unreachable!()
+            };
+            let unit = &mut inputs[port][vc];
+            let flit = unit.buf.pop_front().expect("nominated");
+            if flit.kind.is_head() {
+                unit.route = Some(route);
+            }
+            if flit.kind.is_tail() {
+                unit.route = None;
+            }
+            self.rr_in[port] = (vc + 1) % self.vcs;
+            self.rr_out[route.port] = (port + 1) % (self.net_ports + self.local_ports);
+            result.buffer_accesses += 1;
+            if port < self.net_ports {
+                result.freed_inputs.push((port, vc));
+            } else {
+                result.freed_injection.push((port - self.net_ports, vc));
+            }
+            self.commit_departure(route, flit);
+        }
+    }
+
+    fn alloc_cb(
+        &mut self,
+        now: u64,
+        table: &RoutingTable,
+        concentration: usize,
+        link_ready: &dyn Fn(usize, usize) -> bool,
+        result: &mut AllocResult,
+    ) {
+        let in_ports = self.net_ports + self.local_ports;
+        let out_ports = self.st.len();
+        let mut claimed = vec![false; out_ports];
+
+        // Phase A1: the single CB read port serves one eligible flit.
+        {
+            let start = {
+                let ArchState::Cb { rr_read, .. } = &self.arch else {
+                    unreachable!()
+                };
+                *rr_read
+            };
+            'read: for i in 0..out_ports {
+                let out_port = (start + i) % out_ports;
+                for vc in 0..self.vcs {
+                    let candidate = {
+                        let ArchState::Cb { queues, .. } = &self.arch else {
+                            unreachable!()
+                        };
+                        queues[out_port][vc]
+                            .front()
+                            .filter(|c| c.eligible_at <= now)
+                            .map(|c| c.flit)
+                    };
+                    let Some(flit) = candidate else { continue };
+                    let route = RouteDecision { port: out_port, vc };
+                    if self.output_ready(&claimed, route, &flit, link_ready) {
+                        claimed[out_port] = true;
+                        let ArchState::Cb {
+                            queues,
+                            free,
+                            rr_read,
+                            ..
+                        } = &mut self.arch
+                        else {
+                            unreachable!()
+                        };
+                        queues[out_port][vc].pop_front();
+                        *free += 1;
+                        *rr_read = (out_port + 1) % out_ports;
+                        result.cb_reads += 1;
+                        self.commit_departure(route, flit);
+                        break 'read;
+                    }
+                }
+            }
+        }
+
+        // Phase A2: bypass — staging heads go straight for the outputs.
+        let mut nominations: Vec<(usize, usize, RouteDecision)> = Vec::new();
+        for port in 0..in_ports {
+            let start = self.rr_in[port];
+            for i in 0..self.vcs {
+                let vc = (start + i) % self.vcs;
+                let (flit, route, mode) = {
+                    let ArchState::Cb { staging, .. } = &self.arch else {
+                        unreachable!()
+                    };
+                    let unit = &staging[port][vc];
+                    let Some(flit) = unit.slot else { continue };
+                    let route = match unit.route {
+                        Some(r) => r,
+                        None => self.compute_route(table, concentration, &flit, vc),
+                    };
+                    (flit, route, unit.mode)
+                };
+                // A packet committed to the CB keeps using it (atomic CB
+                // allocation, §4.3); others try the bypass.
+                if mode == Some(CbMode::Central) {
+                    continue;
+                }
+                // Ordering: a *head* never bypasses a non-empty CB queue
+                // for the same (output, VC) — packets on a VC stay in
+                // order. Body flits of an in-flight bypass packet are
+                // exempt: they already hold the output VC, and a queued
+                // CB packet cannot use it until their tail passes, so
+                // blocking them would deadlock the router.
+                let queue_blocked = flit.kind.is_head() && {
+                    let ArchState::Cb { queues, .. } = &self.arch else {
+                        unreachable!()
+                    };
+                    route.port < out_ports && !queues[route.port][route.vc].is_empty()
+                };
+                if !queue_blocked && self.output_ready(&claimed, route, &flit, link_ready) {
+                    nominations.push((port, vc, route));
+                    break;
+                }
+            }
+        }
+        for &(port, vc, route) in &nominations {
+            if claimed[route.port] || self.st[route.port].is_some() {
+                continue;
+            }
+            claimed[route.port] = true;
+            let ArchState::Cb { staging, .. } = &mut self.arch else {
+                unreachable!()
+            };
+            let unit = &mut staging[port][vc];
+            let flit = unit.slot.take().expect("nominated");
+            if flit.kind.is_head() {
+                unit.route = Some(route);
+                unit.mode = Some(CbMode::Bypass);
+            }
+            if flit.kind.is_tail() {
+                unit.route = None;
+                unit.mode = None;
+            }
+            self.rr_in[port] = (vc + 1) % self.vcs;
+            result.bypasses += 1;
+            if port < self.net_ports {
+                result.freed_inputs.push((port, vc));
+            } else {
+                result.freed_injection.push((port - self.net_ports, vc));
+            }
+            self.commit_departure(route, flit);
+        }
+
+        // Phase B: the single CB write port admits one flit from staging.
+        let start_w = {
+            let ArchState::Cb { rr_write, .. } = &self.arch else {
+                unreachable!()
+            };
+            *rr_write
+        };
+        'write: for i in 0..in_ports {
+            let port = (start_w + i) % in_ports;
+            for vc in 0..self.vcs {
+                let (flit, route, mode) = {
+                    let ArchState::Cb { staging, .. } = &self.arch else {
+                        unreachable!()
+                    };
+                    let unit = &staging[port][vc];
+                    let Some(flit) = unit.slot else { continue };
+                    let route = match unit.route {
+                        Some(r) => r,
+                        None => self.compute_route(table, concentration, &flit, vc),
+                    };
+                    (flit, route, unit.mode)
+                };
+                // Heads divert to the CB only if the whole packet fits
+                // (atomic allocation) and no other packet is still
+                // streaming through the target queue; bodies follow
+                // their head.
+                let admit = match mode {
+                    Some(CbMode::Central) => true,
+                    Some(CbMode::Bypass) => false,
+                    None => {
+                        let ArchState::Cb { free, open_pkt, .. } = &self.arch else {
+                            unreachable!()
+                        };
+                        flit.kind.is_head()
+                            && *free >= flit.packet_len as usize
+                            && route.port < out_ports
+                            && open_pkt[route.port][route.vc].is_none()
+                    }
+                };
+                if !admit || route.port >= out_ports {
+                    continue;
+                }
+                let ArchState::Cb {
+                    staging,
+                    queues,
+                    open_pkt,
+                    free,
+                    rr_write,
+                    ..
+                } = &mut self.arch
+                else {
+                    unreachable!()
+                };
+                let unit = &mut staging[port][vc];
+                let flit = unit.slot.take().expect("checked");
+                if flit.kind.is_head() {
+                    unit.route = Some(route);
+                    unit.mode = Some(CbMode::Central);
+                    *free -= flit.packet_len as usize;
+                    open_pkt[route.port][route.vc] = Some(flit.packet);
+                }
+                if flit.kind.is_tail() {
+                    unit.route = None;
+                    unit.mode = None;
+                    open_pkt[route.port][route.vc] = None;
+                }
+                // The buffered path adds two cycles over the bypass.
+                queues[route.port][route.vc].push_back(CbFlit {
+                    flit,
+                    eligible_at: now + 2,
+                });
+                *rr_write = (port + 1) % in_ports;
+                result.cb_writes += 1;
+                if port < self.net_ports {
+                    result.freed_inputs.push((port, vc));
+                } else {
+                    result.freed_injection.push((port - self.net_ports, vc));
+                }
+                break 'write;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId};
+    use snoc_topology::{NodeId, Topology};
+
+    fn table() -> (Topology, RoutingTable) {
+        let t = Topology::mesh(3, 1, 1);
+        let table = RoutingTable::minimal(&t);
+        (t, table)
+    }
+
+    fn head_to(dst_router: usize, len: u32) -> Flit {
+        Flit::packet(
+            PacketId(1),
+            NodeId(0),
+            NodeId(dst_router),
+            RouterId(dst_router),
+            len,
+            0,
+            true,
+            false,
+        )[0]
+    }
+
+    fn edge_router(net_ports: usize) -> RouterCore {
+        let caps = vec![5; net_ports];
+        let mut r = RouterCore::new(
+            RouterId(0),
+            net_ports,
+            1,
+            2,
+            RouterArch::EdgeBuffer,
+            LinkMode::Credited,
+            &caps,
+            20,
+        );
+        for p in 0..net_ports {
+            r.set_credits(p, 5);
+        }
+        r
+    }
+
+    #[test]
+    fn edge_router_two_cycle_path() {
+        // Router 0 of a 3x1 mesh: one network port (to router 1).
+        let (_t, table) = table();
+        let mut r = edge_router(1);
+        let f = head_to(2, 1);
+        // Inject via the local port.
+        r.deliver(1, 0, f);
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        assert_eq!(res.freed_injection.len(), 1);
+        let st = r.take_st();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].0, 0, "departs through the network port");
+        assert_eq!(st[0].1.flit.hops, 1, "hop counted at departure");
+    }
+
+    #[test]
+    fn edge_router_respects_credits() {
+        let (_t, table) = table();
+        let mut r = edge_router(1);
+        r.set_credits(0, 0); // no downstream space
+        r.deliver(1, 0, head_to(2, 1));
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        assert!(res.freed_injection.is_empty(), "blocked without credits");
+        assert!(r.take_st().is_empty());
+        r.add_credit(0, 0);
+        let res = r.alloc(1, &table, 1, &|_, _| true);
+        assert_eq!(res.freed_injection.len(), 1);
+    }
+
+    #[test]
+    fn edge_router_ejects_local_traffic() {
+        let (_t, table) = table();
+        let mut r = edge_router(1);
+        // Destination is router 0 itself -> ejection port (index 1).
+        r.deliver(0, 0, head_to(0, 1));
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        assert_eq!(res.freed_inputs, vec![(0, 0)]);
+        let st = r.take_st();
+        assert_eq!(st[0].0, 1, "ejection port");
+        assert_eq!(st[0].1.flit.hops, 0, "ejection is not a network hop");
+    }
+
+    #[test]
+    fn wormhole_blocks_interleaving_on_same_vc() {
+        let (_t, table) = table();
+        let mut r = edge_router(1);
+        // Two packets on different input ports, both to router 2, VC0.
+        let a = Flit::packet(PacketId(7), NodeId(0), NodeId(2), RouterId(2), 2, 0, true, false);
+        let b = Flit::packet(PacketId(8), NodeId(0), NodeId(2), RouterId(2), 2, 0, true, false);
+        r.deliver(1, 0, a[0]);
+        r.deliver(1, 1, b[0]); // other VC of the injection port
+        // Head A wins the output VC0; head B (routed to VC0 as well,
+        // hops = 0) must wait until A's tail passes.
+        let _ = r.alloc(0, &table, 1, &|_, _| true);
+        let st = r.take_st();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].1.flit.packet, PacketId(7));
+        // B still blocked: output VC0 held by packet 7.
+        r.deliver(1, 0, a[1]); // A's tail
+        let _ = r.alloc(1, &table, 1, &|_, _| true);
+        let st = r.take_st();
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].1.flit.packet, PacketId(7), "tail first");
+        // Tail released the VC: B may now go.
+        let _ = r.alloc(2, &table, 1, &|_, _| true);
+        let st = r.take_st();
+        assert_eq!(st[0].1.flit.packet, PacketId(8));
+    }
+
+    fn cb_router(net_ports: usize, cb: usize) -> RouterCore {
+        let caps = vec![1; net_ports];
+        RouterCore::new(
+            RouterId(0),
+            net_ports,
+            1,
+            2,
+            RouterArch::CentralBuffer { cb_flits: cb },
+            LinkMode::Elastic,
+            &caps,
+            20,
+        )
+    }
+
+    #[test]
+    fn cbr_bypass_is_fast_path() {
+        let (_t, table) = table();
+        let mut r = cb_router(1, 20);
+        r.deliver(1, 0, head_to(2, 1));
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        assert_eq!(res.bypasses, 1);
+        assert_eq!(res.cb_writes, 0);
+        assert_eq!(r.take_st().len(), 1);
+    }
+
+    #[test]
+    fn cbr_conflict_diverts_to_central_buffer() {
+        let (_t, table) = table();
+        let mut r = cb_router(1, 20);
+        // Two single-flit packets racing for the same output.
+        r.deliver(1, 0, head_to(2, 1));
+        let mut other = head_to(2, 1);
+        other.packet = PacketId(9);
+        r.deliver(0, 0, other);
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        // One bypasses; the other is written into the CB.
+        assert_eq!(res.bypasses, 1);
+        assert_eq!(res.cb_writes, 1);
+        assert_eq!(r.take_st().len(), 1);
+        // The CB flit becomes eligible two cycles later (4-cycle path).
+        let res = r.alloc(1, &table, 1, &|_, _| true);
+        assert_eq!(res.cb_reads, 0, "not yet eligible");
+        let res = r.alloc(2, &table, 1, &|_, _| true);
+        assert_eq!(res.cb_reads, 1);
+        assert_eq!(r.take_st().len(), 1);
+    }
+
+    #[test]
+    fn cbr_atomic_allocation_requires_full_packet_space() {
+        let (_t, table) = table();
+        let mut r = cb_router(1, 6);
+        // Fill the output so the bypass fails, with a 6-flit packet
+        // already reserving the whole CB.
+        let p1 = Flit::packet(PacketId(1), NodeId(0), NodeId(2), RouterId(2), 6, 0, true, false);
+        r.deliver(1, 0, p1[0]);
+        let mut blocker = head_to(2, 1);
+        blocker.packet = PacketId(2);
+        r.deliver(0, 0, blocker);
+        let res = r.alloc(0, &table, 1, &|_, _| true);
+        // Blocker (or p1) bypasses; the other head wants the CB. The
+        // 6-flit head reserves all 6 slots; a later head must stall.
+        assert_eq!(res.bypasses + res.cb_writes, 2);
+        let mut third = head_to(2, 2);
+        third.packet = PacketId(3);
+        third.kind = FlitKind::Head;
+        third.packet_len = 2;
+        r.deliver(0, 0, third);
+        let res = r.alloc(1, &table, 1, &|_, _| false);
+        // Output refuses (link not ready) and the CB is fully reserved:
+        // the third head can neither bypass nor enter the CB.
+        assert_eq!(res.bypasses, 0);
+        assert_eq!(res.cb_writes, 0);
+    }
+
+    #[test]
+    fn buffered_flit_accounting() {
+        let (_t, table) = table();
+        let mut r = edge_router(1);
+        assert_eq!(r.buffered_flits(), 0);
+        r.deliver(1, 0, head_to(2, 1));
+        assert_eq!(r.buffered_flits(), 1);
+        let _ = r.alloc(0, &table, 1, &|_, _| true);
+        assert_eq!(r.buffered_flits(), 1, "now in the ST register");
+        let _ = r.take_st();
+        assert_eq!(r.buffered_flits(), 0);
+    }
+}
+
+impl RouterCore {
+    /// Debug helper: per-structure flit locations.
+    #[doc(hidden)]
+    pub(crate) fn debug_detail(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        match &self.arch {
+            ArchState::Edge { inputs, .. } => {
+                for (p, vcs) in inputs.iter().enumerate() {
+                    for (v, unit) in vcs.iter().enumerate() {
+                        if !unit.buf.is_empty() {
+                            let _ = write!(out, "in[{p}][{v}]={} (head {:?} route {:?}) ", unit.buf.len(), unit.buf.front().map(|f| (f.packet, f.kind)), unit.route);
+                        }
+                    }
+                }
+            }
+            ArchState::Cb { staging, queues, free, .. } => {
+                let _ = write!(out, "cb_free={free} ");
+                for (p, vcs) in staging.iter().enumerate() {
+                    for (v, unit) in vcs.iter().enumerate() {
+                        if let Some(f) = unit.slot {
+                            let _ = write!(out, "stage[{p}][{v}]={:?}/{:?} mode {:?} route {:?} ", f.packet, f.kind, unit.mode, unit.route);
+                        }
+                    }
+                }
+                for (o, vcs) in queues.iter().enumerate() {
+                    for (v, q) in vcs.iter().enumerate() {
+                        if !q.is_empty() {
+                            let _ = write!(out, "cbq[{o}][{v}]={} head={:?} ", q.len(), q.front().map(|c| (c.flit.packet, c.flit.kind)));
+                        }
+                    }
+                }
+            }
+        }
+        for (o, st) in self.st.iter().enumerate() {
+            if let Some(s) = st { let _ = write!(out, "st[{o}]={:?} ", s.flit.packet); }
+        }
+        for (o, vcs) in self.out_pkt.iter().enumerate() {
+            for (v, p) in vcs.iter().enumerate() {
+                if let Some(p) = p { let _ = write!(out, "outpkt[{o}][{v}]={p} "); }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,385 @@
+//! Routing: deterministic minimal tables with hop-indexed VCs, and
+//! dimension-order routing with dateline VCs for meshes and tori.
+//!
+//! The paper uses static minimum routing computed with Dijkstra (§5.1);
+//! on unit-weight router graphs BFS yields identical paths. Deadlock
+//! freedom follows the paper's §4.3 scheme: a packet on hop `h` uses
+//! VC `min(h, |VC|−1)`, so VC dependencies only increase and cannot
+//! cycle as long as `|VC|` is at least the maximal hop count. For tori,
+//! hop-indexed VCs do not cut the ring cycles, so dimension-order
+//! routing with a dateline VC switch is used instead.
+
+use crate::flit::Flit;
+use snoc_topology::{RouterId, Topology, TopologyKind};
+
+/// The output chosen for a flit at a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output port (index into the router's neighbor list).
+    pub port: usize,
+    /// Output virtual channel.
+    pub vc: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// BFS minimal next hops with hop-indexed VCs.
+    Table,
+    /// Dimension-order (X then Y) on a mesh grid: deadlock-free with any
+    /// VC count; VCs are hop-indexed for consistency.
+    DorMesh { x_dim: usize },
+    /// Dimension-order with dateline VC switch on a torus.
+    DorTorus { x_dim: usize, y_dim: usize },
+}
+
+/// Precomputed routing state for one topology.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    strategy: Strategy,
+    /// `dist[a][b]` = hop distance between routers.
+    dist: Vec<Vec<u16>>,
+    /// `next_port[cur][dst]` = output port of the chosen minimal path
+    /// (unused for DOR strategies).
+    next_port: Vec<Vec<u16>>,
+    /// `port_of[cur]` maps neighbor router id -> port, stored as the
+    /// sorted neighbor list (ports are positions in it).
+    neighbors: Vec<Vec<RouterId>>,
+}
+
+impl RoutingTable {
+    /// Builds the minimal routing table for a topology.
+    #[must_use]
+    pub fn minimal(topo: &Topology) -> Self {
+        let nr = topo.router_count();
+        let neighbors: Vec<Vec<RouterId>> =
+            topo.routers().map(|r| topo.neighbors(r).to_vec()).collect();
+        let mut dist = vec![vec![0u16; nr]; nr];
+        for r in topo.routers() {
+            let d = topo.distances_from(r);
+            for (j, &dj) in d.iter().enumerate() {
+                assert!(dj != usize::MAX, "disconnected topology");
+                dist[r.index()][j] = dj as u16;
+            }
+        }
+        let strategy = match topo.kind() {
+            TopologyKind::Mesh { x, .. } => Strategy::DorMesh { x_dim: *x },
+            TopologyKind::Torus { x, y } => Strategy::DorTorus { x_dim: *x, y_dim: *y },
+            _ => Strategy::Table,
+        };
+        let mut next_port = vec![vec![0u16; nr]; nr];
+        if strategy == Strategy::Table {
+            for cur in 0..nr {
+                for dst in 0..nr {
+                    if cur == dst {
+                        continue;
+                    }
+                    // Minimal next hops; tie broken by a (cur, dst) hash so
+                    // different pairs spread over the candidates.
+                    let want = dist[cur][dst] - 1;
+                    let candidates: Vec<usize> = neighbors[cur]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| dist[n.index()][dst] == want)
+                        .map(|(port, _)| port)
+                        .collect();
+                    assert!(!candidates.is_empty(), "minimal path must exist");
+                    let pick = (cur.wrapping_mul(31).wrapping_add(dst.wrapping_mul(17)))
+                        % candidates.len();
+                    next_port[cur][dst] = candidates[pick] as u16;
+                }
+            }
+        }
+        RoutingTable {
+            strategy,
+            dist,
+            next_port,
+            neighbors,
+        }
+    }
+
+    /// Hop distance between two routers.
+    #[must_use]
+    pub fn distance(&self, a: RouterId, b: RouterId) -> usize {
+        self.dist[a.index()][b.index()] as usize
+    }
+
+    /// Number of router-to-router ports at `r`.
+    #[must_use]
+    pub fn port_count(&self, r: RouterId) -> usize {
+        self.neighbors[r.index()].len()
+    }
+
+    /// The neighbor reached through `port` of router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    #[must_use]
+    pub fn peer(&self, r: RouterId, port: usize) -> RouterId {
+        self.neighbors[r.index()][port]
+    }
+
+    /// The port of `cur` that leads to the adjacent router `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routers are not adjacent.
+    #[must_use]
+    pub fn port_to(&self, cur: RouterId, next: RouterId) -> usize {
+        self.neighbors[cur.index()]
+            .binary_search(&next)
+            .expect("routers must be adjacent")
+    }
+
+    /// The routing target of a flit, honoring a not-yet-reached Valiant
+    /// intermediate.
+    #[must_use]
+    pub fn target(flit: &Flit) -> RouterId {
+        match flit.intermediate {
+            Some(mid) if !flit.intermediate_done => mid,
+            _ => flit.dst_router,
+        }
+    }
+
+    /// Routes a flit at router `cur`: returns the output port and VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit is already at its destination router.
+    #[must_use]
+    pub fn route(&self, cur: RouterId, flit: &Flit, in_vc: usize, vcs: usize) -> RouteDecision {
+        let dst = Self::target(flit);
+        assert_ne!(cur, dst, "flit already at target");
+        match self.strategy {
+            Strategy::Table => {
+                let port = self.next_port[cur.index()][dst.index()] as usize;
+                let vc = (flit.hops as usize).min(vcs - 1);
+                RouteDecision { port, vc }
+            }
+            Strategy::DorMesh { x_dim } => {
+                let next = dor_next_mesh(cur, dst, x_dim);
+                RouteDecision {
+                    port: self.port_to(cur, next),
+                    vc: (flit.hops as usize).min(vcs - 1),
+                }
+            }
+            Strategy::DorTorus { x_dim, y_dim } => {
+                let _ = in_vc;
+                let (next, vc) = dor_next_torus(cur, dst, x_dim, y_dim);
+                RouteDecision {
+                    port: self.port_to(cur, next),
+                    vc: vc.min(vcs - 1),
+                }
+            }
+        }
+    }
+}
+
+/// Dimension-order next hop on a mesh (X first, then Y).
+fn dor_next_mesh(cur: RouterId, dst: RouterId, x_dim: usize) -> RouterId {
+    let (cx, cy) = (cur.index() % x_dim, cur.index() / x_dim);
+    let (dx, dy) = (dst.index() % x_dim, dst.index() / x_dim);
+    if cx != dx {
+        let nx = if dx > cx { cx + 1 } else { cx - 1 };
+        RouterId(cy * x_dim + nx)
+    } else {
+        let ny = if dy > cy { cy + 1 } else { cy - 1 };
+        RouterId(ny * x_dim + cx)
+    }
+}
+
+/// Dimension-order next hop on a torus, with the dateline VC.
+///
+/// Within a ring, the route direction is fixed (the shorter way; ties go
+/// forward) and the VC is computed statelessly: going forward (+), a hop
+/// made from a position past the destination (`cur > dst`) precedes the
+/// wrap edge and uses VC0, anything else uses VC1 (mirrored for the −
+/// direction). This breaks both ring dependency cycles: the VC0 chain
+/// never contains the edge 0 → 1 (a hop from 0 going + always has
+/// `cur < dst`), and VC1 traffic never crosses the wrap edge.
+fn dor_next_torus(
+    cur: RouterId,
+    dst: RouterId,
+    x_dim: usize,
+    y_dim: usize,
+) -> (RouterId, usize) {
+    let (cx, cy) = (cur.index() % x_dim, cur.index() / x_dim);
+    let (dx, dy) = (dst.index() % x_dim, dst.index() / x_dim);
+    if cx != dx {
+        let (nx, vc) = ring_step(cx, dx, x_dim);
+        (RouterId(cy * x_dim + nx), vc)
+    } else {
+        let (ny, vc) = ring_step(cy, dy, y_dim);
+        (RouterId(ny * x_dim + cx), vc)
+    }
+}
+
+/// One step along a ring from `c` toward `d`: returns (next index, VC).
+fn ring_step(c: usize, d: usize, dim: usize) -> (usize, usize) {
+    let fwd = (d + dim - c) % dim;
+    let go_fwd = fwd <= dim - fwd; // shorter way; tie -> forward
+    if go_fwd {
+        let n = (c + 1) % dim;
+        let vc = usize::from(c < d); // pre-wrap segment (c > d) on VC0
+        (n, vc)
+    } else {
+        let n = (c + dim - 1) % dim;
+        let vc = usize::from(c > d);
+        (n, vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, PacketId};
+    use snoc_topology::{NodeId, Topology};
+
+    fn flit_to(dst_router: RouterId) -> Flit {
+        Flit::packet(
+            PacketId(0),
+            NodeId(0),
+            NodeId(dst_router.index()),
+            dst_router,
+            1,
+            0,
+            true,
+            false,
+        )[0]
+    }
+
+    /// Walks a flit from `src` to `dst`, returning the hop count.
+    fn walk(topo: &Topology, table: &RoutingTable, src: RouterId, dst: RouterId) -> usize {
+        let mut cur = src;
+        let mut f = flit_to(dst);
+        let mut vc = 0usize;
+        let mut hops = 0;
+        while cur != dst {
+            let d = table.route(cur, &f, vc, 2);
+            cur = table.peer(cur, d.port);
+            vc = d.vc;
+            f.hops += 1;
+            hops += 1;
+            assert!(hops <= topo.router_count(), "routing loop");
+        }
+        hops
+    }
+
+    #[test]
+    fn minimal_paths_on_slim_noc() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let table = RoutingTable::minimal(&t);
+        for src in t.routers().step_by(7) {
+            for dst in t.routers() {
+                if src == dst {
+                    continue;
+                }
+                let hops = walk(&t, &table, src, dst);
+                assert_eq!(hops, table.distance(src, dst), "{src} -> {dst}");
+                assert!(hops <= 2, "diameter-2 network");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_paths_on_pfbf() {
+        let t = Topology::partitioned_fbf(2, 2, 4, 4, 3);
+        let table = RoutingTable::minimal(&t);
+        for src in t.routers().step_by(5) {
+            for dst in t.routers().step_by(3) {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    walk(&t, &table, src, dst),
+                    table.distance(src, dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dor_mesh_routes_x_first() {
+        let t = Topology::mesh(4, 4, 1);
+        let table = RoutingTable::minimal(&t);
+        // From (0,0) to (2,2): the first hop must go +x to router 1.
+        let f = flit_to(RouterId(10));
+        let d = table.route(RouterId(0), &f, 0, 2);
+        assert_eq!(table.peer(RouterId(0), d.port), RouterId(1));
+        assert_eq!(walk(&t, &table, RouterId(0), RouterId(10)), 4);
+    }
+
+    #[test]
+    fn dor_torus_uses_wraparound() {
+        let t = Topology::torus(6, 1, 1);
+        let table = RoutingTable::minimal(&t);
+        // 0 -> 5 is one hop across the wrap link.
+        assert_eq!(walk(&t, &table, RouterId(0), RouterId(5)), 1);
+        // 0 -> 3 is three hops either way.
+        assert_eq!(walk(&t, &table, RouterId(0), RouterId(3)), 3);
+    }
+
+    #[test]
+    fn torus_dateline_switches_vc() {
+        let t = Topology::torus(6, 1, 1);
+        let table = RoutingTable::minimal(&t);
+        // Route 5 -> 1 goes forward through the wrap edge. The pre-wrap
+        // hop (5 -> 0, cur > dst) uses VC0; once past the wrap (0 -> 1,
+        // cur < dst) the packet moves to VC1.
+        let f = flit_to(RouterId(1));
+        let d = table.route(RouterId(5), &f, 0, 2);
+        assert_eq!(table.peer(RouterId(5), d.port), RouterId(0));
+        assert_eq!(d.vc, 0, "pre-wrap segment on VC0");
+        let d2 = table.route(RouterId(0), &f, 0, 2);
+        assert_eq!(table.peer(RouterId(0), d2.port), RouterId(1));
+        assert_eq!(d2.vc, 1, "post-wrap segment on VC1");
+        // The VC0 chain is broken at edge 0 -> 1: a forward hop from 0
+        // always has cur < dst and therefore uses VC1.
+        for dst in 1..=3 {
+            let dd = table.route(RouterId(0), &flit_to(RouterId(dst)), 0, 2);
+            assert_eq!(dd.vc, 1, "0 -> {dst}");
+        }
+    }
+
+    #[test]
+    fn hop_indexed_vcs_on_table_strategy() {
+        let t = Topology::slim_noc(3, 1).unwrap();
+        let table = RoutingTable::minimal(&t);
+        // Find a distance-2 pair and check VC increments with hops.
+        let (src, dst) = t
+            .routers()
+            .flat_map(|a| t.routers().map(move |b| (a, b)))
+            .find(|&(a, b)| table.distance(a, b) == 2)
+            .expect("diameter 2");
+        let mut f = flit_to(dst);
+        let d1 = table.route(src, &f, 0, 2);
+        assert_eq!(d1.vc, 0, "first hop on VC0");
+        f.hops = 1;
+        let mid = table.peer(src, d1.port);
+        let d2 = table.route(mid, &f, 0, 2);
+        assert_eq!(d2.vc, 1, "second hop on VC1");
+    }
+
+    #[test]
+    fn valiant_intermediate_target() {
+        let mut f = flit_to(RouterId(9));
+        assert_eq!(RoutingTable::target(&f), RouterId(9));
+        f.intermediate = Some(RouterId(4));
+        assert_eq!(RoutingTable::target(&f), RouterId(4));
+        f.intermediate_done = true;
+        assert_eq!(RoutingTable::target(&f), RouterId(9));
+    }
+
+    #[test]
+    fn port_mappings_are_consistent() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let table = RoutingTable::minimal(&t);
+        for r in t.routers() {
+            for port in 0..table.port_count(r) {
+                let peer = table.peer(r, port);
+                assert_eq!(table.port_to(r, peer), port);
+                assert_eq!(table.port_to(peer, r) < table.port_count(peer), true);
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Simulation statistics and activity counters.
+
+use std::fmt;
+
+/// Hardware activity counters accumulated during simulation — the inputs
+/// to the dynamic-power model (buffer/crossbar/wire energy, §5.1's
+/// dynamic power breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Edge/staging buffer write+read pairs.
+    pub buffer_accesses: u64,
+    /// Central buffer writes.
+    pub cb_writes: u64,
+    /// Central buffer reads.
+    pub cb_reads: u64,
+    /// CBR bypass traversals.
+    pub bypasses: u64,
+    /// Crossbar traversals (every ST-stage flit).
+    pub crossbar_traversals: u64,
+    /// Flit·tile products over all wire traversals (wire dynamic energy
+    /// is proportional to distance travelled).
+    pub wire_flit_tiles: u64,
+    /// Flits handed to local nodes.
+    pub ejections: u64,
+}
+
+impl ActivityCounters {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &ActivityCounters) {
+        self.buffer_accesses += other.buffer_accesses;
+        self.cb_writes += other.cb_writes;
+        self.cb_reads += other.cb_reads;
+        self.bypasses += other.bypasses;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.wire_flit_tiles += other.wire_flit_tiles;
+        self.ejections += other.ejections;
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycles simulated after warmup (the measurement window).
+    pub measured_cycles: u64,
+    /// Total cycles simulated (warmup + measurement + drain).
+    pub total_cycles: u64,
+    /// Endpoint count (for per-node rates).
+    pub nodes: usize,
+    /// Packets created during the measurement window.
+    pub injected_packets: u64,
+    /// Measured packets fully delivered.
+    pub delivered_packets: u64,
+    /// Measured flits delivered.
+    pub delivered_flits: u64,
+    /// Sum of packet latencies (creation to tail ejection) over delivered
+    /// measured packets.
+    pub latency_sum: u64,
+    /// Maximum packet latency observed.
+    pub latency_max: u64,
+    /// Latency histogram with 1-cycle bins, capped at 4096 cycles.
+    pub latency_histogram: Vec<u64>,
+    /// Sum of network hop counts over delivered measured packets.
+    pub hops_sum: u64,
+    /// Packets that could not be created because the injection queue was
+    /// full (offered load above acceptance).
+    pub stalled_generations: u64,
+    /// `true` if every measured packet drained before the drain cap.
+    pub drained: bool,
+    /// Hardware activity during the measurement window.
+    pub activity: ActivityCounters,
+}
+
+impl SimReport {
+    pub(crate) fn new(nodes: usize) -> Self {
+        SimReport {
+            measured_cycles: 0,
+            total_cycles: 0,
+            nodes,
+            injected_packets: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latency_histogram: vec![0; 256],
+            hops_sum: 0,
+            stalled_generations: 0,
+            drained: true,
+            activity: ActivityCounters::default(),
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, latency: u64, hops: u32, flits: u32) {
+        self.delivered_packets += 1;
+        self.delivered_flits += u64::from(flits);
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        let bin = (latency as usize).min(4095);
+        if bin >= self.latency_histogram.len() {
+            self.latency_histogram.resize(bin + 1, 0);
+        }
+        self.latency_histogram[bin] += 1;
+        self.hops_sum += u64::from(hops);
+    }
+
+    /// Average packet latency in cycles (creation to tail ejection).
+    #[must_use]
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Accepted throughput in flits/node/cycle.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.measured_cycles == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / (self.measured_cycles as f64 * self.nodes as f64)
+        }
+    }
+
+    /// Average network hops per delivered packet.
+    #[must_use]
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Latency percentile (e.g. `0.99`) from the histogram.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile in [0, 1]");
+        let total: u64 = self.latency_histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = (p * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (lat, &count) in self.latency_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= want {
+                return lat as u64;
+            }
+        }
+        self.latency_max
+    }
+
+    /// Fraction of offered packets that the network accepted (1.0 when
+    /// injection queues never filled up).
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        let offered = self.injected_packets + self.stalled_generations;
+        if offered == 0 {
+            1.0
+        } else {
+            self.injected_packets as f64 / offered as f64
+        }
+    }
+
+    /// A simple saturation heuristic used by load sweeps: the network is
+    /// saturated when it rejects offered traffic or latency explodes
+    /// relative to `zero_load` latency.
+    #[must_use]
+    pub fn is_saturated(&self, zero_load_latency: f64) -> bool {
+        self.acceptance() < 0.95
+            || (zero_load_latency > 0.0 && self.avg_packet_latency() > 6.0 * zero_load_latency)
+            || !self.drained
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lat {:.1} cyc (p99 {}), thpt {:.4} flits/node/cyc, {} pkts, acceptance {:.2}",
+            self.avg_packet_latency(),
+            self.latency_percentile(0.99),
+            self.throughput(),
+            self.delivered_packets,
+            self.acceptance()
+        )
+    }
+}
+
+/// One point of a latency–load curve (Figs. 10–14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyLoadPoint {
+    /// Offered load in flits/node/cycle.
+    pub load: f64,
+    /// Average packet latency in cycles.
+    pub latency: f64,
+    /// Accepted throughput in flits/node/cycle.
+    pub throughput: f64,
+    /// Whether the network had saturated at this load.
+    pub saturated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_statistics() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        for lat in [10, 20, 30, 40] {
+            r.record_delivery(lat, 2, 6);
+        }
+        assert_eq!(r.avg_packet_latency(), 25.0);
+        assert_eq!(r.latency_max, 40);
+        assert_eq!(r.latency_percentile(0.5), 20);
+        assert_eq!(r.latency_percentile(1.0), 40);
+        assert_eq!(r.delivered_flits, 24);
+        assert!((r.throughput() - 24.0 / 400.0).abs() < 1e-12);
+        assert_eq!(r.avg_hops(), 2.0);
+    }
+
+    #[test]
+    fn acceptance_and_saturation() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        r.injected_packets = 90;
+        r.stalled_generations = 10;
+        assert!((r.acceptance() - 0.9).abs() < 1e-12);
+        r.record_delivery(15, 2, 6);
+        assert!(r.is_saturated(14.0), "acceptance below threshold");
+        r.stalled_generations = 0;
+        assert!(!r.is_saturated(14.0));
+        assert!(r.is_saturated(2.0), "latency blow-up");
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = SimReport::new(8);
+        assert_eq!(r.avg_packet_latency(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.latency_percentile(0.99), 0);
+        assert_eq!(r.acceptance(), 1.0);
+    }
+
+    #[test]
+    fn activity_accumulation() {
+        let mut a = ActivityCounters::default();
+        let b = ActivityCounters {
+            buffer_accesses: 1,
+            cb_writes: 2,
+            cb_reads: 3,
+            bypasses: 4,
+            crossbar_traversals: 5,
+            wire_flit_tiles: 6,
+            ejections: 7,
+        };
+        a.add(&b);
+        a.add(&b);
+        assert_eq!(a.crossbar_traversals, 10);
+        assert_eq!(a.wire_flit_tiles, 12);
+    }
+
+    #[test]
+    fn huge_latency_lands_in_last_bin() {
+        let mut r = SimReport::new(1);
+        r.record_delivery(1_000_000, 2, 1);
+        assert_eq!(r.latency_histogram[4095], 1);
+        assert_eq!(r.latency_percentile(1.0), 4095);
+        assert_eq!(r.latency_max, 1_000_000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Shortest-path analysis over router graphs.
+
+use crate::{RouterId, Topology};
+use std::collections::VecDeque;
+
+/// Shortest-path statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// Maximum shortest-path length over all router pairs (the network
+    /// diameter `D`).
+    pub diameter: usize,
+    /// Average shortest-path length over all ordered pairs of distinct
+    /// routers.
+    pub average: f64,
+    /// `histogram[d]` = number of unordered router pairs at distance `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// BFS distances from one router. Unreachable routers get `usize::MAX`.
+pub(crate) fn bfs(topo: &Topology, src: RouterId) -> Vec<usize> {
+    let n = topo.router_count();
+    let mut dist = vec![usize::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(r) = queue.pop_front() {
+        let d = dist[r.index()];
+        for &next in topo.neighbors(r) {
+            if dist[next.index()] == usize::MAX {
+                dist[next.index()] = d + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest-path statistics via per-source BFS.
+///
+/// # Panics
+///
+/// Panics if the topology is disconnected (every topology in this crate is
+/// connected by construction).
+pub(crate) fn path_stats(topo: &Topology) -> PathStats {
+    let mut histogram: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for src in topo.routers() {
+        let dist = bfs(topo, src);
+        for (j, &d) in dist.iter().enumerate() {
+            if j <= src.index() {
+                continue;
+            }
+            assert!(d != usize::MAX, "topology is disconnected");
+            if d >= histogram.len() {
+                histogram.resize(d + 1, 0);
+            }
+            histogram[d] += 1;
+            total += d;
+            pairs += 1;
+        }
+    }
+    let diameter = histogram.len().saturating_sub(1);
+    let average = if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    };
+    PathStats {
+        diameter,
+        average,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn line_graph_distances() {
+        let line = Topology::mesh(4, 1, 1);
+        let d = bfs(&line, RouterId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn path_stats_of_square_mesh() {
+        let m = Topology::mesh(2, 2, 1);
+        let s = m.path_stats();
+        assert_eq!(s.diameter, 2);
+        // Pairs: 4 at distance 1 (edges), 2 at distance 2 (diagonals).
+        assert_eq!(s.histogram, vec![0, 4, 2]);
+        assert!((s.average - (4.0 + 4.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_pair_count_is_complete() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let s = t.path_stats();
+        let n = t.router_count();
+        assert_eq!(s.histogram.iter().sum::<usize>(), n * (n - 1) / 2);
+        assert_eq!(s.histogram[1], t.link_count());
+    }
+
+    #[test]
+    fn average_below_diameter() {
+        for t in [
+            Topology::slim_noc(5, 1).unwrap(),
+            Topology::torus(6, 6, 1),
+            Topology::flattened_butterfly(6, 6, 1),
+        ] {
+            let s = t.path_stats();
+            assert!(s.average <= s.diameter as f64);
+            assert!(s.average >= 1.0);
+        }
+    }
+
+    #[test]
+    fn cut_links_vertical_halves_of_mesh() {
+        // 4x4 mesh cut into left/right halves: 4 crossing links.
+        let m = Topology::mesh(4, 4, 1);
+        let crossing = m.cut_links(|r| r.index() % 4 < 2);
+        assert_eq!(crossing, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! Folded Clos (2-level fat tree) — the hierarchical/indirect comparison
+//! point of §5.5.
+
+use crate::{Topology, TopologyKind};
+
+/// Leaf routers come first (indices `0..leaves`), spines after
+/// (`leaves..leaves+spines`). Nodes attach only to leaves.
+pub(crate) fn folded_clos(leaves: usize, spines: usize, concentration: usize) -> Topology {
+    assert!(leaves > 0 && spines > 0, "clos dimensions must be positive");
+    assert!(concentration > 0, "concentration must be positive");
+    let mut edges = Vec::new();
+    for l in 0..leaves {
+        for s in 0..spines {
+            edges.push((l, leaves + s));
+        }
+    }
+    Topology::from_edges(
+        TopologyKind::FoldedClos { leaves, spines },
+        format!("clos {leaves}l+{spines}s"),
+        leaves + spines,
+        concentration,
+        edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, RouterId};
+
+    #[test]
+    fn clos_structure() {
+        let c = folded_clos(10, 5, 4);
+        assert_eq!(c.router_count(), 15);
+        assert_eq!(c.node_count(), 40); // nodes only on leaves
+        assert_eq!(c.diameter(), 2);
+        // Leaves have degree = spines, spines have degree = leaves.
+        assert_eq!(c.neighbors(RouterId(0)).len(), 5);
+        assert_eq!(c.neighbors(RouterId(10)).len(), 10);
+    }
+
+    #[test]
+    fn nodes_attach_to_leaves_only() {
+        let c = folded_clos(4, 2, 3);
+        for n in c.nodes() {
+            assert!(c.router_of(n).index() < 4);
+        }
+        assert_eq!(c.router_of(NodeId(11)), RouterId(3));
+        assert!(c.nodes_of(RouterId(4)).is_empty(), "spines carry no nodes");
+    }
+}

@@ -1,0 +1,115 @@
+//! Balanced Dragonfly topology (§2.2 comparison baseline).
+//!
+//! The paper contrasts Slim Fly with Dragonfly [43]: groups of fully
+//! connected routers where every two groups are joined by exactly *one*
+//! cable (vs. `2(q−1)` in Slim Fly), yielding diameter 3.
+//!
+//! We build the balanced configuration of Kim et al.: `a = 2h` routers per
+//! group, `h` global links per router, `p = h` nodes per router and
+//! `g = a·h + 1` groups, so each group's `a·h = g − 1` global links connect
+//! it to every other group exactly once.
+
+use crate::{Topology, TopologyKind};
+
+pub(crate) fn dragonfly(h: usize) -> Topology {
+    assert!(h > 0, "dragonfly h must be positive");
+    let a = 2 * h; // routers per group
+    let g = a * h + 1; // groups
+    let nr = a * g;
+    let idx = |group: usize, router: usize| group * a + router;
+    let mut edges = Vec::new();
+
+    // Intra-group: complete graph on `a` routers.
+    for group in 0..g {
+        for r1 in 0..a {
+            for r2 in r1 + 1..a {
+                edges.push((idx(group, r1), idx(group, r2)));
+            }
+        }
+    }
+
+    // Global links: the "absolute" arrangement. Router `r` of group `gi`
+    // owns global channels `r*h .. r*h + h`; channel `c` connects to group
+    // `c` if `c < gi`, else group `c + 1`. Each pair of groups ends up
+    // joined by exactly one cable.
+    for gi in 0..g {
+        for r in 0..a {
+            for l in 0..h {
+                let c = r * h + l;
+                let gj = if c < gi { c } else { c + 1 };
+                if gj > gi {
+                    // The peer router in gj is the one whose channel maps
+                    // back to gi: channel index is gi (since gi < gj).
+                    let peer_channel = gi;
+                    let peer_router = peer_channel / h;
+                    edges.push((idx(gi, r), idx(gj, peer_router)));
+                }
+            }
+        }
+    }
+
+    Topology::from_edges(
+        TopologyKind::Dragonfly { h },
+        format!("df h={h}"),
+        nr,
+        h.max(1),
+        edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_dragonfly_counts() {
+        let d = dragonfly(2);
+        // a = 4, g = 9, N_r = 36, p = 2 -> N = 72.
+        assert_eq!(d.router_count(), 36);
+        assert_eq!(d.node_count(), 72);
+        // Radix: (a - 1) intra + h global = 3 + 2 = 5.
+        assert!(d.is_regular());
+        assert_eq!(d.network_radix(), 5);
+    }
+
+    #[test]
+    fn diameter_is_three() {
+        for h in [1, 2, 3] {
+            let d = dragonfly(h);
+            assert!(d.diameter() <= 3, "h = {h}: diameter {}", d.diameter());
+            if h > 1 {
+                assert_eq!(d.diameter(), 3, "h = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_cable_between_every_two_groups() {
+        let h = 2;
+        let a = 2 * h;
+        let d = dragonfly(h);
+        let g = 2 * h * h + 1;
+        for g1 in 0..g {
+            for g2 in g1 + 1..g {
+                let cables = d
+                    .links()
+                    .filter(|&(x, y)| {
+                        let gx = x.index() / a;
+                        let gy = y.index() / a;
+                        (gx == g1 && gy == g2) || (gx == g2 && gy == g1)
+                    })
+                    .count();
+                assert_eq!(cables, 1, "groups ({g1}, {g2})");
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_has_more_routers_than_slim_fly_at_similar_n() {
+        // §2.1: SF reduces router count by ≈25% vs. a DF of comparable N.
+        let df = dragonfly(3); // N_r = 6 * 19 = 114, N = 342
+        let sf = Topology::slim_noc(7, 4).unwrap(); // N_r = 98, N = 392
+        assert!(df.router_count() as f64 > sf.router_count() as f64 * 1.1);
+        assert!(sf.network_radix() > df.network_radix());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for topology construction.
+
+use snoc_field::FieldError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The underlying finite-field machinery rejected the parameters.
+    Field(FieldError),
+    /// The concentration (nodes per router) must be positive.
+    ZeroConcentration,
+    /// An unknown named configuration was requested.
+    UnknownConfig {
+        /// The requested configuration name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Field(e) => write!(f, "field error: {e}"),
+            TopologyError::ZeroConcentration => {
+                write!(f, "concentration must be at least 1")
+            }
+            TopologyError::UnknownConfig { name } => {
+                write!(f, "unknown paper configuration `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TopologyError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FieldError> for TopologyError {
+    fn from(e: FieldError) -> Self {
+        TopologyError::Field(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = TopologyError::Field(FieldError::NotPrimePower { q: 6 });
+        assert!(e.to_string().contains("prime power"));
+        assert!(e.source().is_some());
+        assert!(TopologyError::ZeroConcentration.source().is_none());
+    }
+}

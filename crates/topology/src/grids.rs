@@ -1,0 +1,292 @@
+//! Grid-based baseline topologies: mesh/CM, torus, FBF, PFBF.
+
+use crate::{Topology, TopologyKind};
+
+fn grid_index(x: usize, _y_dim: usize, x_dim: usize, y: usize) -> usize {
+    y * x_dim + x
+}
+
+/// 2D mesh (and, with `p > 1`, the paper's concentrated mesh CM).
+pub(crate) fn mesh(x_dim: usize, y_dim: usize, concentration: usize) -> Topology {
+    assert!(x_dim > 0 && y_dim > 0, "mesh dimensions must be positive");
+    assert!(concentration > 0, "concentration must be positive");
+    let mut edges = Vec::new();
+    for y in 0..y_dim {
+        for x in 0..x_dim {
+            let i = grid_index(x, y_dim, x_dim, y);
+            if x + 1 < x_dim {
+                edges.push((i, grid_index(x + 1, y_dim, x_dim, y)));
+            }
+            if y + 1 < y_dim {
+                edges.push((i, grid_index(x, y_dim, x_dim, y + 1)));
+            }
+        }
+    }
+    let name = if concentration > 1 {
+        format!("cm {x_dim}x{y_dim}")
+    } else {
+        format!("mesh {x_dim}x{y_dim}")
+    };
+    Topology::from_edges(
+        TopologyKind::Mesh { x: x_dim, y: y_dim },
+        name,
+        x_dim * y_dim,
+        concentration,
+        edges,
+    )
+}
+
+/// 2D torus (T2D).
+pub(crate) fn torus(x_dim: usize, y_dim: usize, concentration: usize) -> Topology {
+    assert!(x_dim > 0 && y_dim > 0, "torus dimensions must be positive");
+    assert!(concentration > 0, "concentration must be positive");
+    let mut edges = Vec::new();
+    for y in 0..y_dim {
+        for x in 0..x_dim {
+            let i = grid_index(x, y_dim, x_dim, y);
+            // Wrap links; guard against duplicate edges in 2-long rings.
+            if x_dim > 1 {
+                let nx = (x + 1) % x_dim;
+                let j = grid_index(nx, y_dim, x_dim, y);
+                if i < j || nx == 0 && x_dim > 2 {
+                    edges.push((i, j));
+                } else if x_dim == 2 && x == 0 {
+                    edges.push((i, j));
+                }
+            }
+            if y_dim > 1 {
+                let ny = (y + 1) % y_dim;
+                let j = grid_index(x, y_dim, x_dim, ny);
+                if i < j || ny == 0 && y_dim > 2 {
+                    edges.push((i, j));
+                } else if y_dim == 2 && y == 0 {
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    Topology::from_edges(
+        TopologyKind::Torus { x: x_dim, y: y_dim },
+        format!("t2d {x_dim}x{y_dim}"),
+        x_dim * y_dim,
+        concentration,
+        edges,
+    )
+}
+
+/// Full-bandwidth Flattened Butterfly: complete connectivity along each
+/// row and each column.
+pub(crate) fn flattened_butterfly(
+    x_dim: usize,
+    y_dim: usize,
+    concentration: usize,
+) -> Topology {
+    assert!(x_dim > 0 && y_dim > 0, "fbf dimensions must be positive");
+    assert!(concentration > 0, "concentration must be positive");
+    let mut edges = Vec::new();
+    for y in 0..y_dim {
+        for x in 0..x_dim {
+            let i = grid_index(x, y_dim, x_dim, y);
+            // Row peers to the right.
+            for x2 in x + 1..x_dim {
+                edges.push((i, grid_index(x2, y_dim, x_dim, y)));
+            }
+            // Column peers below.
+            for y2 in y + 1..y_dim {
+                edges.push((i, grid_index(x, y_dim, x_dim, y2)));
+            }
+        }
+    }
+    Topology::from_edges(
+        TopologyKind::FlattenedButterfly { x: x_dim, y: y_dim },
+        format!("fbf {x_dim}x{y_dim}"),
+        x_dim * y_dim,
+        concentration,
+        edges,
+    )
+}
+
+/// Partitioned FBF (paper Fig. 9): a `parts_x × parts_y` grid of identical
+/// `sub_x × sub_y` FBFs. Each router has full FBF connectivity inside its
+/// partition plus one link to the same-positioned router in each adjacent
+/// partition (one port per partitioned dimension when there are two
+/// partitions along it).
+pub(crate) fn partitioned_fbf(
+    parts_x: usize,
+    parts_y: usize,
+    sub_x: usize,
+    sub_y: usize,
+    concentration: usize,
+) -> Topology {
+    assert!(
+        parts_x > 0 && parts_y > 0 && sub_x > 0 && sub_y > 0,
+        "pfbf dimensions must be positive"
+    );
+    assert!(concentration > 0, "concentration must be positive");
+    let x_dim = parts_x * sub_x;
+    let y_dim = parts_y * sub_y;
+    let gi = |x: usize, y: usize| y * x_dim + x;
+    let mut edges = Vec::new();
+
+    // Intra-partition FBF links.
+    for py in 0..parts_y {
+        for px in 0..parts_x {
+            let ox = px * sub_x;
+            let oy = py * sub_y;
+            for y in 0..sub_y {
+                for x in 0..sub_x {
+                    let i = gi(ox + x, oy + y);
+                    for x2 in x + 1..sub_x {
+                        edges.push((i, gi(ox + x2, oy + y)));
+                    }
+                    for y2 in y + 1..sub_y {
+                        edges.push((i, gi(ox + x, oy + y2)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Inter-partition links: same-positioned router in the next partition
+    // along each dimension.
+    for py in 0..parts_y {
+        for px in 0..parts_x {
+            for y in 0..sub_y {
+                for x in 0..sub_x {
+                    let i = gi(px * sub_x + x, py * sub_y + y);
+                    if px + 1 < parts_x {
+                        edges.push((i, gi((px + 1) * sub_x + x, py * sub_y + y)));
+                    }
+                    if py + 1 < parts_y {
+                        edges.push((i, gi(px * sub_x + x, (py + 1) * sub_y + y)));
+                    }
+                }
+            }
+        }
+    }
+
+    Topology::from_edges(
+        TopologyKind::PartitionedFbf {
+            parts_x,
+            parts_y,
+            sub_x,
+            sub_y,
+        },
+        format!("pfbf {parts_x}x{parts_y} of {sub_x}x{sub_y}"),
+        x_dim * y_dim,
+        concentration,
+        edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterId;
+
+    #[test]
+    fn mesh_degrees() {
+        let m = mesh(4, 4, 1);
+        assert_eq!(m.network_radix(), 4);
+        assert_eq!(m.min_degree(), 2); // corners
+        assert_eq!(m.link_count(), 2 * 4 * 3); // 24 links in a 4x4 mesh
+        assert_eq!(m.diameter(), 6);
+    }
+
+    #[test]
+    fn mesh_1d_is_a_line() {
+        let m = mesh(5, 1, 1);
+        assert_eq!(m.diameter(), 4);
+        assert_eq!(m.link_count(), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let t = torus(4, 4, 1);
+        assert!(t.is_regular());
+        assert_eq!(t.network_radix(), 4);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.link_count(), 32);
+    }
+
+    #[test]
+    fn torus_two_wide_has_no_duplicate_links() {
+        // A 2-ring would naively create doubled edges; ensure dedup keeps
+        // the graph simple and degree ≤ 4.
+        let t = torus(2, 4, 1);
+        assert!(t.network_radix() <= 4);
+        for r in t.routers() {
+            let n = t.neighbors(r);
+            let mut d = n.to_vec();
+            d.dedup();
+            assert_eq!(d.len(), n.len());
+        }
+    }
+
+    #[test]
+    fn paper_torus_configs() {
+        // Table 4: t2d4 = 10x5 grid, p = 4, k' = 4, N = 200.
+        let t = torus(10, 5, 4);
+        assert_eq!(t.node_count(), 200);
+        assert_eq!(t.network_radix(), 4);
+        assert_eq!(t.router_radix(), 8);
+        // t2d9 = 12x12, p = 9, N = 1296, k = 13.
+        let t = torus(12, 12, 9);
+        assert_eq!(t.node_count(), 1296);
+        assert_eq!(t.router_radix(), 13);
+    }
+
+    #[test]
+    fn fbf_radix_matches_paper() {
+        // Table 4: fbf3 = 8x8, k' = 14; fbf4 = 10x5, k' = 13;
+        // fbf9 = 12x12, k' = 22; fbf8 = 18x9, k' = 25.
+        assert_eq!(flattened_butterfly(8, 8, 3).network_radix(), 14);
+        assert_eq!(flattened_butterfly(10, 5, 4).network_radix(), 13);
+        assert_eq!(flattened_butterfly(12, 12, 9).network_radix(), 22);
+        assert_eq!(flattened_butterfly(18, 9, 8).network_radix(), 25);
+    }
+
+    #[test]
+    fn fbf_diameter_two() {
+        let f = flattened_butterfly(8, 8, 3);
+        assert_eq!(f.diameter(), 2);
+        assert!(f.is_regular());
+    }
+
+    #[test]
+    fn pfbf_radix_matches_paper() {
+        // Table 4: pfbf3 = 4 FBFs (4x4 each), k' = 8;
+        // pfbf4 = 2 FBFs (5x5), k' = 9; pfbf9 = 4 FBFs (6x6), k' = 12;
+        // pfbf8 = 2 FBFs (9x9), k' = 17.
+        assert_eq!(partitioned_fbf(2, 2, 4, 4, 3).network_radix(), 8);
+        assert_eq!(partitioned_fbf(2, 1, 5, 5, 4).network_radix(), 9);
+        assert_eq!(partitioned_fbf(2, 2, 6, 6, 9).network_radix(), 12);
+        assert_eq!(partitioned_fbf(2, 1, 9, 9, 8).network_radix(), 17);
+    }
+
+    #[test]
+    fn pfbf_diameter_four() {
+        // Paper: PFBF has D = 4.
+        assert_eq!(partitioned_fbf(2, 2, 4, 4, 3).diameter(), 4);
+        assert_eq!(partitioned_fbf(2, 2, 6, 6, 9).diameter(), 4);
+        // With a single partitioned dimension the diameter is 3.
+        assert_eq!(partitioned_fbf(2, 1, 5, 5, 4).diameter(), 3);
+    }
+
+    #[test]
+    fn pfbf_node_counts_match_paper() {
+        assert_eq!(partitioned_fbf(2, 2, 4, 4, 3).node_count(), 192);
+        assert_eq!(partitioned_fbf(2, 1, 5, 5, 4).node_count(), 200);
+        assert_eq!(partitioned_fbf(2, 2, 6, 6, 9).node_count(), 1296);
+        assert_eq!(partitioned_fbf(2, 1, 9, 9, 8).node_count(), 1296);
+    }
+
+    #[test]
+    fn node_router_attachment() {
+        let t = mesh(3, 3, 4);
+        assert_eq!(t.node_count(), 36);
+        assert_eq!(t.router_of(crate::NodeId(0)), RouterId(0));
+        assert_eq!(t.router_of(crate::NodeId(35)), RouterId(8));
+        assert_eq!(t.nodes_of(RouterId(2)).len(), 4);
+    }
+}

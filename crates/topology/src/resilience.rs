@@ -1,0 +1,197 @@
+//! Link-failure resilience analysis.
+//!
+//! The paper credits Slim Fly's underlying degree-diameter graphs with
+//! "high resilience to link failures because the considered graphs are
+//! good expanders" (§2.1, citing Pippenger & Lin). This module makes
+//! that claim testable: remove a random subset of links and measure how
+//! connectivity and path lengths degrade.
+
+use crate::{RouterId, Topology};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Result of one link-failure experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceReport {
+    /// Fraction of links removed.
+    pub failed_fraction: f64,
+    /// Number of links removed.
+    pub failed_links: usize,
+    /// `true` if all routers remain mutually reachable.
+    pub connected: bool,
+    /// Diameter of the largest connected component after failures.
+    pub diameter: usize,
+    /// Average shortest-path length within the largest component.
+    pub average_path: f64,
+    /// Size of the largest connected component (routers).
+    pub largest_component: usize,
+}
+
+impl Topology {
+    /// Simulates random link failures: removes `⌊fraction · links⌋`
+    /// links chosen uniformly with `seed`, then reports connectivity and
+    /// path-length degradation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1)`.
+    #[must_use]
+    pub fn link_failure_report(&self, fraction: f64, seed: u64) -> ResilienceReport {
+        assert!((0.0..1.0).contains(&fraction), "fraction in [0, 1)");
+        let mut links: Vec<(RouterId, RouterId)> = self.links().collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        links.shuffle(&mut rng);
+        let fail_count = (fraction * links.len() as f64).floor() as usize;
+        let surviving = &links[fail_count..];
+
+        // Rebuild adjacency for the degraded graph.
+        let nr = self.router_count();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nr];
+        for &(a, b) in surviving {
+            adj[a.index()].push(b.index());
+            adj[b.index()].push(a.index());
+        }
+
+        // Largest component + BFS path stats inside it.
+        let mut component = vec![usize::MAX; nr];
+        let mut comp_sizes = Vec::new();
+        for start in 0..nr {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = comp_sizes.len();
+            let mut size = 0;
+            let mut queue = VecDeque::from([start]);
+            component[start] = id;
+            while let Some(v) = queue.pop_front() {
+                size += 1;
+                for &w in &adj[v] {
+                    if component[w] == usize::MAX {
+                        component[w] = id;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            comp_sizes.push(size);
+        }
+        let (largest_id, &largest) = comp_sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("at least one component");
+
+        let mut diameter = 0usize;
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for src in 0..nr {
+            if component[src] != largest_id {
+                continue;
+            }
+            let mut dist = vec![usize::MAX; nr];
+            dist[src] = 0;
+            let mut queue = VecDeque::from([src]);
+            while let Some(v) = queue.pop_front() {
+                for &w in &adj[v] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for (j, &d) in dist.iter().enumerate() {
+                if j > src && component[j] == largest_id {
+                    diameter = diameter.max(d);
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+        ResilienceReport {
+            failed_fraction: fraction,
+            failed_links: fail_count,
+            connected: largest == nr,
+            diameter,
+            average_path: if pairs == 0 {
+                0.0
+            } else {
+                total as f64 / pairs as f64
+            },
+            largest_component: largest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_failures_match_path_stats() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let r = t.link_failure_report(0.0, 1);
+        assert!(r.connected);
+        assert_eq!(r.failed_links, 0);
+        assert_eq!(r.diameter, t.diameter());
+        let stats = t.path_stats();
+        assert!((r.average_path - stats.average).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slim_noc_survives_moderate_failures() {
+        // Expander-like behaviour: 10% random link failures leave the
+        // network connected with a small diameter increase.
+        let t = Topology::slim_noc(7, 1).unwrap();
+        for seed in 0..5 {
+            let r = t.link_failure_report(0.10, seed);
+            assert!(r.connected, "seed {seed}: {r:?}");
+            assert!(r.diameter <= 4, "seed {seed}: diameter {}", r.diameter);
+        }
+    }
+
+    #[test]
+    fn slim_noc_more_resilient_than_torus() {
+        // At 20% failures, SN (high-degree expander) should keep a larger
+        // connected component and a smaller diameter than a torus of
+        // similar router count.
+        let sn = Topology::slim_noc(5, 1).unwrap(); // 50 routers, k' = 7
+        let t2d = Topology::torus(10, 5, 1); // 50 routers, k' = 4
+        let mut sn_diam = 0usize;
+        let mut t2d_diam = 0usize;
+        let mut sn_comp = 0usize;
+        let mut t2d_comp = 0usize;
+        for seed in 0..8 {
+            let a = sn.link_failure_report(0.20, seed);
+            let b = t2d.link_failure_report(0.20, seed);
+            sn_diam += a.diameter;
+            t2d_diam += b.diameter;
+            sn_comp += a.largest_component;
+            t2d_comp += b.largest_component;
+        }
+        assert!(
+            sn_diam < t2d_diam,
+            "SN avg diameter {sn_diam} vs T2D {t2d_diam} (x8 runs)"
+        );
+        assert!(sn_comp >= t2d_comp, "SN components {sn_comp} vs {t2d_comp}");
+    }
+
+    #[test]
+    fn heavy_failures_eventually_disconnect() {
+        let t = Topology::mesh(4, 4, 1);
+        // Removing 80% of a mesh's links disconnects it for most seeds.
+        let disconnected = (0..10)
+            .filter(|&s| !t.link_failure_report(0.8, s).connected)
+            .count();
+        assert!(disconnected >= 5, "only {disconnected}/10 disconnected");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        assert_eq!(
+            t.link_failure_report(0.15, 3),
+            t.link_failure_report(0.15, 3)
+        );
+    }
+}

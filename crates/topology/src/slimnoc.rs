@@ -1,0 +1,263 @@
+//! Slim NoC (MMS graph) construction — Eqs. (8)–(10) of the paper.
+
+use crate::{Topology, TopologyError, TopologyKind};
+use snoc_field::{Elem, GeneratorSets, Gf, SlimFlyParams};
+use std::fmt;
+
+/// The paper's router label `[G|a, b]` (§3.2.1, Fig. 2b): `G` is the
+/// subgroup type (0 or 1), `a` the subgroup identifier, `b` the position in
+/// the subgroup. `a` and `b` are field elements, stored by canonical index
+/// (0-based; the paper prints them 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouterLabel {
+    /// Subgroup type `G ∈ {0, 1}`.
+    pub g: usize,
+    /// Subgroup ID `a` (0-based field-element index).
+    pub a: usize,
+    /// Position in the subgroup `b` (0-based field-element index).
+    pub b: usize,
+}
+
+impl RouterLabel {
+    /// The unique router index for this label:
+    /// `i = G·q² + a·q + b` (0-based version of the paper's formula
+    /// `i = G·q² + (a−1)·q + b`).
+    #[must_use]
+    pub fn index(&self, q: usize) -> usize {
+        self.g * q * q + self.a * q + self.b
+    }
+
+    /// Reconstructs the label from a router index.
+    #[must_use]
+    pub fn from_index(i: usize, q: usize) -> Self {
+        RouterLabel {
+            g: i / (q * q),
+            a: (i / q) % q,
+            b: i % q,
+        }
+    }
+}
+
+impl fmt::Display for RouterLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper prints labels 1-based: [G|a, b] with a, b ∈ {1..q}.
+        write!(f, "[{}|{},{}]", self.g, self.a + 1, self.b + 1)
+    }
+}
+
+/// Builds the Slim NoC topology for parameter `q` and concentration `p`.
+pub(crate) fn build(q: usize, concentration: usize) -> Result<Topology, TopologyError> {
+    if concentration == 0 {
+        return Err(TopologyError::ZeroConcentration);
+    }
+    let params = SlimFlyParams::new(q)?;
+    let field = Gf::new(q)?;
+    let sets = GeneratorSets::generate(&field)?;
+    Ok(build_with(&field, &sets, params, concentration))
+}
+
+/// Builds the MMS graph given an explicit field and generator sets.
+///
+/// Subgroup type 0 routers are `[0|a, b]`; type 1 routers `[1|m, c]`.
+/// Connections (paper Eqs. 8–10):
+///
+/// - `[0|a,b] ⇌ [0|a,b']  ⇔  b − b' ∈ X`
+/// - `[1|m,c] ⇌ [1|m,c']  ⇔  c − c' ∈ X'`
+/// - `[0|a,b] ⇌ [1|m,c]  ⇔  b = m·a + c`
+pub(crate) fn build_with(
+    field: &Gf,
+    sets: &GeneratorSets,
+    params: SlimFlyParams,
+    concentration: usize,
+) -> Topology {
+    let q = field.order();
+    let nr = params.router_count();
+    let idx = |g: usize, a: Elem, b: Elem| g * q * q + a.index() * q + b.index();
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    // Intra-subgroup links, type 0 (Eq. 8) and type 1 (Eq. 9).
+    for a in field.elements() {
+        for b in field.elements() {
+            for bp in field.elements() {
+                if b < bp && sets.x().contains(&field.sub(b, bp)) {
+                    edges.push((idx(0, a, b), idx(0, a, bp)));
+                }
+                if b < bp && sets.x_prime().contains(&field.sub(b, bp)) {
+                    edges.push((idx(1, a, b), idx(1, a, bp)));
+                }
+            }
+        }
+    }
+
+    // Inter-subgroup links (Eq. 10): [0|a,b] ⇌ [1|m,c] iff b = m·a + c.
+    for a in field.elements() {
+        for b in field.elements() {
+            for m in field.elements() {
+                let c = field.sub(b, field.mul(m, a));
+                edges.push((idx(0, a, b), idx(1, m, c)));
+            }
+        }
+    }
+
+    let labels: Vec<RouterLabel> = (0..nr).map(|i| RouterLabel::from_index(i, q)).collect();
+
+    Topology::from_edges(
+        TopologyKind::SlimNoc { q, labels },
+        format!("sn q={q}"),
+        nr,
+        concentration,
+        edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterId;
+
+    #[test]
+    fn label_index_roundtrip() {
+        for q in [2, 3, 5, 9] {
+            for i in 0..2 * q * q {
+                let label = RouterLabel::from_index(i, q);
+                assert_eq!(label.index(q), i, "q = {q}, i = {i}");
+                assert!(label.g < 2 && label.a < q && label.b < q);
+            }
+        }
+    }
+
+    #[test]
+    fn label_display_is_one_based() {
+        let l = RouterLabel { g: 1, a: 0, b: 4 };
+        assert_eq!(l.to_string(), "[1|1,5]");
+    }
+
+    #[test]
+    fn slim_noc_is_regular_with_paper_radix() {
+        for q in [2, 3, 4, 5, 7, 8, 9] {
+            let t = Topology::slim_noc(q, 1).unwrap();
+            let params = SlimFlyParams::new(q).unwrap();
+            assert!(t.is_regular(), "q = {q}");
+            assert_eq!(t.network_radix(), params.network_radix(), "q = {q}");
+            assert_eq!(t.router_count(), params.router_count(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn slim_noc_has_diameter_two() {
+        // The headline structural property (q = 2 gives a tiny graph that
+        // is diameter 2 as well).
+        for q in [2, 3, 4, 5, 7, 8, 9] {
+            let t = Topology::slim_noc(q, 1).unwrap();
+            assert_eq!(t.diameter(), 2, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn no_links_between_same_type_different_subgroups() {
+        // §2.1: "No links exist between subgroups of the same type."
+        let q = 5;
+        let t = Topology::slim_noc(q, 1).unwrap();
+        let labels = t.slim_noc_labels().unwrap().to_vec();
+        for (a, b) in t.links() {
+            let la = labels[a.index()];
+            let lb = labels[b.index()];
+            if la.g == lb.g {
+                assert_eq!(la.a, lb.a, "same-type link must stay within a subgroup");
+            }
+        }
+    }
+
+    #[test]
+    fn every_two_opposite_subgroups_joined_by_q_cables() {
+        // §2.1: "Every two subgroups of different types are connected with
+        // the same number of cables (also q)."
+        let q = 5;
+        let t = Topology::slim_noc(q, 1).unwrap();
+        let labels = t.slim_noc_labels().unwrap().to_vec();
+        for a0 in 0..q {
+            for a1 in 0..q {
+                let count = t
+                    .links()
+                    .filter(|&(x, y)| {
+                        let lx = labels[x.index()];
+                        let ly = labels[y.index()];
+                        (lx.g == 0 && lx.a == a0 && ly.g == 1 && ly.a == a1)
+                            || (ly.g == 0 && ly.a == a0 && lx.g == 1 && lx.a == a1)
+                    })
+                    .count();
+                assert_eq!(count, q, "subgroups ({a0}, {a1})");
+            }
+        }
+    }
+
+    #[test]
+    fn groups_form_complete_graph_with_uniform_cable_count() {
+        // §2.1 describes groups (subgroups of both types merged pairwise)
+        // forming a complete graph with a uniform number of cables per
+        // group pair. With the diagonal pairing ([0|a,·] with [1|a,·]) the
+        // exact count implied by Eq. 10 is 2q per pair: each of the two
+        // opposite-type subgroup pairs across the two groups contributes
+        // exactly q cables. (The paper's prose says 2(q−1); the
+        // construction itself, which we verify here, gives 2q.)
+        let q = 5;
+        let t = Topology::slim_noc(q, 1).unwrap();
+        let labels = t.slim_noc_labels().unwrap().to_vec();
+        for ga in 0..q {
+            for gb in (ga + 1)..q {
+                let count = t
+                    .links()
+                    .filter(|&(x, y)| {
+                        let ax = labels[x.index()].a;
+                        let ay = labels[y.index()].a;
+                        (ax == ga && ay == gb) || (ax == gb && ay == ga)
+                    })
+                    .count();
+                assert_eq!(count, 2 * q, "groups ({ga}, {gb})");
+            }
+        }
+    }
+
+    #[test]
+    fn sn_s_structure() {
+        // SN-S (§3.4): 200 nodes, 50 routers, 10 subgroups, 5 groups.
+        let t = Topology::slim_noc(5, 4).unwrap();
+        assert_eq!(t.node_count(), 200);
+        assert_eq!(t.router_count(), 50);
+        assert_eq!(t.router_radix(), 11); // k = k' + p = 7 + 4
+    }
+
+    #[test]
+    fn sn_l_structure() {
+        // SN-L (§3.4): 1296 nodes, 162 routers, 9 groups of 18 routers.
+        let t = Topology::slim_noc(9, 8).unwrap();
+        assert_eq!(t.node_count(), 1296);
+        assert_eq!(t.router_count(), 162);
+        assert_eq!(t.network_radix(), 13);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_unique() {
+        let t = Topology::slim_noc(7, 1).unwrap();
+        for r in t.routers() {
+            let n = t.neighbors(r);
+            for w in n.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(!n.contains(&r), "no self-loop at {r}");
+        }
+    }
+
+    #[test]
+    fn connectivity_is_symmetric() {
+        let t = Topology::slim_noc(5, 1).unwrap();
+        for a in t.routers() {
+            for &b in t.neighbors(a) {
+                assert!(t.connected(b, a));
+            }
+        }
+        assert!(!t.connected(RouterId(0), RouterId(0)));
+    }
+}

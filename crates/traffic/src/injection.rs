@@ -1,0 +1,194 @@
+//! Injection processes: Bernoulli flit-rate injection with optional
+//! Markov-modulated burstiness.
+
+use rand::{Rng, RngExt};
+
+/// A two-state (on/off) Markov burst model.
+///
+/// While *on*, a node injects at the full configured rate; while *off* it
+/// injects nothing. Transition probabilities control burst and gap
+/// lengths. The stationary on-fraction is
+/// `p_on = off_to_on / (off_to_on + on_to_off)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstModel {
+    /// Probability of switching off → on each cycle.
+    pub off_to_on: f64,
+    /// Probability of switching on → off each cycle.
+    pub on_to_off: f64,
+}
+
+impl BurstModel {
+    /// A model that is always on (no burstiness).
+    #[must_use]
+    pub fn uniform() -> Self {
+        BurstModel {
+            off_to_on: 1.0,
+            on_to_off: 0.0,
+        }
+    }
+
+    /// Stationary fraction of time spent in the on state.
+    #[must_use]
+    pub fn on_fraction(&self) -> f64 {
+        if self.off_to_on + self.on_to_off == 0.0 {
+            1.0
+        } else {
+            self.off_to_on / (self.off_to_on + self.on_to_off)
+        }
+    }
+}
+
+/// A per-node Bernoulli injection process at a target *flit* rate.
+///
+/// The paper reports load in flits/node/cycle; a packet of `packet_flits`
+/// flits is injected with probability `rate / packet_flits` per cycle so
+/// the offered flit rate matches. With a [`BurstModel`], the on-state rate
+/// is scaled by `1 / on_fraction` to keep the long-run offered load equal
+/// to `rate`.
+#[derive(Debug, Clone)]
+pub struct InjectionProcess {
+    rate: f64,
+    packet_flits: usize,
+    burst: BurstModel,
+    /// Per-node on/off state.
+    on: Vec<bool>,
+    on_rate: f64,
+}
+
+impl InjectionProcess {
+    /// Creates a process for `nodes` endpoints at `rate` flits/node/cycle
+    /// with fixed `packet_flits`-flit packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_flits == 0`, `rate < 0`, or the burst model's
+    /// probabilities are outside `[0, 1]`.
+    #[must_use]
+    pub fn new(nodes: usize, rate: f64, packet_flits: usize, burst: BurstModel) -> Self {
+        assert!(packet_flits > 0, "packets need at least one flit");
+        assert!(rate >= 0.0, "rate must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&burst.off_to_on) && (0.0..=1.0).contains(&burst.on_to_off),
+            "burst probabilities must be in [0, 1]"
+        );
+        let on_fraction = burst.on_fraction().max(1e-9);
+        let on_rate = (rate / packet_flits as f64 / on_fraction).min(1.0);
+        InjectionProcess {
+            rate,
+            packet_flits,
+            burst,
+            on: vec![true; nodes],
+            on_rate,
+        }
+    }
+
+    /// Offered load in flits/node/cycle.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Packet size in flits.
+    #[must_use]
+    pub fn packet_flits(&self) -> usize {
+        self.packet_flits
+    }
+
+    /// Advances node `node` by one cycle; returns `true` if a new packet
+    /// should be injected this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn tick<R: Rng + ?Sized>(&mut self, node: usize, rng: &mut R) -> bool {
+        let state = &mut self.on[node];
+        if *state {
+            if self.burst.on_to_off > 0.0 && rng.random_bool(self.burst.on_to_off) {
+                *state = false;
+            }
+        } else if self.burst.off_to_on >= 1.0 || rng.random_bool(self.burst.off_to_on) {
+            *state = true;
+        }
+        *state && self.on_rate > 0.0 && rng.random_bool(self.on_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_injection_hits_target_rate() {
+        let mut p = InjectionProcess::new(1, 0.12, 6, BurstModel::uniform());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cycles = 200_000;
+        let mut packets = 0usize;
+        for _ in 0..cycles {
+            if p.tick(0, &mut rng) {
+                packets += 1;
+            }
+        }
+        let flit_rate = packets as f64 * 6.0 / cycles as f64;
+        assert!((flit_rate - 0.12).abs() < 0.01, "measured {flit_rate}");
+    }
+
+    #[test]
+    fn bursty_injection_preserves_long_run_rate() {
+        let burst = BurstModel {
+            off_to_on: 0.02,
+            on_to_off: 0.02,
+        };
+        assert!((burst.on_fraction() - 0.5).abs() < 1e-12);
+        let mut p = InjectionProcess::new(1, 0.10, 2, burst);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cycles = 400_000;
+        let mut packets = 0usize;
+        for _ in 0..cycles {
+            if p.tick(0, &mut rng) {
+                packets += 1;
+            }
+        }
+        let flit_rate = packets as f64 * 2.0 / cycles as f64;
+        assert!((flit_rate - 0.10).abs() < 0.01, "measured {flit_rate}");
+    }
+
+    #[test]
+    fn burstiness_creates_gaps() {
+        let burst = BurstModel {
+            off_to_on: 0.01,
+            on_to_off: 0.05,
+        };
+        let mut p = InjectionProcess::new(1, 0.05, 1, burst);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Measure the longest idle gap; bursty traffic shows long gaps.
+        let mut longest_gap = 0usize;
+        let mut gap = 0usize;
+        for _ in 0..100_000 {
+            if p.tick(0, &mut rng) {
+                longest_gap = longest_gap.max(gap);
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+        }
+        assert!(longest_gap > 200, "longest gap {longest_gap}");
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let mut p = InjectionProcess::new(2, 0.0, 6, BurstModel::uniform());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(!p.tick(0, &mut rng));
+            assert!(!p.tick(1, &mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_packets_rejected() {
+        let _ = InjectionProcess::new(1, 0.1, 0, BurstModel::uniform());
+    }
+}

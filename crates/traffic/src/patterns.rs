@@ -1,0 +1,379 @@
+//! Synthetic traffic patterns (§5.1 and §6).
+
+use rand::{Rng, RngExt};
+use snoc_topology::{NodeId, Topology};
+use std::fmt;
+
+/// A synthetic traffic pattern.
+///
+/// Bit-permutation patterns operate on `⌈log₂ N⌉`-bit node identifiers
+/// and wrap out-of-range results modulo `N` (needed for the paper's
+/// non-power-of-two sizes such as `N = 200`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TrafficPattern {
+    /// RND: each source picks a uniformly random destination (≠ itself).
+    Random,
+    /// SHF: destination is the source ID with its bits rotated left by
+    /// one position.
+    BitShuffle,
+    /// REV: destination is the source ID with its bits reversed.
+    BitReversal,
+    /// ADV1: adversarial half-offset pattern `d = (s + N/2) mod N`.
+    /// Every router's nodes all target one fixed victim router, so the
+    /// whole router's traffic fights for a single deterministic minimal
+    /// path (the paper's "maximize load on single-link paths"); on
+    /// meshes and tori the same offset forces every packet across half
+    /// the die.
+    Adversarial1,
+    /// ADV2: adversarial bit-complement pattern `d = N − 1 − s`.
+    /// Paths cross the center of the die (maximal Manhattan distance on
+    /// grids) and concentrate on multi-link routes in low-diameter
+    /// networks (the paper's "maximize load on multi-link paths").
+    Adversarial2,
+    /// The asymmetric pattern of §6: destination is
+    /// `(s mod N/2) + N/2` or `(s mod N/2)`, each with probability ½.
+    Asymmetric,
+    /// TRANSPOSE-like permutation: swap the high and low halves of the ID
+    /// bits (a classic supplement used in the sensitivity analysis).
+    Transpose,
+}
+
+impl TrafficPattern {
+    /// All patterns used in the paper's main evaluation figures.
+    #[must_use]
+    pub fn paper_set() -> Vec<TrafficPattern> {
+        vec![
+            TrafficPattern::Adversarial1,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Random,
+            TrafficPattern::BitShuffle,
+        ]
+    }
+
+    /// Short name as used in the paper's figures.
+    #[must_use]
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            TrafficPattern::Random => "RND",
+            TrafficPattern::BitShuffle => "SHF",
+            TrafficPattern::BitReversal => "REV",
+            TrafficPattern::Adversarial1 => "ADV1",
+            TrafficPattern::Adversarial2 => "ADV2",
+            TrafficPattern::Asymmetric => "ASYM",
+            TrafficPattern::Transpose => "TRN",
+        }
+    }
+}
+
+impl fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A pattern compiled against a concrete topology, ready to sample
+/// destinations.
+///
+/// Deterministic patterns are precomputed per source; random patterns
+/// draw from the supplied RNG. `sample` returns `None` when the pattern
+/// maps a source onto itself (no packet is injected — such "traffic"
+/// never enters the network).
+#[derive(Debug, Clone)]
+pub struct PatternSampler {
+    pattern: TrafficPattern,
+    n: usize,
+    /// Precomputed destination per source for deterministic patterns.
+    fixed: Option<Vec<NodeId>>,
+}
+
+impl PatternSampler {
+    /// Compiles `pattern` for `topo`.
+    #[must_use]
+    pub fn new(pattern: TrafficPattern, topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let bits = n.next_power_of_two().trailing_zeros() as usize;
+        let fixed = match pattern {
+            TrafficPattern::Random | TrafficPattern::Asymmetric => None,
+            TrafficPattern::BitShuffle => Some(
+                (0..n)
+                    .map(|s| NodeId(rotate_left(s, bits) % n))
+                    .collect(),
+            ),
+            TrafficPattern::BitReversal => Some(
+                (0..n)
+                    .map(|s| NodeId(reverse_bits(s, bits) % n))
+                    .collect(),
+            ),
+            TrafficPattern::Transpose => Some(
+                (0..n)
+                    .map(|s| NodeId(transpose_bits(s, bits) % n))
+                    .collect(),
+            ),
+            TrafficPattern::Adversarial1 => {
+                Some((0..n).map(|s| NodeId((s + n / 2) % n)).collect())
+            }
+            TrafficPattern::Adversarial2 => {
+                Some((0..n).map(|s| NodeId(n - 1 - s)).collect())
+            }
+        };
+        PatternSampler { pattern, n, fixed }
+    }
+
+    /// The compiled pattern.
+    #[must_use]
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// Samples the destination for a packet from `src`. Returns `None`
+    /// when the pattern sends `src` to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn sample<R: Rng + ?Sized>(&self, src: NodeId, rng: &mut R) -> Option<NodeId> {
+        assert!(src.index() < self.n, "source out of range");
+        let dst = match self.pattern {
+            TrafficPattern::Random => {
+                if self.n < 2 {
+                    return None;
+                }
+                // Uniform over all nodes except src.
+                let mut d = rng.random_range(0..self.n - 1);
+                if d >= src.index() {
+                    d += 1;
+                }
+                NodeId(d)
+            }
+            TrafficPattern::Asymmetric => {
+                let half = self.n / 2;
+                if half == 0 {
+                    return None;
+                }
+                let base = src.index() % half;
+                if rng.random_bool(0.5) {
+                    NodeId(base + half)
+                } else {
+                    NodeId(base)
+                }
+            }
+            _ => self.fixed.as_ref().expect("precomputed")[src.index()],
+        };
+        (dst != src).then_some(dst)
+    }
+}
+
+fn rotate_left(v: usize, bits: usize) -> usize {
+    if bits <= 1 {
+        return v;
+    }
+    let mask = (1usize << bits) - 1;
+    ((v << 1) & mask) | ((v >> (bits - 1)) & 1)
+}
+
+fn reverse_bits(v: usize, bits: usize) -> usize {
+    let mut out = 0;
+    for i in 0..bits {
+        if v >> i & 1 == 1 {
+            out |= 1 << (bits - 1 - i);
+        }
+    }
+    out
+}
+
+fn transpose_bits(v: usize, bits: usize) -> usize {
+    let half = bits / 2;
+    if half == 0 {
+        return v;
+    }
+    let low_mask = (1usize << half) - 1;
+    let low = v & low_mask;
+    let high = v >> half;
+    (low << (bits - half)) | high
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use snoc_topology::{RouterId, Topology};
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn bit_helpers() {
+        assert_eq!(rotate_left(0b1011, 4), 0b0111);
+        assert_eq!(reverse_bits(0b1000, 4), 0b0001);
+        assert_eq!(reverse_bits(0b1100, 4), 0b0011);
+        assert_eq!(transpose_bits(0b1100, 4), 0b0011);
+        assert_eq!(transpose_bits(0b0110, 4), 0b1001);
+    }
+
+    #[test]
+    fn random_pattern_never_self_and_in_range() {
+        let t = Topology::mesh(4, 4, 2);
+        let s = PatternSampler::new(TrafficPattern::Random, &t);
+        let mut r = rng();
+        for src in t.nodes() {
+            for _ in 0..20 {
+                let d = s.sample(src, &mut r).expect("random never self");
+                assert_ne!(d, src);
+                assert!(d.index() < t.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn random_pattern_is_roughly_uniform() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::Random, &t);
+        let mut r = rng();
+        let mut counts = vec![0usize; 16];
+        for _ in 0..16_000 {
+            counts[s.sample(NodeId(3), &mut r).unwrap().index()] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 3 {
+                assert!((800..1400).contains(&c), "node {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_patterns_are_permutation_like_on_power_of_two() {
+        // On power-of-two N the bit patterns are true permutations.
+        let t = Topology::mesh(4, 4, 1); // N = 16
+        for p in [
+            TrafficPattern::BitShuffle,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Transpose,
+        ] {
+            let s = PatternSampler::new(p, &t);
+            let mut seen = vec![false; 16];
+            let mut r = rng();
+            for src in t.nodes() {
+                let d = s
+                    .sample(src, &mut r)
+                    .map_or(src.index(), |d| d.index());
+                seen[d] = true;
+            }
+            let covered = seen.iter().filter(|&&s| s).count();
+            assert_eq!(covered, 16, "{p} must be a permutation");
+        }
+    }
+
+    #[test]
+    fn shuffle_matches_definition() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::BitShuffle, &t);
+        let mut r = rng();
+        // 0b0101 -> 0b1010.
+        assert_eq!(s.sample(NodeId(0b0101), &mut r), Some(NodeId(0b1010)));
+        // 0b1000 -> 0b0001.
+        assert_eq!(s.sample(NodeId(0b1000), &mut r), Some(NodeId(0b0001)));
+    }
+
+    #[test]
+    fn reversal_matches_definition() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::BitReversal, &t);
+        let mut r = rng();
+        assert_eq!(s.sample(NodeId(0b0001), &mut r), Some(NodeId(0b1000)));
+        // 0b0110 is a bit-palindrome: reversal maps it to itself -> None.
+        assert_eq!(s.sample(NodeId(0b0110), &mut r), None);
+    }
+
+    #[test]
+    fn self_mapping_sources_inject_nothing() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::BitReversal, &t);
+        let mut r = rng();
+        // 0 reverses to 0: no packet.
+        assert_eq!(s.sample(NodeId(0), &mut r), None);
+    }
+
+    #[test]
+    fn patterns_wrap_on_non_power_of_two() {
+        let t = Topology::slim_noc(5, 4).unwrap(); // N = 200
+        for p in [TrafficPattern::BitShuffle, TrafficPattern::BitReversal] {
+            let s = PatternSampler::new(p, &t);
+            let mut r = rng();
+            for src in t.nodes() {
+                if let Some(d) = s.sample(src, &mut r) {
+                    assert!(d.index() < 200, "{p}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adv1_is_half_offset() {
+        let t = Topology::slim_noc(5, 4).unwrap(); // N = 200
+        let s = PatternSampler::new(TrafficPattern::Adversarial1, &t);
+        let mut r = rng();
+        assert_eq!(s.sample(NodeId(0), &mut r), Some(NodeId(100)));
+        assert_eq!(s.sample(NodeId(150), &mut r), Some(NodeId(50)));
+    }
+
+    #[test]
+    fn adv1_concentrates_per_router_traffic_on_one_victim() {
+        // All nodes of a router share a single victim router, so the
+        // router's whole load fights for one deterministic minimal path.
+        let t = Topology::slim_noc(5, 4).unwrap();
+        let s = PatternSampler::new(TrafficPattern::Adversarial1, &t);
+        let mut r = rng();
+        for router in t.routers() {
+            let mut targets: Vec<RouterId> = t
+                .nodes_of(router)
+                .into_iter()
+                .filter_map(|n| s.sample(n, &mut r))
+                .map(|d| t.router_of(d))
+                .collect();
+            targets.dedup();
+            assert_eq!(targets.len(), 1, "all nodes of {router} share a victim");
+        }
+    }
+
+    #[test]
+    fn adv2_is_complement_and_crosses_the_die_on_meshes() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::Adversarial2, &t);
+        let mut r = rng();
+        assert_eq!(s.sample(NodeId(0), &mut r), Some(NodeId(15)));
+        // Corner-to-corner: maximal Manhattan distance on the grid.
+        let dist = t.distances_from(RouterId(0))[15];
+        assert_eq!(dist, 6);
+    }
+
+    #[test]
+    fn asymmetric_pattern_halves() {
+        let t = Topology::mesh(4, 4, 1);
+        let s = PatternSampler::new(TrafficPattern::Asymmetric, &t);
+        let mut r = rng();
+        for _ in 0..100 {
+            if let Some(d) = s.sample(NodeId(3), &mut r) {
+                assert!(d.index() == 3 + 8 || d.index() == 3);
+            }
+        }
+        // From the upper half, destinations map down or stay shifted.
+        for _ in 0..100 {
+            if let Some(d) = s.sample(NodeId(13), &mut r) {
+                assert!(d.index() == 5 || d.index() == 13);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_set_and_names() {
+        let set = TrafficPattern::paper_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(TrafficPattern::Random.to_string(), "RND");
+        assert_eq!(TrafficPattern::Adversarial1.to_string(), "ADV1");
+    }
+}

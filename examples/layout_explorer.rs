@@ -1,0 +1,55 @@
+//! Layout explorer: compare the four Slim NoC layouts of §3.3 for any
+//! configuration — wire lengths, buffer sizes, wiring-constraint slack
+//! and the resulting simulated latency.
+//!
+//! Run with: `cargo run --release --example layout_explorer [q] [p]`
+//! (defaults to the paper's SN-L: q = 9, p = 8).
+
+use slim_noc::layout::{
+    max_wires_per_tile, BufferModel, BufferSpec, Layout, SnLayout, TechNode,
+};
+use slim_noc::prelude::*;
+use slim_noc::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let q: usize = args.next().map_or(Ok(9), |s| s.parse())?;
+    let p: usize = args.next().map_or(Ok(8), |s| s.parse())?;
+    let topo = Topology::slim_noc(q, p)?;
+    println!("{topo}\n");
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>8} {:>9} {:>9}",
+        "layout", "grid", "avg wire", "max wire", "max W", "buf/rtr", "latency"
+    );
+
+    let w_limit = max_wires_per_tile(TechNode::N22, p);
+    for (name, kind) in [
+        ("sn_basic", SnLayout::Basic),
+        ("sn_rand", SnLayout::Random(7)),
+        ("sn_gr", SnLayout::Group),
+        ("sn_subgr", SnLayout::Subgroup),
+    ] {
+        let layout = Layout::slim_noc(&topo, kind)?;
+        let stats = layout.wire_stats(&topo);
+        assert!(
+            stats.satisfies_limit(w_limit),
+            "{name} violates the Eq. 3 constraint"
+        );
+        let buffers = BufferModel::edge_buffers(&topo, &layout, BufferSpec::standard());
+        let mut sim = Simulator::build_with_layout(&topo, &layout, &SimConfig::default())?;
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.06, 1_000, 5_000);
+        println!(
+            "{:<10} {:>3}x{:<3} {:>9.3} {:>10} {:>8} {:>9.0} {:>8.2}",
+            name,
+            layout.grid().0,
+            layout.grid().1,
+            layout.average_wire_length(&topo),
+            layout.max_wire_length(&topo),
+            stats.max_crossings,
+            buffers.average_per_router(),
+            report.avg_packet_latency(),
+        );
+    }
+    println!("\n(22nm wiring bound per tile: {w_limit} wires — all layouts satisfy Eq. 3)");
+    Ok(())
+}

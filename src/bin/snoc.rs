@@ -1,0 +1,275 @@
+//! `snoc` — command-line front end to the Slim NoC reproduction.
+//!
+//! Runs a single simulation (or an analysis) from the shell without
+//! writing Rust:
+//!
+//! ```text
+//! snoc sim --config sn_s --pattern rnd --load 0.1 --smart
+//! snoc sim --topology sn --q 9 --p 8 --buffers cbr20 --pattern adv1
+//! snoc analyze --config sn_l
+//! snoc list
+//! ```
+
+use slim_noc::core::{format_float, BufferPreset, Setup, TextTable};
+use slim_noc::layout::SnLayout;
+use slim_noc::power::TechNode;
+use slim_noc::prelude::*;
+use slim_noc::sim::RoutingKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("--help" | "-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "snoc — Slim NoC reproduction CLI
+
+USAGE:
+  snoc sim [OPTIONS]       run one simulation
+  snoc analyze [OPTIONS]   print topology/layout/cost analysis
+  snoc list                list named paper configurations
+
+SIM / ANALYZE OPTIONS:
+  --config <name>     a paper configuration (see `snoc list`)
+  --topology <kind>   sn | mesh | torus | fbf (with --x/--y or --q)
+  --q <q> --p <p>     Slim NoC parameters (default q=5 p=4)
+  --x <x> --y <y>     grid dimensions for mesh/torus/fbf (default 8x8)
+  --layout <name>     basic | subgr | gr | rand (Slim NoC only)
+  --buffers <name>    eb-small | eb-large | eb-var | el-links | cbr<N>
+  --pattern <name>    rnd | shf | rev | adv1 | adv2 | asym | trn
+  --routing <name>    min | ugal-l | ugal-g | xy
+  --load <f>          offered load in flits/node/cycle (default 0.05)
+  --warmup <cycles>   default 2000
+  --measure <cycles>  default 10000
+  --smart             enable SMART links (H = 9)
+  --tech <node>       45 | 22 | 11 (default 45)
+  --seed <n>          RNG seed"
+    );
+}
+
+struct Options {
+    setup: Setup,
+    pattern: TrafficPattern,
+    load: f64,
+    warmup: u64,
+    measure: u64,
+    tech: TechNode,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut config: Option<String> = None;
+    let mut topology = String::from("sn");
+    let (mut q, mut p) = (5usize, 4usize);
+    let (mut x, mut y) = (8usize, 8usize);
+    let mut layout: Option<String> = None;
+    let mut buffers: Option<String> = None;
+    let mut pattern = String::from("rnd");
+    let mut routing = String::from("min");
+    let mut load = 0.05f64;
+    let mut warmup = 2_000u64;
+    let mut measure = 10_000u64;
+    let mut smart = false;
+    let mut tech = String::from("45");
+    let mut seed: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--topology" => topology = value("--topology")?,
+            "--q" => q = value("--q")?.parse().map_err(|e| format!("--q: {e}"))?,
+            "--p" => p = value("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--x" => x = value("--x")?.parse().map_err(|e| format!("--x: {e}"))?,
+            "--y" => y = value("--y")?.parse().map_err(|e| format!("--y: {e}"))?,
+            "--layout" => layout = Some(value("--layout")?),
+            "--buffers" => buffers = Some(value("--buffers")?),
+            "--pattern" => pattern = value("--pattern")?,
+            "--routing" => routing = value("--routing")?,
+            "--load" => load = value("--load")?.parse().map_err(|e| format!("--load: {e}"))?,
+            "--warmup" => {
+                warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--measure" => {
+                measure = value("--measure")?.parse().map_err(|e| format!("--measure: {e}"))?;
+            }
+            "--smart" => smart = true,
+            "--tech" => tech = value("--tech")?,
+            "--seed" => seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut setup = if let Some(name) = config {
+        Setup::paper(&name).map_err(|e| e.to_string())?
+    } else {
+        let topo = match topology.as_str() {
+            "sn" => Topology::slim_noc(q, p).map_err(|e| e.to_string())?,
+            "mesh" => Topology::mesh(x, y, p),
+            "torus" => Topology::torus(x, y, p),
+            "fbf" => Topology::flattened_butterfly(x, y, p),
+            other => return Err(format!("unknown topology `{other}`")),
+        };
+        Setup::from_topology(&format!("{topology} (custom)"), topo, 0.5)
+            .map_err(|e| e.to_string())?
+    };
+    if let Some(l) = layout {
+        let kind = match l.as_str() {
+            "basic" => SnLayout::Basic,
+            "subgr" => SnLayout::Subgroup,
+            "gr" => SnLayout::Group,
+            "rand" => SnLayout::Random(seed.unwrap_or(1)),
+            other => return Err(format!("unknown layout `{other}`")),
+        };
+        setup = setup.with_sn_layout(kind).map_err(|e| e.to_string())?;
+    }
+    if let Some(b) = buffers {
+        let preset = match b.as_str() {
+            "eb-small" => BufferPreset::EbSmall,
+            "eb-large" => BufferPreset::EbLarge,
+            "eb-var" => BufferPreset::EbVar,
+            "el-links" => BufferPreset::ElLinks,
+            other => match other.strip_prefix("cbr") {
+                Some(n) => BufferPreset::Cbr(
+                    n.parse().map_err(|e| format!("--buffers cbr<N>: {e}"))?,
+                ),
+                None => return Err(format!("unknown buffers `{other}`")),
+            },
+        };
+        setup = setup.with_buffers(preset);
+    }
+    setup = setup.with_routing(match routing.as_str() {
+        "min" => RoutingKind::Minimal,
+        "ugal-l" => RoutingKind::UgalL,
+        "ugal-g" => RoutingKind::UgalG,
+        "xy" => RoutingKind::XyAdaptive,
+        other => return Err(format!("unknown routing `{other}`")),
+    });
+    setup = setup.with_smart(smart);
+    if let Some(s) = seed {
+        setup = setup.with_seed(s);
+    }
+    let pattern = match pattern.as_str() {
+        "rnd" => TrafficPattern::Random,
+        "shf" => TrafficPattern::BitShuffle,
+        "rev" => TrafficPattern::BitReversal,
+        "adv1" => TrafficPattern::Adversarial1,
+        "adv2" => TrafficPattern::Adversarial2,
+        "asym" => TrafficPattern::Asymmetric,
+        "trn" => TrafficPattern::Transpose,
+        other => return Err(format!("unknown pattern `{other}`")),
+    };
+    let tech = match tech.as_str() {
+        "45" => TechNode::N45,
+        "22" => TechNode::N22,
+        "11" => TechNode::N11,
+        other => return Err(format!("unknown tech node `{other}`")),
+    };
+    Ok(Options {
+        setup,
+        pattern,
+        load,
+        warmup,
+        measure,
+        tech,
+    })
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let opt = parse(args)?;
+    let report = opt
+        .setup
+        .run_load(opt.pattern, opt.load, opt.warmup, opt.measure);
+    let power = opt.setup.power_model(opt.tech).evaluate(
+        &opt.setup.topology,
+        &opt.setup.layout,
+        opt.setup.buffer_flits_per_router(),
+        &report,
+    );
+    let mut t = TextTable::new(
+        format!(
+            "{} | {} @ {} flits/node/cycle | buffers {} | H={}",
+            opt.setup.name, opt.pattern, opt.load, opt.setup.buffers, opt.setup.sim.smart_hops
+        ),
+        &["metric", "value"],
+    );
+    let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+    row("avg latency [cycles]", format_float(report.avg_packet_latency(), 2));
+    row("p99 latency [cycles]", report.latency_percentile(0.99).to_string());
+    row("throughput [flits/node/cycle]", format_float(report.throughput(), 4));
+    row("acceptance", format_float(report.acceptance(), 3));
+    row("avg hops", format_float(report.avg_hops(), 3));
+    row("delivered packets", report.delivered_packets.to_string());
+    row("drained", report.drained.to_string());
+    row("area [mm^2]", format_float(power.area.total_mm2(), 1));
+    row("static power [W]", format_float(power.static_power.total_w(), 2));
+    row("dynamic power [W]", format_float(power.dynamic_power.total_w(), 2));
+    row("throughput/power [flits/J]", format_float(power.throughput_per_power(), 3));
+    t.print(false);
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let opt = parse(args)?;
+    let topo = &opt.setup.topology;
+    let layout = &opt.setup.layout;
+    let stats = topo.path_stats();
+    let wires = layout.wire_stats(topo);
+    let mut t = TextTable::new(format!("analysis: {}", opt.setup.name), &["metric", "value"]);
+    let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+    row("nodes", topo.node_count().to_string());
+    row("routers", topo.router_count().to_string());
+    row("network radix k'", topo.network_radix().to_string());
+    row("router radix k", topo.router_radix().to_string());
+    row("diameter", stats.diameter.to_string());
+    row("avg path [hops]", format_float(stats.average, 3));
+    row("links", topo.link_count().to_string());
+    row("die grid", format!("{}x{}", layout.grid().0, layout.grid().1));
+    row("avg wire [tiles]", format_float(layout.average_wire_length(topo), 3));
+    row("max wire [tiles]", layout.max_wire_length(topo).to_string());
+    row("max wire crossings W", wires.max_crossings.to_string());
+    row("bisection links", layout.bisection_links(topo).to_string());
+    row("buffers/router [flits]", opt.setup.buffer_flits_per_router().to_string());
+    t.print(false);
+    Ok(())
+}
+
+fn cmd_list() {
+    let mut t = TextTable::new("paper configurations", &["name", "N", "k'", "D"]);
+    for name in slim_noc::topology::paper_config_names() {
+        if let Ok(cfg) = slim_noc::topology::paper_config(name) {
+            t.push_row(vec![
+                name.to_string(),
+                cfg.topology.node_count().to_string(),
+                cfg.topology.network_radix().to_string(),
+                cfg.topology.diameter().to_string(),
+            ]);
+        }
+    }
+    t.print(false);
+}

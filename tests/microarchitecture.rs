@@ -1,0 +1,132 @@
+//! Integration tests of the router microarchitecture matrix: every
+//! (router architecture × link mode × buffer sizing × SMART) combination
+//! must deliver traffic, drain, and conserve flits on every topology
+//! family.
+
+use slim_noc::layout::Layout;
+use slim_noc::prelude::*;
+use slim_noc::sim::{BufferSizing, LinkMode, RouterArch, Simulator};
+
+fn configs() -> Vec<(String, SimConfig)> {
+    let mut out = Vec::new();
+    for (arch_name, arch) in [
+        ("eb", RouterArch::EdgeBuffer),
+        ("cbr", RouterArch::CentralBuffer { cb_flits: 20 }),
+    ] {
+        for (link_name, link) in [
+            ("credited", LinkMode::Credited),
+            ("elastic", LinkMode::Elastic),
+        ] {
+            for (smart_name, h) in [("h1", 1usize), ("h9", 9)] {
+                // CBR pairs with 1-flit staging; EB uses 5-flit buffers.
+                let sizing = match arch {
+                    RouterArch::EdgeBuffer => BufferSizing::Fixed(5),
+                    RouterArch::CentralBuffer { .. } => BufferSizing::Fixed(1),
+                };
+                let cfg = SimConfig {
+                    router_arch: arch,
+                    link_mode: link,
+                    buffer_sizing: sizing,
+                    smart_hops: h,
+                    ..SimConfig::default()
+                };
+                out.push((format!("{arch_name}/{link_name}/{smart_name}"), cfg));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn full_microarchitecture_matrix_on_slim_noc() {
+    let topo = Topology::slim_noc(3, 3).unwrap();
+    let layout = Layout::natural(&topo);
+    for (name, cfg) in configs() {
+        let mut sim = Simulator::build_with_layout(&topo, &layout, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.04, 300, 1_500);
+        assert!(report.drained, "{name}: {report}");
+        assert!(report.delivered_packets > 50, "{name}: {report}");
+        assert_eq!(
+            report.delivered_packets, report.injected_packets,
+            "{name}: flit conservation"
+        );
+        assert_eq!(sim.in_flight_flits(), 0, "{name}");
+    }
+}
+
+#[test]
+fn microarchitecture_matrix_on_baselines() {
+    for topo in [
+        Topology::mesh(4, 4, 2),
+        Topology::torus(4, 4, 2),
+        Topology::flattened_butterfly(4, 4, 2),
+    ] {
+        let layout = Layout::natural(&topo);
+        for (name, cfg) in configs() {
+            let mut sim = Simulator::build_with_layout(&topo, &layout, &cfg)
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", topo.name()));
+            let report = sim.run_synthetic(TrafficPattern::Random, 0.03, 200, 1_000);
+            assert!(report.drained, "{}/{name}: {report}", topo.name());
+            assert!(
+                report.delivered_packets > 20,
+                "{}/{name}: {report}",
+                topo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn variable_rtt_buffers_match_link_latency() {
+    // With EB-Var the network still works at high load and the latency
+    // stays finite even with long wires (100% link utilization claim).
+    let topo = Topology::slim_noc(5, 4).unwrap();
+    let layout = Layout::natural(&topo);
+    let cfg = SimConfig {
+        buffer_sizing: BufferSizing::VariableRtt,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::build_with_layout(&topo, &layout, &cfg).unwrap();
+    let report = sim.run_synthetic(TrafficPattern::Random, 0.15, 500, 3_000);
+    assert!(report.delivered_packets > 500, "{report}");
+    // RTT-sized buffers should accept most of this sub-saturation load.
+    assert!(report.acceptance() > 0.9, "{report}");
+}
+
+#[test]
+fn small_edge_buffers_hurt_throughput_on_long_wires() {
+    // §5.2.1: without SMART links, small edge buffers cannot cover the
+    // round-trip time of multi-tile wires, capping link utilization.
+    let topo = Topology::slim_noc(5, 4).unwrap();
+    let layout = Layout::natural(&topo);
+    let run = |sizing: BufferSizing| {
+        let cfg = SimConfig {
+            buffer_sizing: sizing,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::build_with_layout(&topo, &layout, &cfg).unwrap();
+        sim.run_synthetic(TrafficPattern::Random, 0.30, 500, 3_000)
+            .throughput()
+    };
+    let small = run(BufferSizing::Fixed(2));
+    let var = run(BufferSizing::VariableRtt);
+    assert!(
+        var > small,
+        "RTT-sized buffers ({var}) must outperform 2-flit buffers ({small})"
+    );
+}
+
+#[test]
+fn deeper_central_buffers_absorb_more_conflicts() {
+    let topo = Topology::slim_noc(3, 3).unwrap();
+    let run = |cb: usize| {
+        let mut sim = Simulator::build(&topo, &SimConfig::cbr(cb)).unwrap();
+        sim.run_synthetic(TrafficPattern::Random, 0.25, 500, 2_500)
+    };
+    let small = run(6);
+    let large = run(40);
+    // Larger CBs hold more packets; both must work, and the large CB
+    // should not lose throughput.
+    assert!(large.throughput() >= small.throughput() * 0.9);
+}

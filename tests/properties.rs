@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: field axioms, routing delivery, layout uniqueness,
+//! wire-path geometry, and flit conservation.
+
+use proptest::prelude::*;
+use slim_noc::field::{factor_prime_power, GeneratorSets, Gf, SlimFlyParams};
+use slim_noc::layout::{Layout, SnLayout};
+use slim_noc::prelude::*;
+use slim_noc::sim::Simulator;
+
+/// Prime powers small enough for exhaustive checking.
+fn prime_powers() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 4, 5, 7, 8, 9, 11, 13, 16])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn field_axioms_hold(q in prime_powers(), a_idx in 0usize..16, b_idx in 0usize..16) {
+        let f = Gf::new(q).unwrap();
+        let a = f.element(a_idx % q).unwrap();
+        let b = f.element(b_idx % q).unwrap();
+        // Commutativity.
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // Identities and inverses.
+        prop_assert_eq!(f.add(a, f.zero()), a);
+        prop_assert_eq!(f.mul(a, f.one()), a);
+        prop_assert_eq!(f.add(a, f.neg(a)), f.zero());
+        if a != f.zero() {
+            prop_assert_eq!(f.mul(a, f.inv(a)), f.one());
+        }
+        // Subtraction/division consistency.
+        prop_assert_eq!(f.add(f.sub(a, b), b), a);
+        if b != f.zero() {
+            prop_assert_eq!(f.mul(f.div(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn generator_sets_always_validate(q in prime_powers()) {
+        let f = Gf::new(q).unwrap();
+        let sets = GeneratorSets::generate(&f).unwrap();
+        prop_assert!(sets.is_valid(&f));
+        let params = SlimFlyParams::new(q).unwrap();
+        prop_assert_eq!(sets.x().len(), params.generator_set_size());
+    }
+
+    #[test]
+    fn slim_noc_structure_invariants(q in prime_powers(), p in 1usize..6) {
+        let t = Topology::slim_noc(q, p).unwrap();
+        let params = SlimFlyParams::new(q).unwrap();
+        prop_assert!(t.is_regular());
+        prop_assert_eq!(t.network_radix(), params.network_radix());
+        prop_assert_eq!(t.diameter(), 2);
+        prop_assert_eq!(t.node_count(), 2 * q * q * p);
+        // Handshake: total degree = 2 * links.
+        let degree_sum: usize = t.routers().map(|r| t.neighbors(r).len()).sum();
+        prop_assert_eq!(degree_sum, 2 * t.link_count());
+    }
+
+    #[test]
+    fn layouts_place_uniquely_and_within_grid(
+        q in prop::sample::select(vec![3usize, 4, 5, 7, 8, 9]),
+        seed in 0u64..1000,
+    ) {
+        let t = Topology::slim_noc(q, 1).unwrap();
+        for kind in [
+            SnLayout::Basic,
+            SnLayout::Subgroup,
+            SnLayout::Group,
+            SnLayout::Random(seed),
+        ] {
+            let l = Layout::slim_noc(&t, kind).unwrap();
+            let (gx, gy) = l.grid();
+            let mut seen = std::collections::HashSet::new();
+            for r in t.routers() {
+                let c = l.coord(r);
+                prop_assert!(c.0 < gx && c.1 < gy);
+                prop_assert!(seen.insert(c), "duplicate coordinate {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_paths_connect_endpoints(
+        x1 in 0usize..20, y1 in 0usize..20, x2 in 0usize..20, y2 in 0usize..20,
+    ) {
+        let t = Topology::mesh(2, 1, 1);
+        let l = Layout::natural(&t);
+        let _ = l; // wire_path is exposed through Layout; use free geometry:
+        let path = slim_noc::layout::Layout::natural(&Topology::mesh(2, 1, 1))
+            .wire_path(slim_noc::topology::RouterId(0), slim_noc::topology::RouterId(1));
+        prop_assert_eq!(path.length(), 1);
+        // Generic geometry via WirePath on arbitrary coordinates is
+        // validated in the layout crate's unit tests; here we check the
+        // Manhattan identity on the lattice.
+        let d = x1.abs_diff(x2) + y1.abs_diff(y2);
+        prop_assert_eq!(d, x2.abs_diff(x1) + y2.abs_diff(y1));
+    }
+
+    #[test]
+    fn mesh_path_lengths_match_manhattan(x in 2usize..6, y in 2usize..6) {
+        let t = Topology::mesh(x, y, 1);
+        let stats = t.path_stats();
+        // Mesh diameter = (x-1) + (y-1).
+        prop_assert_eq!(stats.diameter, x + y - 2);
+    }
+
+    #[test]
+    fn prime_power_factorization_roundtrip(p in prop::sample::select(vec![2usize, 3, 5, 7]), n in 1usize..5) {
+        let q: usize = (0..n).fold(1, |acc, _| acc * p);
+        if q > 1 {
+            prop_assert_eq!(factor_prime_power(q), Some((p, n)));
+        }
+    }
+}
+
+proptest! {
+    // Simulation properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn flit_conservation_under_random_loads(
+        rate in 0.01f64..0.12,
+        seed in 0u64..100,
+    ) {
+        let topo = Topology::slim_noc(3, 2).unwrap();
+        let cfg = SimConfig::default().with_seed(seed);
+        let mut sim = Simulator::build(&topo, &cfg).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, rate, 300, 1_500);
+        prop_assert!(report.drained);
+        prop_assert_eq!(sim.in_flight_flits(), 0);
+        prop_assert_eq!(report.delivered_packets, report.injected_packets);
+        prop_assert_eq!(
+            report.delivered_flits,
+            report.delivered_packets * 6
+        );
+    }
+
+    #[test]
+    fn every_pattern_delivers(
+        pattern in prop::sample::select(vec![
+            TrafficPattern::Random,
+            TrafficPattern::BitShuffle,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Adversarial1,
+            TrafficPattern::Adversarial2,
+            TrafficPattern::Asymmetric,
+            TrafficPattern::Transpose,
+        ]),
+    ) {
+        let topo = Topology::slim_noc(3, 2).unwrap();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let report = sim.run_synthetic(pattern, 0.03, 300, 1_500);
+        prop_assert!(report.drained, "{}: {}", pattern, report);
+        prop_assert!(report.delivered_packets > 0);
+        // Diameter-2 network: no minimal route exceeds 2 hops.
+        prop_assert!(report.avg_hops() <= 2.0 + 1e-9);
+    }
+}
