@@ -46,5 +46,10 @@ fn bench_buffer_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layouts, bench_wire_stats, bench_buffer_models);
+criterion_group!(
+    benches,
+    bench_layouts,
+    bench_wire_stats,
+    bench_buffer_models
+);
 criterion_main!(benches);

@@ -68,5 +68,10 @@ fn bench_figure_smoke(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_routing_tables, bench_simulation, bench_figure_smoke);
+criterion_group!(
+    benches,
+    bench_routing_tables,
+    bench_simulation,
+    bench_figure_smoke
+);
 criterion_main!(benches);

@@ -58,7 +58,8 @@ fn main() {
                 .expect("sn_s")
                 .with_sn_layout(layout)
                 .expect("layout");
-            s.run_trace_workload(&w, args.trace_cycles()).avg_packet_latency()
+            s.run_trace_workload(&w, args.trace_cycles())
+                .avg_packet_latency()
         };
         (
             w.name,
@@ -82,8 +83,7 @@ fn main() {
         ]);
     }
     table.print(args.csv);
-    let gain =
-        100.0 * (1.0 - (geo_sub / geo_basic).powf(1.0 / f64::from(count.max(1))));
+    let gain = 100.0 * (1.0 - (geo_sub / geo_basic).powf(1.0 / f64::from(count.max(1))));
     println!(
         "sn_subgr vs sn_basic (geometric mean latency): {:.1}% lower (paper: ~5%)\n",
         gain

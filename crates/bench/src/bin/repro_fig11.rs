@@ -33,8 +33,9 @@ fn main() {
                     (name.to_string(), s)
                 })
                 .collect();
-            let curves =
-                parallel_map(setups, |(_, s)| latency_curve(&s, TrafficPattern::Random, &args));
+            let curves = parallel_map(setups, |(_, s)| {
+                latency_curve(&s, TrafficPattern::Random, &args)
+            });
             Series::tabulate(
                 format!("Fig 11 (N={size_label}, {smart_label}): latency vs load, RND"),
                 "load",

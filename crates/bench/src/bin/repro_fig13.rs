@@ -1,7 +1,7 @@
 //! Reproduces Figure 13: synthetic-traffic performance with SMART links
 //! for the large network class (N = 1296).
 
-use snoc_bench::{latency_curves, large_class_setups, Args};
+use snoc_bench::{large_class_setups, latency_curves, Args};
 use snoc_core::{Series, TextTable};
 use snoc_traffic::TrafficPattern;
 

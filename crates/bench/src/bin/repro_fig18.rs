@@ -19,12 +19,7 @@ fn main() {
             let report = s.run_trace_workload(&w, args.trace_cycles());
             let model = s.power_model(TechNode::N45);
             model
-                .evaluate(
-                    &s.topology,
-                    &s.layout,
-                    s.buffer_flits_per_router(),
-                    &report,
-                )
+                .evaluate(&s.topology, &s.layout, s.buffer_flits_per_router(), &report)
                 .energy_delay()
         };
         let values: Vec<f64> = nets.iter().map(|n| edp(n)).collect();

@@ -13,10 +13,19 @@ fn setups() -> Vec<(String, Setup)> {
     let fbf = || Setup::paper("fbf4").expect("fbf4");
     vec![
         ("SN_MIN".to_string(), sn()),
-        ("SN_UGAL-L".to_string(), sn().with_routing(RoutingKind::UgalL)),
-        ("SN_UGAL-G".to_string(), sn().with_routing(RoutingKind::UgalG)),
+        (
+            "SN_UGAL-L".to_string(),
+            sn().with_routing(RoutingKind::UgalL),
+        ),
+        (
+            "SN_UGAL-G".to_string(),
+            sn().with_routing(RoutingKind::UgalG),
+        ),
         ("FBF_MIN".to_string(), fbf()),
-        ("FBF_UGAL-L".to_string(), fbf().with_routing(RoutingKind::UgalL)),
+        (
+            "FBF_UGAL-L".to_string(),
+            fbf().with_routing(RoutingKind::UgalL),
+        ),
         (
             "FBF_XY-ADAPT".to_string(),
             fbf().with_routing(RoutingKind::XyAdaptive),
@@ -29,8 +38,7 @@ fn main() {
     for pattern in [TrafficPattern::Random, TrafficPattern::Asymmetric] {
         let curves = parallel_map(setups(), |(name, setup)| {
             let mut series = Series::new(name);
-            for p in
-                setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure())
+            for p in setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure())
             {
                 if p.saturated {
                     break;

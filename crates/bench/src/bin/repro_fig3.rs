@@ -51,7 +51,14 @@ fn main() {
         }
     }
     let mut fbf_fixed = Series::new("fbf (fixed radix)");
-    for (side, p) in [(4usize, 4usize), (4, 8), (4, 16), (4, 32), (4, 64), (4, 128)] {
+    for (side, p) in [
+        (4usize, 4usize),
+        (4, 8),
+        (4, 16),
+        (4, 32),
+        (4, 64),
+        (4, 128),
+    ] {
         let t = Topology::flattened_butterfly(side, side, p);
         if t.node_count() <= 2500 {
             fbf_fixed.push(

@@ -9,8 +9,8 @@
 use snoc_bench::Args;
 use snoc_core::{Series, TextTable};
 use snoc_layout::{
-    max_wires_per_tile, per_router_central_buffers, BufferModel, BufferSpec, Layout,
-    SnLayout, TechNode,
+    max_wires_per_tile, per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout,
+    TechNode,
 };
 use snoc_topology::Topology;
 
@@ -28,10 +28,7 @@ fn main() {
     let qs = [3usize, 4, 5, 7, 8, 9, 11];
 
     // (a) Average wire length M.
-    let mut m_series: Vec<Series> = layouts()
-        .iter()
-        .map(|(n, _)| Series::new(*n))
-        .collect();
+    let mut m_series: Vec<Series> = layouts().iter().map(|(n, _)| Series::new(*n)).collect();
     for &q in &qs {
         let p = (3 * q).div_ceil(4);
         let t = Topology::slim_noc(q, p).expect("sn");
@@ -47,13 +44,16 @@ fn main() {
 
     // (b)+(c) Per-router buffer totals.
     for (title, spec) in [
-        ("Fig 5b: buffer flits per router (no SMART)", BufferSpec::standard()),
-        ("Fig 5c: buffer flits per router (SMART, H=9)", BufferSpec::smart()),
+        (
+            "Fig 5b: buffer flits per router (no SMART)",
+            BufferSpec::standard(),
+        ),
+        (
+            "Fig 5c: buffer flits per router (SMART, H=9)",
+            BufferSpec::smart(),
+        ),
     ] {
-        let mut series: Vec<Series> = layouts()
-            .iter()
-            .map(|(n, _)| Series::new(*n))
-            .collect();
+        let mut series: Vec<Series> = layouts().iter().map(|(n, _)| Series::new(*n)).collect();
         let mut cbr20 = Series::new("CBR20");
         let mut cbr40 = Series::new("CBR40");
         for &q in &qs {
@@ -101,7 +101,12 @@ fn main() {
                 name.to_string(),
                 stats.max_crossings.to_string(),
                 bound.to_string(),
-                if stats.satisfies_limit(bound) { "yes" } else { "VIOLATED" }.to_string(),
+                if stats.satisfies_limit(bound) {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+                .to_string(),
             ]);
         }
     }

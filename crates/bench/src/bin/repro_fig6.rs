@@ -9,7 +9,11 @@ use snoc_topology::Topology;
 
 fn main() {
     let args = Args::parse();
-    let configs = [("N=200", 5usize, 4usize), ("N=1024", 8, 8), ("N=1296", 9, 8)];
+    let configs = [
+        ("N=200", 5usize, 4usize),
+        ("N=1024", 8, 8),
+        ("N=1296", 9, 8),
+    ];
     for (label, q, p) in configs {
         let t = Topology::slim_noc(q, p).expect("sn");
         let gr = Layout::slim_noc(&t, SnLayout::Group).expect("group");

@@ -22,7 +22,10 @@ fn main() {
     let seeds: Vec<u64> = (0..8).collect();
     for fraction in [0.05, 0.10, 0.20, 0.30] {
         let mut table = TextTable::new(
-            format!("Resilience under {:.0}% random link failures (8 seeds)", fraction * 100.0),
+            format!(
+                "Resilience under {:.0}% random link failures (8 seeds)",
+                fraction * 100.0
+            ),
             &[
                 "network",
                 "connected runs",

@@ -99,8 +99,7 @@ fn main() {
         let sn_t = Topology::slim_noc(q, p).expect("sn");
         let n = sn_t.node_count();
         let sn_s = Setup::from_topology("sn", sn_t, 0.5).expect("setup");
-        let t2d_s =
-            Setup::from_topology("t2d", Topology::torus(tx, ty, tp), 0.4).expect("setup");
+        let t2d_s = Setup::from_topology("t2d", Topology::torus(tx, ty, tp), 0.4).expect("setup");
         let s1 = sn_s.saturation_throughput(
             TrafficPattern::Random,
             args.warmup() / 2,

@@ -18,7 +18,15 @@ fn main() {
         let mut table = TextTable::new(
             title,
             &[
-                "k'", "p", "p_ideal", "sub%", "N", "N_r", "q", "pow2(N)", "eq.groups",
+                "k'",
+                "p",
+                "p_ideal",
+                "sub%",
+                "N",
+                "N_r",
+                "q",
+                "pow2(N)",
+                "eq.groups",
                 "square(N)",
             ],
         );

@@ -11,11 +11,20 @@ fn main() {
     let args = Args::parse();
     let mut table = TextTable::new(
         "Table 4: considered configurations",
-        &["sym", "D", "p", "k'", "k", "routers", "N", "bisection links"],
+        &[
+            "sym",
+            "D",
+            "p",
+            "k'",
+            "k",
+            "routers",
+            "N",
+            "bisection links",
+        ],
     );
     let names = [
-        "t2d3", "t2d4", "cm3", "cm4", "fbf3", "fbf4", "pfbf3", "pfbf4", "sn_s",
-        "t2d9", "t2d8", "cm9", "cm8", "fbf9", "fbf8", "pfbf9", "pfbf8", "sn_l",
+        "t2d3", "t2d4", "cm3", "cm4", "fbf3", "fbf4", "pfbf3", "pfbf4", "sn_s", "t2d9", "t2d8",
+        "cm9", "cm8", "fbf9", "fbf8", "pfbf9", "pfbf8", "sn_l",
     ];
     for name in names {
         let cfg = paper_config(name).expect("paper config");

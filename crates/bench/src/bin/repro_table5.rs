@@ -13,8 +13,14 @@ use snoc_traffic::TrafficPattern;
 fn tpp(s: &Setup, tech: TechNode, args: &Args) -> f64 {
     // A heavy common offered load: every network delivers its saturated
     // throughput while consuming its own saturated power.
-    s.evaluate_power(tech, TrafficPattern::Random, 0.40, args.warmup(), args.measure())
-        .throughput_per_power()
+    s.evaluate_power(
+        tech,
+        TrafficPattern::Random,
+        0.40,
+        args.warmup(),
+        args.measure(),
+    )
+    .throughput_per_power()
 }
 
 fn main() {

@@ -3,9 +3,11 @@
 //! Every binary regenerates one table or figure of the paper. All accept:
 //!
 //! - `--csv` — emit CSV instead of aligned text;
-//! - `--quick` — shorter warmup/measurement windows (for smoke runs and
-//!   CI; the default windows match the shapes reported in
-//!   `EXPERIMENTS.md`).
+//! - `--quick` — shorter warmup/measurement windows (for quick local
+//!   runs and CI; the default windows match the shapes reported in
+//!   `EXPERIMENTS.md`);
+//! - `--smoke` — minimal windows (statistically meaningless numbers);
+//!   used by the `repro_smoke` test suite to exercise every binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,10 @@ pub struct Args {
     pub csv: bool,
     /// Use short simulation windows.
     pub quick: bool,
+    /// Use minimal simulation windows: every experiment still builds and
+    /// runs end-to-end, but the numbers are statistically meaningless.
+    /// Exists so the test suite can smoke-run all 23 binaries cheaply.
+    pub smoke: bool,
 }
 
 impl Args {
@@ -31,8 +37,9 @@ impl Args {
             match a.as_str() {
                 "--csv" => args.csv = true,
                 "--quick" => args.quick = true,
+                "--smoke" => args.smoke = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: repro_* [--csv] [--quick]");
+                    eprintln!("usage: repro_* [--csv] [--quick] [--smoke]");
                     std::process::exit(0);
                 }
                 other => {
@@ -47,7 +54,9 @@ impl Args {
     /// Simulation warmup window in cycles.
     #[must_use]
     pub fn warmup(&self) -> u64 {
-        if self.quick {
+        if self.smoke {
+            20
+        } else if self.quick {
             300
         } else {
             2_000
@@ -57,7 +66,9 @@ impl Args {
     /// Simulation measurement window in cycles.
     #[must_use]
     pub fn measure(&self) -> u64 {
-        if self.quick {
+        if self.smoke {
+            60
+        } else if self.quick {
             1_200
         } else {
             10_000
@@ -67,7 +78,9 @@ impl Args {
     /// Trace length in cycles.
     #[must_use]
     pub fn trace_cycles(&self) -> u64 {
-        if self.quick {
+        if self.smoke {
+            150
+        } else if self.quick {
             3_000
         } else {
             20_000
@@ -85,11 +98,7 @@ pub fn load_grid() -> Vec<f64> {
 /// Runs one latency–load curve for a setup and returns it as a series
 /// (stops at saturation, like the figures).
 #[must_use]
-pub fn latency_curve(
-    setup: &Setup,
-    pattern: TrafficPattern,
-    args: &Args,
-) -> Series {
+pub fn latency_curve(setup: &Setup, pattern: TrafficPattern, args: &Args) -> Series {
     let mut series = Series::new(setup.name.clone());
     for p in setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure()) {
         if p.saturated {
@@ -102,11 +111,7 @@ pub fn latency_curve(
 
 /// Runs latency curves for several setups in parallel.
 #[must_use]
-pub fn latency_curves(
-    setups: &[Setup],
-    pattern: TrafficPattern,
-    args: &Args,
-) -> Vec<Series> {
+pub fn latency_curves(setups: &[Setup], pattern: TrafficPattern, args: &Args) -> Vec<Series> {
     parallel_map(setups.to_vec(), |s| latency_curve(&s, pattern, args))
 }
 
@@ -157,9 +162,20 @@ mod tests {
 
     #[test]
     fn quick_windows_are_shorter() {
-        let quick = Args { csv: false, quick: true };
+        let quick = Args {
+            csv: false,
+            quick: true,
+            smoke: false,
+        };
+        let smoke = Args {
+            smoke: true,
+            ..quick
+        };
         let full = Args::default();
         assert!(quick.warmup() < full.warmup());
         assert!(quick.measure() < full.measure());
+        assert!(smoke.warmup() < quick.warmup());
+        assert!(smoke.measure() < quick.measure());
+        assert!(smoke.trace_cycles() < quick.trace_cycles());
     }
 }

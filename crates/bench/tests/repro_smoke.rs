@@ -1,0 +1,82 @@
+//! Smoke-runs every figure/table reproduction binary with `--smoke`
+//! (minimal simulation windows), asserting each constructs its
+//! experiment configuration and runs end-to-end without panicking.
+//! This keeps the 23 `repro_*` binaries from silently rotting: a binary
+//! that stops building fails `cargo build`, and one that starts
+//! panicking on its own configs fails here.
+
+use std::process::Command;
+
+/// Runs one repro binary with `--smoke --csv` and asserts a clean exit.
+fn smoke(exe: &str, name: &str) {
+    let out = Command::new(exe)
+        .args(["--smoke", "--csv"])
+        .output()
+        .unwrap_or_else(|e| panic!("{name}: failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        !out.stdout.is_empty(),
+        "{name} produced no output in --csv mode"
+    );
+}
+
+macro_rules! smoke_bins {
+    ($($bin:ident),+ $(,)?) => {
+        $(smoke(env!(concat!("CARGO_BIN_EXE_", stringify!($bin))), stringify!($bin));)+
+    };
+}
+
+#[test]
+fn construction_figures_smoke() {
+    // Fig. 1/3/5/6: structural comparisons, layouts, and cost models —
+    // no cycle-level simulation, so these run fast even unoptimized.
+    smoke_bins!(repro_fig1, repro_fig3, repro_fig5, repro_fig6);
+}
+
+#[test]
+fn latency_load_figures_smoke() {
+    // Fig. 10–14: latency–load curves over the small/large classes.
+    smoke_bins!(
+        repro_fig10,
+        repro_fig11,
+        repro_fig12,
+        repro_fig13,
+        repro_fig14
+    );
+}
+
+#[test]
+fn power_and_trace_figures_smoke() {
+    // Fig. 15–18: energy/power models and trace-driven workloads.
+    smoke_bins!(repro_fig15, repro_fig16, repro_fig17, repro_fig18);
+}
+
+#[test]
+fn microarchitecture_figures_smoke() {
+    // Fig. 19–20: router-microarchitecture comparisons.
+    smoke_bins!(repro_fig19, repro_fig20);
+}
+
+#[test]
+fn tables_smoke() {
+    // Tables 2–6: parameter/structure tables; table 5/6 include sims.
+    smoke_bins!(
+        repro_table2,
+        repro_table3,
+        repro_table4,
+        repro_table5,
+        repro_table6
+    );
+}
+
+#[test]
+fn supplementary_studies_smoke() {
+    // Ablation, resilience, and sensitivity sweeps.
+    smoke_bins!(repro_ablation, repro_resilience, repro_sensitivity);
+}

@@ -4,7 +4,7 @@
 //! curve point per configuration); this helper fans them out over
 //! available cores with deterministic result ordering.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Maps `f` over `items` in parallel, preserving input order in the
 /// output. Uses scoped threads, so `f` may borrow from the environment.
@@ -20,18 +20,17 @@ where
         .min(items.len().max(1));
     let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let next = work.lock().pop();
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").pop();
                 let Some((idx, item)) = next else { break };
                 let out = f(item);
-                results.lock().push((idx, out));
+                results.lock().expect("results poisoned").push((idx, out));
             });
         }
-    })
-    .expect("worker thread panicked");
-    let mut results = results.into_inner();
+    });
+    let mut results = results.into_inner().expect("results poisoned");
     results.sort_by_key(|(idx, _)| *idx);
     results.into_iter().map(|(_, r)| r).collect()
 }

@@ -10,7 +10,7 @@ pub fn format_float(x: f64, prec: usize) -> String {
         return "0".to_string();
     }
     let ax = x.abs();
-    if ax >= 0.01 && ax < 1e6 {
+    if (0.01..1e6).contains(&ax) {
         format!("{x:.prec$}")
     } else {
         format!("{x:.prec$e}")
@@ -107,7 +107,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -156,11 +160,7 @@ impl Series {
     /// Converts several series into one table keyed by x (missing
     /// values print as `-`). X values are matched exactly by formatting.
     #[must_use]
-    pub fn tabulate(
-        title: impl Into<String>,
-        x_label: &str,
-        series: &[Series],
-    ) -> TextTable {
+    pub fn tabulate(title: impl Into<String>, x_label: &str, series: &[Series]) -> TextTable {
         let mut headers = vec![x_label];
         for s in series {
             headers.push(&s.name);

@@ -1,13 +1,9 @@
 //! Named experiment setups: topology + layout + simulator configuration
 //! as the paper specifies them (§5.1, Table 4).
 
-use snoc_layout::{
-    per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout,
-};
+use snoc_layout::{per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout};
 use snoc_power::{PowerModel, TechNode};
-use snoc_sim::{
-    LatencyLoadPoint, RoutingKind, SimConfig, SimError, SimReport, Simulator,
-};
+use snoc_sim::{LatencyLoadPoint, RoutingKind, SimConfig, SimError, SimReport, Simulator};
 use snoc_topology::{paper_config, Topology, TopologyError, TopologyKind};
 use snoc_traffic::{TraceWorkload, TrafficPattern};
 use std::error::Error;
@@ -264,12 +260,7 @@ impl Setup {
 
     /// Estimates saturation throughput: the highest accepted throughput
     /// over a geometric load sweep.
-    pub fn saturation_throughput(
-        &self,
-        pattern: TrafficPattern,
-        warmup: u64,
-        measure: u64,
-    ) -> f64 {
+    pub fn saturation_throughput(&self, pattern: TrafficPattern, warmup: u64, measure: u64) -> f64 {
         let mut best: f64 = 0.0;
         let mut load = 0.05;
         while load <= 1.0 {
@@ -299,19 +290,19 @@ impl Setup {
             smart_hops: self.sim.smart_hops,
         };
         match self.buffers {
-            BufferPreset::EbVar => {
-                BufferModel::edge_buffers(&self.topology, &self.layout, spec)
-                    .average_per_router()
-                    .round() as usize
-            }
+            BufferPreset::EbVar => BufferModel::edge_buffers(&self.topology, &self.layout, spec)
+                .average_per_router()
+                .round() as usize,
             BufferPreset::EbSmall | BufferPreset::EbLarge => {
-                let per_vc = if self.buffers == BufferPreset::EbSmall { 5 } else { 15 };
+                let per_vc = if self.buffers == BufferPreset::EbSmall {
+                    5
+                } else {
+                    15
+                };
                 self.topology.network_radix() * self.sim.vcs * per_vc
             }
             BufferPreset::ElLinks => self.topology.network_radix() * self.sim.vcs,
-            BufferPreset::Cbr(x) => {
-                per_router_central_buffers(&self.topology, x, self.sim.vcs)
-            }
+            BufferPreset::Cbr(x) => per_router_central_buffers(&self.topology, x, self.sim.vcs),
         }
     }
 
@@ -343,8 +334,8 @@ impl Setup {
 
 #[cfg(test)]
 mod tests {
-    use snoc_sim::RouterArch;
     use super::*;
+    use snoc_sim::RouterArch;
 
     #[test]
     fn paper_setups_build_and_run() {
@@ -408,8 +399,7 @@ mod tests {
     fn latency_load_curve_stops_at_saturation() {
         let setup = Setup::paper("sn54").unwrap();
         let loads = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
-        let curve =
-            setup.latency_load_curve(TrafficPattern::Random, &loads, 300, 1_200);
+        let curve = setup.latency_load_curve(TrafficPattern::Random, &loads, 300, 1_200);
         assert!(!curve.is_empty());
         // Monotone non-decreasing latency along the curve (tolerantly).
         for pair in curve.windows(2) {

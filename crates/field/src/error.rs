@@ -73,7 +73,10 @@ impl fmt::Display for FieldError {
                 write!(f, "modulus has degree {actual}, expected {expected}")
             }
             FieldError::NotMmsCompatible { q } => {
-                write!(f, "q = {q} is not of the form 4w + u with u in {{-1, 0, 1}}")
+                write!(
+                    f,
+                    "q = {q} is not of the form 4w + u with u in {{-1, 0, 1}}"
+                )
             }
             FieldError::NoSuchElement { index, q } => {
                 write!(f, "index {index} is out of range for GF({q})")
@@ -96,8 +99,14 @@ mod tests {
         let errors = [
             FieldError::NotPrimePower { q: 6 },
             FieldError::OrderTooSmall { q: 1 },
-            FieldError::ReducibleModulus { p: 2, poly: vec![1, 0, 1] },
-            FieldError::WrongModulusDegree { expected: 2, actual: 3 },
+            FieldError::ReducibleModulus {
+                p: 2,
+                poly: vec![1, 0, 1],
+            },
+            FieldError::WrongModulusDegree {
+                expected: 2,
+                actual: 3,
+            },
             FieldError::NotMmsCompatible { q: 6 },
             FieldError::NoGeneratorSets { q: 6 },
         ];

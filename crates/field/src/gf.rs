@@ -187,7 +187,10 @@ impl Gf {
                 acc = mul[acc * q + g];
             }
         }
-        assert!(generator != 0 || q == 2, "every finite field has a generator");
+        assert!(
+            generator != 0 || q == 2,
+            "every finite field has a generator"
+        );
         if q == 2 {
             generator = 1;
         }
@@ -301,7 +304,12 @@ impl Gf {
 
     #[inline]
     fn check(&self, a: Elem) -> usize {
-        debug_assert!(a.0 < self.q, "element {} out of range for GF({})", a.0, self.q);
+        debug_assert!(
+            a.0 < self.q,
+            "element {} out of range for GF({})",
+            a.0,
+            self.q
+        );
         a.0
     }
 
@@ -448,10 +456,7 @@ mod tests {
                     for c in f.elements() {
                         assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
                         assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
-                        assert_eq!(
-                            f.mul(a, f.add(b, c)),
-                            f.add(f.mul(a, b), f.mul(a, c))
-                        );
+                        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
                     }
                 }
             }
@@ -558,7 +563,10 @@ mod tests {
     fn with_modulus_rejects_wrong_degree() {
         assert!(matches!(
             Gf::with_modulus(8, &[1, 1, 1]),
-            Err(FieldError::WrongModulusDegree { expected: 3, actual: 2 })
+            Err(FieldError::WrongModulusDegree {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

@@ -90,7 +90,7 @@ impl Poly {
         self.coeffs.get(i).copied().unwrap_or(0)
     }
 
-    /// Polynomial addition in GF(p)[x].
+    /// Polynomial addition in `GF(p)[x]`.
     #[must_use]
     pub fn add(&self, other: &Poly) -> Poly {
         assert_eq!(self.p, other.p, "mismatched characteristics");
@@ -101,18 +101,14 @@ impl Poly {
         Poly::new(self.p, &coeffs)
     }
 
-    /// Polynomial negation in GF(p)[x].
+    /// Polynomial negation in `GF(p)[x]`.
     #[must_use]
     pub fn neg(&self) -> Poly {
-        let coeffs: Vec<usize> = self
-            .coeffs
-            .iter()
-            .map(|&c| (self.p - c) % self.p)
-            .collect();
+        let coeffs: Vec<usize> = self.coeffs.iter().map(|&c| (self.p - c) % self.p).collect();
         Poly::new(self.p, &coeffs)
     }
 
-    /// Polynomial multiplication in GF(p)[x].
+    /// Polynomial multiplication in `GF(p)[x]`.
     #[must_use]
     pub fn mul(&self, other: &Poly) -> Poly {
         assert_eq!(self.p, other.p, "mismatched characteristics");
@@ -128,7 +124,7 @@ impl Poly {
         Poly::new(self.p, &coeffs)
     }
 
-    /// Remainder of `self` divided by `modulus` in GF(p)[x].
+    /// Remainder of `self` divided by `modulus` in `GF(p)[x]`.
     ///
     /// # Panics
     ///
@@ -334,7 +330,7 @@ mod tests {
             let f = Poly::from_code(3, code);
             let m = Poly::new(3, &[1, 0, 1]); // x^2 + 1
             let r = f.rem(&m);
-            assert!(r.degree().map_or(true, |d| d < 2));
+            assert!(r.degree().is_none_or(|d| d < 2));
         }
     }
 
@@ -355,7 +351,16 @@ mod tests {
 
     #[test]
     fn first_irreducible_has_right_degree() {
-        for (p, n) in [(2, 2), (2, 3), (2, 4), (2, 5), (3, 2), (3, 3), (5, 2), (7, 2)] {
+        for (p, n) in [
+            (2, 2),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 2),
+            (3, 3),
+            (5, 2),
+            (7, 2),
+        ] {
             let f = Poly::first_irreducible(p, n);
             assert_eq!(f.degree(), Some(n));
             assert!(f.is_irreducible());

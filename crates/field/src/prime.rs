@@ -25,12 +25,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 4 {
         return true;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return false;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -94,7 +94,7 @@ pub fn factor_prime_power(q: usize) -> Option<(usize, usize)> {
     let mut p = 0;
     let mut d = 2;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             p = d;
             break;
         }
@@ -106,7 +106,7 @@ pub fn factor_prime_power(q: usize) -> Option<(usize, usize)> {
     }
     let mut rest = q;
     let mut n = 0;
-    while rest % p == 0 {
+    while rest.is_multiple_of(p) {
         rest /= p;
         n += 1;
     }

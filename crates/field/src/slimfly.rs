@@ -298,8 +298,7 @@ impl GeneratorSets {
                     .collect();
                 if extra.len() != deficit
                     || (0..n).any(|i| {
-                        extra_mask >> i & 1 == 1
-                            && pairs[i].iter().all(|v| complement.contains(v))
+                        extra_mask >> i & 1 == 1 && pairs[i].iter().all(|v| complement.contains(v))
                     })
                 {
                     continue;
@@ -309,7 +308,10 @@ impl GeneratorSets {
                 let mut x_sorted = x.clone();
                 x_sorted.sort_unstable();
                 x_prime.sort_unstable();
-                let cand = GeneratorSets { x: x_sorted, x_prime };
+                let cand = GeneratorSets {
+                    x: x_sorted,
+                    x_prime,
+                };
                 if cand.is_valid(field) {
                     return Some(cand);
                 }

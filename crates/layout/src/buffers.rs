@@ -185,8 +185,14 @@ mod tests {
 
     #[test]
     fn edge_buffer_scales_with_vcs() {
-        let one = BufferSpec { vcs: 1, smart_hops: 1 };
-        let two = BufferSpec { vcs: 2, smart_hops: 1 };
+        let one = BufferSpec {
+            vcs: 1,
+            smart_hops: 1,
+        };
+        let two = BufferSpec {
+            vcs: 2,
+            smart_hops: 1,
+        };
         assert_eq!(two.edge_buffer_flits(5), 2 * one.edge_buffer_flits(5));
     }
 

@@ -37,9 +37,7 @@ mod place;
 mod tech;
 mod wires;
 
-pub use buffers::{
-    per_router_central_buffers, total_central_buffers, BufferModel, BufferSpec,
-};
+pub use buffers::{per_router_central_buffers, total_central_buffers, BufferModel, BufferSpec};
 pub use tech::{max_wires_per_tile, TechNode};
 pub use wires::{WirePath, WireStats};
 
@@ -122,10 +120,7 @@ impl fmt::Display for LayoutError {
 impl std::error::Error for LayoutError {}
 
 impl Layout {
-    pub(crate) fn from_coords(
-        coords: Vec<(usize, usize)>,
-        kind: LayoutKind,
-    ) -> Self {
+    pub(crate) fn from_coords(coords: Vec<(usize, usize)>, kind: LayoutKind) -> Self {
         let grid_x = coords.iter().map(|c| c.0).max().map_or(0, |m| m + 1);
         let grid_y = coords.iter().map(|c| c.1).max().map_or(0, |m| m + 1);
         // Placement invariant: one router per tile.

@@ -218,9 +218,7 @@ mod tests {
         let l = Layout::slim_noc(&t, SnLayout::Subgroup).unwrap();
         let s = l.wire_stats(&t);
         let m = l.average_wire_length(&t);
-        assert!(
-            (m - s.total_wire_length as f64 / t.link_count() as f64).abs() < 1e-12
-        );
+        assert!((m - s.total_wire_length as f64 / t.link_count() as f64).abs() < 1e-12);
     }
 
     #[test]
@@ -229,7 +227,9 @@ mod tests {
         // magnitude as basic (Fig. 5d shows all layouts far below the
         // bound).
         let t = Topology::slim_noc(9, 1).unwrap();
-        let basic = Layout::slim_noc(&t, SnLayout::Basic).unwrap().wire_stats(&t);
+        let basic = Layout::slim_noc(&t, SnLayout::Basic)
+            .unwrap()
+            .wire_stats(&t);
         let subgr = Layout::slim_noc(&t, SnLayout::Subgroup)
             .unwrap()
             .wire_stats(&t);

@@ -277,10 +277,7 @@ impl PowerModel {
     #[must_use]
     pub fn total_wire_mm(&self, topo: &Topology, layout: &Layout) -> f64 {
         let tile_mm = self.tile_side_mm(topo);
-        let tiles: usize = topo
-            .links()
-            .map(|(a, b)| layout.manhattan(a, b))
-            .sum();
+        let tiles: usize = topo.links().map(|(a, b)| layout.manhattan(a, b)).sum();
         tiles as f64 * tile_mm
     }
 
@@ -343,8 +340,7 @@ impl PowerModel {
         let scale = self.tech.voltage(); // leakage roughly tracks V
         let routers_w = area.routers_mm2() * c.leakage_w_per_mm2 * scale;
         let wire_mm = self.total_wire_mm(topo, layout);
-        let wires_w =
-            wire_mm * self.link_bits as f64 * c.wire_leak_uw_per_mm * 1e-6 * scale;
+        let wires_w = wire_mm * self.link_bits as f64 * c.wire_leak_uw_per_mm * 1e-6 * scale;
         StaticPowerReport {
             routers_w,
             wires_w,
@@ -374,17 +370,12 @@ impl PowerModel {
         let buffers_j = buf_events * w * c.sram_pj_per_bit * 1e-12 * vscale;
 
         let k = topo.router_radix() as f64;
-        let xbar_j = activity.crossbar_traversals as f64
-            * w
-            * k
-            * c.xbar_pj_per_bit_port
-            * 1e-12
-            * vscale;
+        let xbar_j =
+            activity.crossbar_traversals as f64 * w * k * c.xbar_pj_per_bit_port * 1e-12 * vscale;
 
         // Wires: energy per flit per mm.
         let wire_mm_travelled = activity.wire_flit_tiles as f64 * tile_mm;
-        let wires_j =
-            wire_mm_travelled * w * c.wire_cap_pf_per_mm * 1e-12 * vscale;
+        let wires_j = wire_mm_travelled * w * c.wire_cap_pf_per_mm * 1e-12 * vscale;
 
         DynamicPowerReport {
             buffers_w: buffers_j / time_s,
@@ -405,8 +396,7 @@ impl PowerModel {
     ) -> PowerReport {
         let area = self.area(topo, layout, buffer_flits_per_router);
         let static_power = self.static_power(topo, layout, &area);
-        let dynamic_power =
-            self.dynamic_power(topo, &report.activity, report.measured_cycles);
+        let dynamic_power = self.dynamic_power(topo, &report.activity, report.measured_cycles);
         PowerReport {
             area,
             static_power,
@@ -479,10 +469,7 @@ mod tests {
         let (sn, sn_l) = sn200();
         let a = model.area(&sn, &sn_l, buffer_flits(&sn, &sn_l));
         let per_node = a.per_node_cm2();
-        assert!(
-            (1e-4..1e-2).contains(&per_node),
-            "area/node {per_node} cm²"
-        );
+        assert!((1e-4..1e-2).contains(&per_node), "area/node {per_node} cm²");
     }
 
     #[test]
@@ -543,8 +530,8 @@ mod tests {
         // Table 5's shape: SN beats FBF in throughput/power (modestly)
         // and low-radix nets substantially.
         let run = |topo: &Topology, layout: &Layout, cycle_ns: f64| {
-            let mut sim = Simulator::build_with_layout(topo, layout, &SimConfig::default())
-                .unwrap();
+            let mut sim =
+                Simulator::build_with_layout(topo, layout, &SimConfig::default()).unwrap();
             let rep = sim.run_synthetic(TrafficPattern::Random, 0.10, 500, 3_000);
             let flits = buffer_flits(topo, layout);
             PowerModel::new(TechNode::N45)
@@ -568,12 +555,7 @@ mod tests {
         let (sn, sn_l) = sn200();
         let mut sim = Simulator::build_with_layout(&sn, &sn_l, &SimConfig::default()).unwrap();
         let rep = sim.run_synthetic(TrafficPattern::Random, 0.05, 500, 2_000);
-        let r = PowerModel::new(TechNode::N45).evaluate(
-            &sn,
-            &sn_l,
-            buffer_flits(&sn, &sn_l),
-            &rep,
-        );
+        let r = PowerModel::new(TechNode::N45).evaluate(&sn, &sn_l, buffer_flits(&sn, &sn_l), &rep);
         assert!(r.energy_delay() > 0.0);
         assert!(r.energy_delay().is_finite());
         assert!(r.total_power_w() > 0.0);

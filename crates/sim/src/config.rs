@@ -306,13 +306,24 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(SimConfig { vcs: 0, ..SimConfig::default() }.validate().is_err());
-        assert!(SimConfig { packet_flits: 0, ..SimConfig::default() }
-            .validate()
-            .is_err());
-        assert!(SimConfig { smart_hops: 0, ..SimConfig::default() }
-            .validate()
-            .is_err());
+        assert!(SimConfig {
+            vcs: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            packet_flits: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            smart_hops: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(SimConfig {
             injection_queue_flits: 2,
             ..SimConfig::default()

@@ -129,6 +129,7 @@ impl RouterCore {
     /// Builds a router. `input_capacity[port]` gives the per-VC buffer
     /// capacity of each network input port (RTT-sized buffers differ per
     /// port); injection ports use `inj_capacity`.
+    #[allow(clippy::too_many_arguments)] // one call site, in network assembly
     pub(crate) fn new(
         id: RouterId,
         net_ports: usize,
@@ -262,7 +263,9 @@ impl RouterCore {
                 .iter()
                 .flat_map(|p| p.iter().map(|v| v.buf.len()))
                 .sum(),
-            ArchState::Cb { staging, queues, .. } => {
+            ArchState::Cb {
+                staging, queues, ..
+            } => {
                 let s: usize = staging
                     .iter()
                     .flat_map(|p| p.iter().map(|v| usize::from(v.slot.is_some())))
@@ -289,7 +292,9 @@ impl RouterCore {
     ) -> AllocResult {
         let mut result = AllocResult::default();
         match &self.arch {
-            ArchState::Edge { .. } => self.alloc_edge(table, concentration, link_ready, &mut result),
+            ArchState::Edge { .. } => {
+                self.alloc_edge(table, concentration, link_ready, &mut result)
+            }
             ArchState::Cb { .. } => {
                 self.alloc_cb(now, table, concentration, link_ready, &mut result)
             }
@@ -305,9 +310,7 @@ impl RouterCore {
         flit: &Flit,
         in_vc: usize,
     ) -> RouteDecision {
-        if flit.dst_router == self.id
-            && (flit.intermediate.is_none() || flit.intermediate_done)
-        {
+        if flit.dst_router == self.id && (flit.intermediate.is_none() || flit.intermediate_done) {
             // Eject to the local node's port.
             let local = flit.dst.index() % concentration;
             RouteDecision {
@@ -647,6 +650,76 @@ impl RouterCore {
     }
 }
 
+impl RouterCore {
+    /// Debug helper: per-structure flit locations.
+    #[doc(hidden)]
+    pub(crate) fn debug_detail(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        match &self.arch {
+            ArchState::Edge { inputs, .. } => {
+                for (p, vcs) in inputs.iter().enumerate() {
+                    for (v, unit) in vcs.iter().enumerate() {
+                        if !unit.buf.is_empty() {
+                            let _ = write!(
+                                out,
+                                "in[{p}][{v}]={} (head {:?} route {:?}) ",
+                                unit.buf.len(),
+                                unit.buf.front().map(|f| (f.packet, f.kind)),
+                                unit.route
+                            );
+                        }
+                    }
+                }
+            }
+            ArchState::Cb {
+                staging,
+                queues,
+                free,
+                ..
+            } => {
+                let _ = write!(out, "cb_free={free} ");
+                for (p, vcs) in staging.iter().enumerate() {
+                    for (v, unit) in vcs.iter().enumerate() {
+                        if let Some(f) = unit.slot {
+                            let _ = write!(
+                                out,
+                                "stage[{p}][{v}]={:?}/{:?} mode {:?} route {:?} ",
+                                f.packet, f.kind, unit.mode, unit.route
+                            );
+                        }
+                    }
+                }
+                for (o, vcs) in queues.iter().enumerate() {
+                    for (v, q) in vcs.iter().enumerate() {
+                        if !q.is_empty() {
+                            let _ = write!(
+                                out,
+                                "cbq[{o}][{v}]={} head={:?} ",
+                                q.len(),
+                                q.front().map(|c| (c.flit.packet, c.flit.kind))
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for (o, st) in self.st.iter().enumerate() {
+            if let Some(s) = st {
+                let _ = write!(out, "st[{o}]={:?} ", s.flit.packet);
+            }
+        }
+        for (o, vcs) in self.out_pkt.iter().enumerate() {
+            for (v, p) in vcs.iter().enumerate() {
+                if let Some(p) = p {
+                    let _ = write!(out, "outpkt[{o}][{v}]={p} ");
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,12 +811,30 @@ mod tests {
         let (_t, table) = table();
         let mut r = edge_router(1);
         // Two packets on different input ports, both to router 2, VC0.
-        let a = Flit::packet(PacketId(7), NodeId(0), NodeId(2), RouterId(2), 2, 0, true, false);
-        let b = Flit::packet(PacketId(8), NodeId(0), NodeId(2), RouterId(2), 2, 0, true, false);
+        let a = Flit::packet(
+            PacketId(7),
+            NodeId(0),
+            NodeId(2),
+            RouterId(2),
+            2,
+            0,
+            true,
+            false,
+        );
+        let b = Flit::packet(
+            PacketId(8),
+            NodeId(0),
+            NodeId(2),
+            RouterId(2),
+            2,
+            0,
+            true,
+            false,
+        );
         r.deliver(1, 0, a[0]);
         r.deliver(1, 1, b[0]); // other VC of the injection port
-        // Head A wins the output VC0; head B (routed to VC0 as well,
-        // hops = 0) must wait until A's tail passes.
+                               // Head A wins the output VC0; head B (routed to VC0 as well,
+                               // hops = 0) must wait until A's tail passes.
         let _ = r.alloc(0, &table, 1, &|_, _| true);
         let st = r.take_st();
         assert_eq!(st.len(), 1);
@@ -813,7 +904,16 @@ mod tests {
         let mut r = cb_router(1, 6);
         // Fill the output so the bypass fails, with a 6-flit packet
         // already reserving the whole CB.
-        let p1 = Flit::packet(PacketId(1), NodeId(0), NodeId(2), RouterId(2), 6, 0, true, false);
+        let p1 = Flit::packet(
+            PacketId(1),
+            NodeId(0),
+            NodeId(2),
+            RouterId(2),
+            6,
+            0,
+            true,
+            false,
+        );
         r.deliver(1, 0, p1[0]);
         let mut blocker = head_to(2, 1);
         blocker.packet = PacketId(2);
@@ -845,51 +945,5 @@ mod tests {
         assert_eq!(r.buffered_flits(), 1, "now in the ST register");
         let _ = r.take_st();
         assert_eq!(r.buffered_flits(), 0);
-    }
-}
-
-impl RouterCore {
-    /// Debug helper: per-structure flit locations.
-    #[doc(hidden)]
-    pub(crate) fn debug_detail(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        match &self.arch {
-            ArchState::Edge { inputs, .. } => {
-                for (p, vcs) in inputs.iter().enumerate() {
-                    for (v, unit) in vcs.iter().enumerate() {
-                        if !unit.buf.is_empty() {
-                            let _ = write!(out, "in[{p}][{v}]={} (head {:?} route {:?}) ", unit.buf.len(), unit.buf.front().map(|f| (f.packet, f.kind)), unit.route);
-                        }
-                    }
-                }
-            }
-            ArchState::Cb { staging, queues, free, .. } => {
-                let _ = write!(out, "cb_free={free} ");
-                for (p, vcs) in staging.iter().enumerate() {
-                    for (v, unit) in vcs.iter().enumerate() {
-                        if let Some(f) = unit.slot {
-                            let _ = write!(out, "stage[{p}][{v}]={:?}/{:?} mode {:?} route {:?} ", f.packet, f.kind, unit.mode, unit.route);
-                        }
-                    }
-                }
-                for (o, vcs) in queues.iter().enumerate() {
-                    for (v, q) in vcs.iter().enumerate() {
-                        if !q.is_empty() {
-                            let _ = write!(out, "cbq[{o}][{v}]={} head={:?} ", q.len(), q.front().map(|c| (c.flit.packet, c.flit.kind)));
-                        }
-                    }
-                }
-            }
-        }
-        for (o, st) in self.st.iter().enumerate() {
-            if let Some(s) = st { let _ = write!(out, "st[{o}]={:?} ", s.flit.packet); }
-        }
-        for (o, vcs) in self.out_pkt.iter().enumerate() {
-            for (v, p) in vcs.iter().enumerate() {
-                if let Some(p) = p { let _ = write!(out, "outpkt[{o}][{v}]={p} "); }
-            }
-        }
-        out
     }
 }

@@ -63,7 +63,10 @@ impl RoutingTable {
         }
         let strategy = match topo.kind() {
             TopologyKind::Mesh { x, .. } => Strategy::DorMesh { x_dim: *x },
-            TopologyKind::Torus { x, y } => Strategy::DorTorus { x_dim: *x, y_dim: *y },
+            TopologyKind::Torus { x, y } => Strategy::DorTorus {
+                x_dim: *x,
+                y_dim: *y,
+            },
             _ => Strategy::Table,
         };
         let mut next_port = vec![vec![0u16; nr]; nr];
@@ -197,12 +200,7 @@ fn dor_next_mesh(cur: RouterId, dst: RouterId, x_dim: usize) -> RouterId {
 /// direction). This breaks both ring dependency cycles: the VC0 chain
 /// never contains the edge 0 → 1 (a hop from 0 going + always has
 /// `cur < dst`), and VC1 traffic never crosses the wrap edge.
-fn dor_next_torus(
-    cur: RouterId,
-    dst: RouterId,
-    x_dim: usize,
-    y_dim: usize,
-) -> (RouterId, usize) {
+fn dor_next_torus(cur: RouterId, dst: RouterId, x_dim: usize, y_dim: usize) -> (RouterId, usize) {
     let (cx, cy) = (cur.index() % x_dim, cur.index() / x_dim);
     let (dx, dy) = (dst.index() % x_dim, dst.index() / x_dim);
     if cx != dx {
@@ -290,10 +288,7 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                assert_eq!(
-                    walk(&t, &table, src, dst),
-                    table.distance(src, dst)
-                );
+                assert_eq!(walk(&t, &table, src, dst), table.distance(src, dst));
             }
         }
     }
@@ -378,7 +373,7 @@ mod tests {
             for port in 0..table.port_count(r) {
                 let peer = table.peer(r, port);
                 assert_eq!(table.port_to(r, peer), port);
-                assert_eq!(table.port_to(peer, r) < table.port_count(peer), true);
+                assert!(table.port_to(peer, r) < table.port_count(peer));
             }
         }
     }

@@ -109,8 +109,7 @@ pub fn paper_config_names() -> Vec<&'static str> {
         // N = 1296 class.
         "t2d9", "t2d8", "cm9", "cm8", "fbf9", "fbf8", "pfbf9", "pfbf8", "sn_l",
         // N = 1024 power-of-two design.
-        "sn_p2",
-        // N = 54 class (§5.6).
+        "sn_p2", // N = 54 class (§5.6).
         "t2d54", "cm54", "fbf54", "pfbf54", "sn54",
     ]
 }

@@ -48,18 +48,14 @@ pub(crate) fn torus(x_dim: usize, y_dim: usize, concentration: usize) -> Topolog
             if x_dim > 1 {
                 let nx = (x + 1) % x_dim;
                 let j = grid_index(nx, y_dim, x_dim, y);
-                if i < j || nx == 0 && x_dim > 2 {
-                    edges.push((i, j));
-                } else if x_dim == 2 && x == 0 {
+                if i < j || (nx == 0 && x_dim > 2) || (x_dim == 2 && x == 0) {
                     edges.push((i, j));
                 }
             }
             if y_dim > 1 {
                 let ny = (y + 1) % y_dim;
                 let j = grid_index(x, y_dim, x_dim, ny);
-                if i < j || ny == 0 && y_dim > 2 {
-                    edges.push((i, j));
-                } else if y_dim == 2 && y == 0 {
+                if i < j || (ny == 0 && y_dim > 2) || (y_dim == 2 && y == 0) {
                     edges.push((i, j));
                 }
             }
@@ -76,11 +72,7 @@ pub(crate) fn torus(x_dim: usize, y_dim: usize, concentration: usize) -> Topolog
 
 /// Full-bandwidth Flattened Butterfly: complete connectivity along each
 /// row and each column.
-pub(crate) fn flattened_butterfly(
-    x_dim: usize,
-    y_dim: usize,
-    concentration: usize,
-) -> Topology {
+pub(crate) fn flattened_butterfly(x_dim: usize, y_dim: usize, concentration: usize) -> Topology {
     assert!(x_dim > 0 && y_dim > 0, "fbf dimensions must be positive");
     assert!(concentration > 0, "concentration must be positive");
     let mut edges = Vec::new();

@@ -43,9 +43,9 @@ mod resilience;
 mod slimnoc;
 
 pub use analysis::PathStats;
-pub use resilience::ResilienceReport;
 pub use configs::{paper_config, paper_config_names, table2_rows, ConfigDescriptor, Table2Row};
 pub use error::TopologyError;
+pub use resilience::ResilienceReport;
 pub use slimnoc::RouterLabel;
 
 use snoc_field::SlimFlyParams;
@@ -305,8 +305,8 @@ impl Topology {
 
     /// Total number of endpoint nodes `N = N_r · p`.
     ///
-    /// For the folded Clos, only leaf routers carry nodes; see
-    /// [`Topology::node_count_detailed`] semantics in `clos`.
+    /// For the folded Clos, only leaf routers carry nodes (spine routers
+    /// contribute no endpoints); see the `clos` module docs.
     #[must_use]
     pub fn node_count(&self) -> usize {
         match self.kind {
@@ -439,9 +439,7 @@ impl Topology {
     /// bisection bandwidth for layout-defined cuts.
     #[must_use]
     pub fn cut_links(&self, side: impl Fn(RouterId) -> bool) -> usize {
-        self.links()
-            .filter(|&(a, b)| side(a) != side(b))
-            .count()
+        self.links().filter(|&(a, b)| side(a) != side(b)).count()
     }
 }
 

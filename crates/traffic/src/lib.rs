@@ -40,6 +40,5 @@ mod trace;
 pub use injection::{BurstModel, InjectionProcess};
 pub use patterns::{PatternSampler, TrafficPattern};
 pub use trace::{
-    benchmark_names, benchmark_workloads, MessageKind, TraceMessage, TraceWorkload,
-    WorkloadParams,
+    benchmark_names, benchmark_workloads, MessageKind, TraceMessage, TraceWorkload, WorkloadParams,
 };

@@ -95,27 +95,19 @@ impl PatternSampler {
         let bits = n.next_power_of_two().trailing_zeros() as usize;
         let fixed = match pattern {
             TrafficPattern::Random | TrafficPattern::Asymmetric => None,
-            TrafficPattern::BitShuffle => Some(
-                (0..n)
-                    .map(|s| NodeId(rotate_left(s, bits) % n))
-                    .collect(),
-            ),
-            TrafficPattern::BitReversal => Some(
-                (0..n)
-                    .map(|s| NodeId(reverse_bits(s, bits) % n))
-                    .collect(),
-            ),
+            TrafficPattern::BitShuffle => {
+                Some((0..n).map(|s| NodeId(rotate_left(s, bits) % n)).collect())
+            }
+            TrafficPattern::BitReversal => {
+                Some((0..n).map(|s| NodeId(reverse_bits(s, bits) % n)).collect())
+            }
             TrafficPattern::Transpose => Some(
                 (0..n)
                     .map(|s| NodeId(transpose_bits(s, bits) % n))
                     .collect(),
             ),
-            TrafficPattern::Adversarial1 => {
-                Some((0..n).map(|s| NodeId((s + n / 2) % n)).collect())
-            }
-            TrafficPattern::Adversarial2 => {
-                Some((0..n).map(|s| NodeId(n - 1 - s)).collect())
-            }
+            TrafficPattern::Adversarial1 => Some((0..n).map(|s| NodeId((s + n / 2) % n)).collect()),
+            TrafficPattern::Adversarial2 => Some((0..n).map(|s| NodeId(n - 1 - s)).collect()),
         };
         PatternSampler { pattern, n, fixed }
     }
@@ -193,7 +185,6 @@ fn transpose_bits(v: usize, bits: usize) -> usize {
     (low << (bits - half)) | high
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,7 +224,7 @@ mod tests {
         let t = Topology::mesh(4, 4, 1);
         let s = PatternSampler::new(TrafficPattern::Random, &t);
         let mut r = rng();
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for _ in 0..16_000 {
             counts[s.sample(NodeId(3), &mut r).unwrap().index()] += 1;
         }
@@ -255,12 +246,10 @@ mod tests {
             TrafficPattern::Transpose,
         ] {
             let s = PatternSampler::new(p, &t);
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             let mut r = rng();
             for src in t.nodes() {
-                let d = s
-                    .sample(src, &mut r)
-                    .map_or(src.index(), |d| d.index());
+                let d = s.sample(src, &mut r).map_or(src.index(), |d| d.index());
                 seen[d] = true;
             }
             let covered = seen.iter().filter(|&&s| s).count();

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example layout_explorer [q] [p]`
 //! (defaults to the paper's SN-L: q = 9, p = 8).
 
-use slim_noc::layout::{
-    max_wires_per_tile, BufferModel, BufferSpec, Layout, SnLayout, TechNode,
-};
+use slim_noc::layout::{max_wires_per_tile, BufferModel, BufferSpec, Layout, SnLayout, TechNode};
 use slim_noc::prelude::*;
 use slim_noc::sim::Simulator;
 

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    this size (§3.3).
     let layout = Layout::slim_noc(&topo, SnLayout::Subgroup)?;
     println!("die grid       : {:?} tiles", layout.grid());
-    println!("avg wire length: {:.3} tiles", layout.average_wire_length(&topo));
+    println!(
+        "avg wire length: {:.3} tiles",
+        layout.average_wire_length(&topo)
+    );
 
     // 3. Buffers: RTT-sized edge buffers (Eq. 5).
     let buffers = BufferModel::edge_buffers(&topo, &layout, BufferSpec::standard());
@@ -34,8 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Simulate uniform random traffic at a moderate load.
     let mut sim = Simulator::build_with_layout(&topo, &layout, &SimConfig::default())?;
     let report = sim.run_synthetic(TrafficPattern::Random, 0.10, 2_000, 10_000);
-    println!("latency        : {:.2} cycles (p99 {})", report.avg_packet_latency(), report.latency_percentile(0.99));
-    println!("throughput     : {:.4} flits/node/cycle", report.throughput());
+    println!(
+        "latency        : {:.2} cycles (p99 {})",
+        report.avg_packet_latency(),
+        report.latency_percentile(0.99)
+    );
+    println!(
+        "throughput     : {:.4} flits/node/cycle",
+        report.throughput()
+    );
 
     // 5. Area and power at 45 nm.
     let model = PowerModel::new(TechNode::N45);
@@ -45,9 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         buffers.average_per_router() as usize,
         &report,
     );
-    println!("area           : {:.1} mm^2 ({:.2e} cm^2/node)", result.area.total_mm2(), result.area.per_node_cm2());
+    println!(
+        "area           : {:.1} mm^2 ({:.2e} cm^2/node)",
+        result.area.total_mm2(),
+        result.area.per_node_cm2()
+    );
     println!("static power   : {:.2} W", result.static_power.total_w());
     println!("dynamic power  : {:.2} W", result.dynamic_power.total_w());
-    println!("thpt/power     : {:.3e} flits/J", result.throughput_per_power());
+    println!(
+        "thpt/power     : {:.3e} flits/J",
+        result.throughput_per_power()
+    );
     Ok(())
 }

@@ -111,16 +111,30 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--buffers" => buffers = Some(value("--buffers")?),
             "--pattern" => pattern = value("--pattern")?,
             "--routing" => routing = value("--routing")?,
-            "--load" => load = value("--load")?.parse().map_err(|e| format!("--load: {e}"))?,
+            "--load" => {
+                load = value("--load")?
+                    .parse()
+                    .map_err(|e| format!("--load: {e}"))?
+            }
             "--warmup" => {
-                warmup = value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+                warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
             }
             "--measure" => {
-                measure = value("--measure")?.parse().map_err(|e| format!("--measure: {e}"))?;
+                measure = value("--measure")?
+                    .parse()
+                    .map_err(|e| format!("--measure: {e}"))?;
             }
             "--smart" => smart = true,
             "--tech" => tech = value("--tech")?,
-            "--seed" => seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -155,9 +169,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "eb-var" => BufferPreset::EbVar,
             "el-links" => BufferPreset::ElLinks,
             other => match other.strip_prefix("cbr") {
-                Some(n) => BufferPreset::Cbr(
-                    n.parse().map_err(|e| format!("--buffers cbr<N>: {e}"))?,
-                ),
+                Some(n) => {
+                    BufferPreset::Cbr(n.parse().map_err(|e| format!("--buffers cbr<N>: {e}"))?)
+                }
                 None => return Err(format!("unknown buffers `{other}`")),
             },
         };
@@ -219,17 +233,35 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         &["metric", "value"],
     );
     let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
-    row("avg latency [cycles]", format_float(report.avg_packet_latency(), 2));
-    row("p99 latency [cycles]", report.latency_percentile(0.99).to_string());
-    row("throughput [flits/node/cycle]", format_float(report.throughput(), 4));
+    row(
+        "avg latency [cycles]",
+        format_float(report.avg_packet_latency(), 2),
+    );
+    row(
+        "p99 latency [cycles]",
+        report.latency_percentile(0.99).to_string(),
+    );
+    row(
+        "throughput [flits/node/cycle]",
+        format_float(report.throughput(), 4),
+    );
     row("acceptance", format_float(report.acceptance(), 3));
     row("avg hops", format_float(report.avg_hops(), 3));
     row("delivered packets", report.delivered_packets.to_string());
     row("drained", report.drained.to_string());
     row("area [mm^2]", format_float(power.area.total_mm2(), 1));
-    row("static power [W]", format_float(power.static_power.total_w(), 2));
-    row("dynamic power [W]", format_float(power.dynamic_power.total_w(), 2));
-    row("throughput/power [flits/J]", format_float(power.throughput_per_power(), 3));
+    row(
+        "static power [W]",
+        format_float(power.static_power.total_w(), 2),
+    );
+    row(
+        "dynamic power [W]",
+        format_float(power.dynamic_power.total_w(), 2),
+    );
+    row(
+        "throughput/power [flits/J]",
+        format_float(power.throughput_per_power(), 3),
+    );
     t.print(false);
     Ok(())
 }
@@ -240,7 +272,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let layout = &opt.setup.layout;
     let stats = topo.path_stats();
     let wires = layout.wire_stats(topo);
-    let mut t = TextTable::new(format!("analysis: {}", opt.setup.name), &["metric", "value"]);
+    let mut t = TextTable::new(
+        format!("analysis: {}", opt.setup.name),
+        &["metric", "value"],
+    );
     let mut row = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
     row("nodes", topo.node_count().to_string());
     row("routers", topo.router_count().to_string());
@@ -249,12 +284,21 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     row("diameter", stats.diameter.to_string());
     row("avg path [hops]", format_float(stats.average, 3));
     row("links", topo.link_count().to_string());
-    row("die grid", format!("{}x{}", layout.grid().0, layout.grid().1));
-    row("avg wire [tiles]", format_float(layout.average_wire_length(topo), 3));
+    row(
+        "die grid",
+        format!("{}x{}", layout.grid().0, layout.grid().1),
+    );
+    row(
+        "avg wire [tiles]",
+        format_float(layout.average_wire_length(topo), 3),
+    );
     row("max wire [tiles]", layout.max_wire_length(topo).to_string());
     row("max wire crossings W", wires.max_crossings.to_string());
     row("bisection links", layout.bisection_links(topo).to_string());
-    row("buffers/router [flits]", opt.setup.buffer_flits_per_router().to_string());
+    row(
+        "buffers/router [flits]",
+        opt.setup.buffer_flits_per_router().to_string(),
+    );
     t.print(false);
     Ok(())
 }

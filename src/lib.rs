@@ -27,6 +27,24 @@
 //! assert_eq!(topo.diameter(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # The `core` re-export
+//!
+//! [`core`] deliberately shadows the name of the built-in `core` crate.
+//! This is safe: downstream users always reach it through the qualified
+//! path `slim_noc::core::…`, which cannot collide with the extern
+//! prelude, and this facade itself never writes a bare `core::…` path
+//! (which, in edition 2018+, would be an E0659 ambiguity between the
+//! built-in crate and the crate-root re-export). The doctest pins the
+//! resolution:
+//!
+//! ```
+//! use slim_noc::core::Setup;
+//!
+//! let setup = Setup::paper("sn54")?;
+//! assert!(setup.topology.router_count() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -46,5 +64,5 @@ pub mod prelude {
     pub use snoc_power::{PowerReport, TechNode};
     pub use snoc_sim::{SimConfig, SimReport, Simulator};
     pub use snoc_topology::{Topology, TopologyKind};
-    pub use snoc_traffic::{TrafficPattern, TraceWorkload};
+    pub use snoc_traffic::{TraceWorkload, TrafficPattern};
 }

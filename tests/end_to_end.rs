@@ -41,9 +41,11 @@ fn slim_noc_latency_beats_low_radix_networks() {
 #[test]
 fn slim_noc_throughput_beats_low_radix_networks() {
     let sat = |name: &str| {
-        Setup::paper(name)
-            .expect("config")
-            .saturation_throughput(TrafficPattern::Random, 300, 1_500)
+        Setup::paper(name).expect("config").saturation_throughput(
+            TrafficPattern::Random,
+            300,
+            1_500,
+        )
     };
     let sn = sat("sn54");
     let t2d = sat("t2d54");

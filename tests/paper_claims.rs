@@ -6,7 +6,7 @@
 use slim_noc::core::{BufferPreset, Setup};
 use slim_noc::field::SlimFlyParams;
 use slim_noc::layout::{BufferModel, BufferSpec, Layout, SnLayout};
-use slim_noc::power::{PowerModel, TechNode};
+use slim_noc::power::TechNode;
 use slim_noc::prelude::*;
 
 /// §2.1: "SF reduces the number of routers by ≈25% and increases their
@@ -117,8 +117,12 @@ fn sn_beats_fbf_in_area_and_static_power() {
 /// §6 "SN vs Low-Radix Networks": SN pays area but wins performance.
 #[test]
 fn sn_trades_area_for_performance_against_torus() {
-    let s_sn = Setup::paper("sn_s").unwrap().with_buffers(BufferPreset::EbVar);
-    let s_t2d = Setup::paper("t2d4").unwrap().with_buffers(BufferPreset::EbVar);
+    let s_sn = Setup::paper("sn_s")
+        .unwrap()
+        .with_buffers(BufferPreset::EbVar);
+    let s_t2d = Setup::paper("t2d4")
+        .unwrap()
+        .with_buffers(BufferPreset::EbVar);
     let area = |s: &Setup| {
         s.power_model(TechNode::N45)
             .area(&s.topology, &s.layout, s.buffer_flits_per_router())
@@ -138,7 +142,12 @@ fn sn_trades_area_for_performance_against_torus() {
 /// these radixes).
 #[test]
 fn non_prime_fields_unlock_power_of_two_sizes() {
-    for (q, p, n) in [(4usize, 2usize, 64usize), (4, 4, 128), (8, 4, 512), (8, 8, 1024)] {
+    for (q, p, n) in [
+        (4usize, 2usize, 64usize),
+        (4, 4, 128),
+        (8, 4, 512),
+        (8, 8, 1024),
+    ] {
         let params = SlimFlyParams::new(q).unwrap();
         assert_eq!(params.nodes_with(p), n);
         assert!(n.is_power_of_two());

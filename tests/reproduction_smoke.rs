@@ -5,9 +5,7 @@
 
 use slim_noc::core::{BufferPreset, Series, Setup, TextTable};
 use slim_noc::field::Gf;
-use slim_noc::layout::{
-    max_wires_per_tile, BufferModel, BufferSpec, Layout, SnLayout, TechNode,
-};
+use slim_noc::layout::{max_wires_per_tile, BufferModel, BufferSpec, Layout, SnLayout, TechNode};
 use slim_noc::prelude::*;
 use slim_noc::topology::table2_rows;
 

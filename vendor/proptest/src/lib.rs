@@ -1,0 +1,286 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! - [`Strategy`] with implementations for integer/float ranges,
+//! - [`prop::sample::select`] over a `Vec`,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] early-return assertions,
+//! - [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each `#[test]` body runs `cases` times with fresh random
+//! inputs drawn from a deterministic per-test RNG. There is no shrinking;
+//! a failure reports the case index and generated inputs so runs can be
+//! reproduced (the RNG is seeded from the test name, so re-running the
+//! test replays the identical sequence).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error carried out of a failing property body by `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Subset of proptest's run configuration: the number of cases per test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG driving input generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name keeps per-test streams independent yet
+        // reproducible across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy yielding a uniformly chosen element of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select over empty list");
+        self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+    }
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::sample::select`).
+
+    pub mod sample {
+        //! Sampling strategies.
+
+        use super::super::Select;
+
+        /// Strategy drawing uniformly from `options`.
+        pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// `TestCaseError` (rather than panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, returning a
+/// `TestCaseError` (rather than panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let inputs = format!(
+                    concat!("{{", $(stringify!($arg), " = {:?}, ",)* "}}"),
+                    $($arg),*
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{} with inputs {}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        inputs,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Select, Strategy, TestCaseError, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = usize> {
+        prop::sample::select(vec![1usize, 2, 3])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y), "y out of range: {y}");
+        }
+
+        #[test]
+        fn select_picks_members(v in small()) {
+            prop_assert!((1..=3).contains(&v));
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+        #[test]
+        #[should_panic(expected = "property `always_fails` failed")]
+        fn always_fails(x in 0usize..4) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal offline stand-in for `rand_chacha`.
+//!
+//! Provides [`ChaCha8Rng`] and [`ChaCha20Rng`] with the same construction
+//! surface the workspace uses (`SeedableRng::seed_from_u64`). The internal
+//! generator is xoshiro256++ seeded through SplitMix64 — deterministic per
+//! seed and statistically strong enough for simulation workloads, which is
+//! what the callers need (they use ChaCha for reproducibility, not for
+//! cryptography).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! define_chacha_like {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            s: [u64; 4],
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                // SplitMix64 expansion of the seed into the full state, as
+                // recommended by the xoshiro authors.
+                let mut sm = seed;
+                let mut next = || {
+                    sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = sm;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^ (z >> 31)
+                };
+                Self {
+                    s: [next(), next(), next(), next()],
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                // xoshiro256++
+                let result = self.s[0]
+                    .wrapping_add(self.s[3])
+                    .rotate_left(23)
+                    .wrapping_add(self.s[0]);
+                let t = self.s[1] << 17;
+                self.s[2] ^= self.s[0];
+                self.s[3] ^= self.s[1];
+                self.s[1] ^= self.s[2];
+                self.s[0] ^= self.s[3];
+                self.s[2] ^= t;
+                self.s[3] = self.s[3].rotate_left(45);
+                result
+            }
+        }
+    };
+}
+
+define_chacha_like!(
+    /// Drop-in replacement for `rand_chacha::ChaCha8Rng` (deterministic,
+    /// seedable; NOT the real ChaCha stream cipher).
+    ChaCha8Rng
+);
+define_chacha_like!(
+    /// Drop-in replacement for `rand_chacha::ChaCha20Rng` (deterministic,
+    /// seedable; NOT the real ChaCha stream cipher).
+    ChaCha20Rng
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_enough_for_small_ranges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 13];
+        for _ in 0..13_000 {
+            counts[rng.random_range(0..13usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "bucket {i} count {c}");
+        }
+    }
+}
