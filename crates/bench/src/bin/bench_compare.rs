@@ -1,0 +1,477 @@
+//! Compares `cargo bench` output against a recorded baseline, or
+//! records a new baseline — the tool behind the `bench-regression` CI
+//! job, equally usable locally:
+//!
+//! ```text
+//! cargo bench -p snoc_bench | tee bench.out
+//! cargo run --release -p snoc_bench --bin bench_compare -- \
+//!     --baseline BENCH_baseline.json --results bench.out
+//! ```
+//!
+//! The vendored criterion stand-in prints one `CRITERION_JSONL:` line
+//! per benchmark; this tool scrapes those from the raw bench output.
+//! In compare mode, benchmarks whose names start with the `--pattern`
+//! prefix (default `simulation/`) are checked against the baseline and
+//! the run **fails on calibrated ratios above `--max-ratio`** (default
+//! 2.0 — a deliberately generous tolerance: CI machines are noisy, and
+//! the job should only catch real hot-path regressions, not jitter).
+//! Ratios are divided by a machine-speed calibration factor — the
+//! median ratio of the benchmarks *outside* the pattern — so a
+//! uniformly slower or faster machine than the one that recorded the
+//! baseline does not shift the verdict (trends, not absolutes).
+//! Matched baseline entries missing from the results also fail, so a
+//! regression cannot hide behind a renamed or deleted benchmark.
+//!
+//! In record mode (`--record out.json`) the scraped results are
+//! written in the `BENCH_baseline.json` schema; re-record after an
+//! intentional perf change and commit the file.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+/// One scraped or parsed benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+struct Measurement {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut results_path = None;
+    let mut record_path = None;
+    let mut pattern = "simulation/".to_string();
+    let mut max_ratio = 2.0f64;
+    let mut notes = String::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--results" => results_path = Some(value("--results")),
+            "--record" => record_path = Some(value("--record")),
+            "--pattern" => pattern = value("--pattern"),
+            "--max-ratio" => {
+                max_ratio = value("--max-ratio").parse().unwrap_or_else(|e| {
+                    eprintln!("--max-ratio: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--notes" => notes = value("--notes"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_compare --results BENCH_OUT \
+                     [--baseline BENCH_baseline.json] [--pattern simulation/] \
+                     [--max-ratio 2.0] [--record NEW_BASELINE.json] [--notes TEXT]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(results_path) = results_path else {
+        eprintln!("--results is required (raw `cargo bench` output)");
+        return ExitCode::from(2);
+    };
+    let raw = match std::fs::read_to_string(&results_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {results_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let results = scrape_jsonl(&raw);
+    if results.is_empty() {
+        eprintln!("{results_path}: no CRITERION_JSONL lines found");
+        return ExitCode::from(2);
+    }
+
+    if let Some(record_path) = record_path {
+        let json = render_baseline(&results, &notes);
+        if let Err(e) = std::fs::write(&record_path, json) {
+            eprintln!("cannot write {record_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("recorded {} benchmarks to {record_path}", results.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = parse_measurements(&baseline_raw);
+    match compare(&baseline, &results, &pattern, max_ratio) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            print!("{report}");
+            eprintln!("bench-regression check FAILED (tolerance {max_ratio}x)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Extracts `CRITERION_JSONL: {...}` lines from raw bench output.
+fn scrape_jsonl(raw: &str) -> Vec<Measurement> {
+    raw.lines()
+        .filter_map(|l| l.strip_prefix("CRITERION_JSONL: "))
+        .filter_map(parse_measurement_object)
+        .collect()
+}
+
+/// Parses every `{"name": ..., "mean_ns": ..., "iters": ...}` object in
+/// a JSON document. Not a general JSON parser — just enough for the two
+/// schemas this workspace produces (the build is offline, no serde).
+fn parse_measurements(json: &str) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\"") {
+        let chunk = &rest[pos..];
+        let end = chunk.find('}').map_or(chunk.len(), |e| e + 1);
+        if let Some(m) = parse_measurement_object(&chunk[..end]) {
+            out.push(m);
+        }
+        rest = &rest[pos + 6..];
+    }
+    out
+}
+
+/// Parses one benchmark object from its JSON text.
+fn parse_measurement_object(obj: &str) -> Option<Measurement> {
+    let name = string_field(obj, "name")?;
+    let mean_ns = number_field(obj, "mean_ns")?;
+    let iters = number_field(obj, "iters")? as u64;
+    Some(Measurement {
+        name,
+        mean_ns,
+        iters,
+    })
+}
+
+/// Extracts a string field value (`"key": "value"` or `"key":"value"`).
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    Some(after[..after.find('"')?].to_string())
+}
+
+/// Extracts a numeric field value.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// JSON string escaping for recorded notes (quotes, backslashes,
+/// control characters — a multi-line `--notes` must still produce a
+/// parseable baseline file).
+fn escape_json(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders measurements in the `BENCH_baseline.json` schema.
+fn render_baseline(results: &[Measurement], notes: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"slim_noc-bench-baseline-v1\",\n");
+    let _ = writeln!(out, "  \"recorded\": \"{}\",", today_utc());
+    let _ = writeln!(out, "  \"notes\": \"{}\",", escape_json(notes));
+    out.push_str("  \"command\": \"cargo bench -p snoc_bench\",\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"mean_ns\": {:.1},\n      \"iters\": {}\n    }}",
+            m.name, m.mean_ns, m.iters
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days; no chrono in the
+/// offline build).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The machine-speed calibration factor: the median current/baseline
+/// ratio over benchmarks **outside** the gated pattern that exist on
+/// both sides. The baseline's own notes say "compare trends, not
+/// absolutes, across machines" — a CI runner 2x slower than the
+/// recording machine shifts *every* benchmark by ~2x, and dividing by
+/// this factor cancels that shift so the gate only sees relative
+/// hot-path regressions. Falls back to 1.0 when nothing is available
+/// to calibrate against.
+fn calibration_factor(baseline: &[Measurement], results: &[Measurement], pattern: &str) -> f64 {
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter(|b| !b.name.starts_with(pattern) && b.mean_ns > 0.0)
+        .filter_map(|b| {
+            results
+                .iter()
+                .find(|m| m.name == b.name)
+                .map(|cur| cur.mean_ns / b.mean_ns)
+        })
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// Compares results to the baseline for names starting with `pattern`,
+/// after machine-speed calibration (see [`calibration_factor`]).
+/// Returns the rendered report; `Err` when any calibrated ratio
+/// exceeds `max_ratio` or a matched baseline benchmark is missing.
+fn compare(
+    baseline: &[Measurement],
+    results: &[Measurement],
+    pattern: &str,
+    max_ratio: f64,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut failed = false;
+    let matched: Vec<&Measurement> = baseline
+        .iter()
+        .filter(|m| m.name.starts_with(pattern))
+        .collect();
+    let calibration = calibration_factor(baseline, results, pattern);
+    let _ = writeln!(
+        out,
+        "comparing {} `{pattern}*` benchmarks (tolerance {max_ratio}x, \
+         machine-speed calibration {calibration:.2}x from non-matched benchmarks)",
+        matched.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>14} {:>14} {:>7}  verdict",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for base in &matched {
+        match results.iter().find(|m| m.name == base.name) {
+            Some(cur) => {
+                let ratio = cur.mean_ns / base.mean_ns / calibration;
+                let verdict = if ratio > max_ratio {
+                    failed = true;
+                    "REGRESSED"
+                } else if ratio < 1.0 / max_ratio {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>14.1} {:>14.1} {:>6.2}x  {verdict}",
+                    base.name, base.mean_ns, cur.mean_ns, ratio
+                );
+            }
+            None => {
+                failed = true;
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>14.1} {:>14} {:>7}  MISSING",
+                    base.name, base.mean_ns, "-", "-"
+                );
+            }
+        }
+    }
+    if matched.is_empty() {
+        return Err(format!(
+            "{out}no baseline benchmarks match `{pattern}` — wrong pattern or empty baseline\n"
+        ));
+    }
+    if failed {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OUT: &str = "\
+bench: simulation/a      1.0 ms/iter [10 iters]
+CRITERION_JSONL: {\"name\":\"simulation/a\",\"mean_ns\":1000000.0,\"iters\":10}
+noise line
+CRITERION_JSONL: {\"name\":\"simulation/b\",\"mean_ns\":500.5,\"iters\":50}
+CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
+";
+
+    fn m(name: &str, mean_ns: f64) -> Measurement {
+        Measurement {
+            name: name.to_string(),
+            mean_ns,
+            iters: 10,
+        }
+    }
+
+    #[test]
+    fn scrapes_jsonl_lines() {
+        let out = scrape_jsonl(OUT);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], m("simulation/a", 1_000_000.0));
+        assert_eq!(out[1].mean_ns, 500.5);
+        assert_eq!(out[1].iters, 50);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let results = scrape_jsonl(OUT);
+        let rendered = render_baseline(&results, "unit test");
+        let parsed = parse_measurements(&rendered);
+        assert_eq!(parsed, results);
+        assert!(rendered.contains("slim_noc-bench-baseline-v1"));
+    }
+
+    #[test]
+    fn notes_with_newlines_and_quotes_stay_valid_json() {
+        let rendered = render_baseline(&scrape_jsonl(OUT), "line one\nline \"two\"\t\\end");
+        assert!(
+            rendered.contains(r#"line one\u000aline \"two\"\u0009\\end"#),
+            "{rendered}"
+        );
+        assert!(
+            !rendered.contains("one\nline"),
+            "no raw newline inside the notes string"
+        );
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = vec![m("simulation/a", 100.0), m("other/c", 1.0)];
+        let cur = vec![m("simulation/a", 180.0), m("other/c", 1.0)];
+        let report = compare(&base, &cur, "simulation/", 2.0).expect("within tolerance");
+        assert!(report.contains("ok"));
+        assert!(!report.contains("other/c"), "non-matched bench not gated");
+    }
+
+    #[test]
+    fn calibration_cancels_uniform_machine_slowdown() {
+        let base = vec![
+            m("simulation/a", 100.0),
+            m("other/c", 10.0),
+            m("other/d", 20.0),
+        ];
+        // A uniformly 3x slower machine (e.g. a CI runner) is not a
+        // regression: the non-matched benchmarks calibrate it away.
+        let slower_machine = vec![
+            m("simulation/a", 300.0),
+            m("other/c", 30.0),
+            m("other/d", 60.0),
+        ];
+        assert!(compare(&base, &slower_machine, "simulation/", 2.0).is_ok());
+        // A 3x slowdown of only the hot path still fails.
+        let hot_path_regressed = vec![
+            m("simulation/a", 300.0),
+            m("other/c", 10.0),
+            m("other/d", 20.0),
+        ];
+        assert!(compare(&base, &hot_path_regressed, "simulation/", 2.0).is_err());
+    }
+
+    #[test]
+    fn calibration_defaults_to_unity() {
+        let base = vec![m("simulation/a", 100.0)];
+        let cur = vec![m("simulation/a", 150.0)];
+        assert_eq!(calibration_factor(&base, &cur, "simulation/"), 1.0);
+    }
+
+    #[test]
+    fn compare_fails_on_regression_and_missing() {
+        let base = vec![m("simulation/a", 100.0), m("simulation/b", 100.0)];
+        let cur = vec![m("simulation/a", 250.0)];
+        let report = compare(&base, &cur, "simulation/", 2.0).expect_err("must fail");
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("MISSING"));
+    }
+
+    #[test]
+    fn compare_fails_on_empty_match() {
+        let base = vec![m("other/c", 1.0)];
+        let cur = vec![m("other/c", 1.0)];
+        assert!(compare(&base, &cur, "simulation/", 2.0).is_err());
+    }
+
+    #[test]
+    fn civil_date_is_plausible() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert!(d.starts_with("20"), "{d}");
+    }
+
+    #[test]
+    fn parses_repo_baseline_schema() {
+        let doc = r#"{
+  "schema": "slim_noc-bench-baseline-v1",
+  "benchmarks": [
+    { "name": "simulation/x", "mean_ns": 305.3, "iters": 50 },
+    { "name": "simulation/y", "mean_ns": 1.5e3, "iters": 10 }
+  ]
+}"#;
+        let got = parse_measurements(doc);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], m("simulation/x", 305.3).clone_with_iters(50));
+        assert_eq!(got[1].mean_ns, 1500.0);
+    }
+
+    impl Measurement {
+        fn clone_with_iters(mut self, iters: u64) -> Self {
+            self.iters = iters;
+            self
+        }
+    }
+}

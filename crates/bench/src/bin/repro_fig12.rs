@@ -1,9 +1,11 @@
 //! Reproduces Figure 12: synthetic-traffic performance with SMART links
 //! for the small network class (N ∈ {192, 200}) across all topologies,
 //! with the paper's latency-ratio annotations at load 0.008.
+//!
+//! Declared as a sweep campaign (setups × paper pattern set × the
+//! standard load grid); `--json` emits the raw campaign result.
 
-use snoc_bench::{latency_curves, small_class_setups, Args};
-use snoc_core::{Series, TextTable};
+use snoc_bench::{figure_campaign, print_class_figure, small_class_setups, Args};
 use snoc_traffic::TrafficPattern;
 
 fn main() {
@@ -12,34 +14,13 @@ fn main() {
         .into_iter()
         .map(|s| s.with_smart(true))
         .collect();
-    for pattern in TrafficPattern::paper_set() {
-        let curves = latency_curves(&setups, pattern, &args);
-        Series::tabulate(
-            format!("Fig 12 ({pattern}): latency vs load, SMART, N in {{192,200}}"),
-            "load",
-            &curves,
-        )
-        .print(args.csv);
-        // Ratio annotations: SN latency / baseline latency at 0.008.
-        let at_low = |name: &str| -> Option<f64> {
-            curves
-                .iter()
-                .find(|s| s.name == name)?
-                .points
-                .first()
-                .map(|&(_, y)| y)
-        };
-        if let Some(sn) = at_low("sn_s") {
-            let mut table = TextTable::new(
-                format!("Fig 12 ({pattern}): SN latency ratio at load 0.008"),
-                &["baseline", "SN/baseline"],
-            );
-            for base in ["cm3", "t2d3", "pfbf3", "pfbf4", "fbf3"] {
-                if let Some(b) = at_low(base) {
-                    table.push_row(vec![base.to_string(), format!("{:.0}%", 100.0 * sn / b)]);
-                }
-            }
-            table.print(args.csv);
-        }
-    }
+    let result = figure_campaign("fig12", setups, TrafficPattern::paper_set(), &args).run();
+    print_class_figure(
+        &result,
+        "Fig 12",
+        "latency vs load, SMART, N in {192,200}",
+        "sn_s",
+        &["cm3", "t2d3", "pfbf3", "pfbf4", "fbf3"],
+        &args,
+    );
 }

@@ -1,8 +1,10 @@
 //! Reproduces Figure 13: synthetic-traffic performance with SMART links
 //! for the large network class (N = 1296).
+//!
+//! Declared as a sweep campaign (setups × paper pattern set × the
+//! standard load grid); `--json` emits the raw campaign result.
 
-use snoc_bench::{large_class_setups, latency_curves, Args};
-use snoc_core::{Series, TextTable};
+use snoc_bench::{figure_campaign, large_class_setups, print_class_figure, Args};
 use snoc_traffic::TrafficPattern;
 
 fn main() {
@@ -11,33 +13,13 @@ fn main() {
         .into_iter()
         .map(|s| s.with_smart(true))
         .collect();
-    for pattern in TrafficPattern::paper_set() {
-        let curves = latency_curves(&setups, pattern, &args);
-        Series::tabulate(
-            format!("Fig 13 ({pattern}): latency vs load, SMART, N=1296"),
-            "load",
-            &curves,
-        )
-        .print(args.csv);
-        let at_low = |name: &str| -> Option<f64> {
-            curves
-                .iter()
-                .find(|s| s.name == name)?
-                .points
-                .first()
-                .map(|&(_, y)| y)
-        };
-        if let Some(sn) = at_low("sn_l") {
-            let mut table = TextTable::new(
-                format!("Fig 13 ({pattern}): SN latency ratio at load 0.008"),
-                &["baseline", "SN/baseline"],
-            );
-            for base in ["cm9", "t2d9", "pfbf9", "fbf9"] {
-                if let Some(b) = at_low(base) {
-                    table.push_row(vec![base.to_string(), format!("{:.0}%", 100.0 * sn / b)]);
-                }
-            }
-            table.print(args.csv);
-        }
-    }
+    let result = figure_campaign("fig13", setups, TrafficPattern::paper_set(), &args).run();
+    print_class_figure(
+        &result,
+        "Fig 13",
+        "latency vs load, SMART, N=1296",
+        "sn_l",
+        &["cm9", "t2d9", "pfbf9", "fbf9"],
+        &args,
+    );
 }

@@ -3,16 +3,22 @@
 //! Every binary regenerates one table or figure of the paper. All accept:
 //!
 //! - `--csv` — emit CSV instead of aligned text;
+//! - `--json` — emit the structured sweep-campaign JSON (figures built
+//!   on [`Campaign`]; see `snoc_core::sweep` for the schema);
 //! - `--quick` — shorter warmup/measurement windows (for quick local
 //!   runs and CI; the default windows match the shapes reported in
 //!   `EXPERIMENTS.md`);
 //! - `--smoke` — minimal windows (statistically meaningless numbers);
 //!   used by the `repro_smoke` test suite to exercise every binary.
+//!
+//! The latency–load figures all run through the sweep-campaign engine:
+//! a binary declares its campaign (setups × patterns × the standard
+//! load grid) via [`figure_campaign`] and only formats the result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use snoc_core::{parallel_map, Series, Setup};
+use snoc_core::{Campaign, CampaignResult, Series, Setup, TextTable};
 use snoc_traffic::TrafficPattern;
 
 /// Command-line options shared by all reproduction binaries.
@@ -20,6 +26,9 @@ use snoc_traffic::TrafficPattern;
 pub struct Args {
     /// Emit CSV instead of aligned text tables.
     pub csv: bool,
+    /// Emit the sweep campaign's structured JSON instead of tables
+    /// (campaign-based figures only; others ignore it).
+    pub json: bool,
     /// Use short simulation windows.
     pub quick: bool,
     /// Use minimal simulation windows: every experiment still builds and
@@ -36,10 +45,11 @@ impl Args {
         for a in std::env::args().skip(1) {
             match a.as_str() {
                 "--csv" => args.csv = true,
+                "--json" => args.json = true,
                 "--quick" => args.quick = true,
                 "--smoke" => args.smoke = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: repro_* [--csv] [--quick] [--smoke]");
+                    eprintln!("usage: repro_* [--csv] [--json] [--quick] [--smoke]");
                     std::process::exit(0);
                 }
                 other => {
@@ -95,24 +105,86 @@ pub fn load_grid() -> Vec<f64> {
     vec![0.008, 0.016, 0.03, 0.06, 0.1, 0.16, 0.24, 0.4]
 }
 
-/// Runs one latency–load curve for a setup and returns it as a series
-/// (stops at saturation, like the figures).
+/// The declarative sweep campaign behind one latency–load figure: the
+/// given setups × patterns over the standard load grid with the
+/// window sizes selected by `args`.
 #[must_use]
-pub fn latency_curve(setup: &Setup, pattern: TrafficPattern, args: &Args) -> Series {
-    let mut series = Series::new(setup.name.clone());
-    for p in setup.latency_load_curve(pattern, &load_grid(), args.warmup(), args.measure()) {
-        if p.saturated {
-            break;
-        }
-        series.push(p.load, p.latency);
-    }
-    series
+pub fn figure_campaign(
+    name: &str,
+    setups: Vec<Setup>,
+    patterns: Vec<TrafficPattern>,
+    args: &Args,
+) -> Campaign {
+    Campaign::new(name)
+        .with_setups(setups)
+        .with_patterns(patterns)
+        .with_loads(load_grid())
+        .with_windows(args.warmup(), args.measure())
 }
 
-/// Runs latency curves for several setups in parallel.
+/// Runs one latency–load curve for a setup and returns it as a series
+/// (stops at saturation, like the figures). Runs through the sweep
+/// engine, so points carry deterministic spec-derived seeds.
+#[must_use]
+pub fn latency_curve(setup: &Setup, pattern: TrafficPattern, args: &Args) -> Series {
+    latency_curves(std::slice::from_ref(setup), pattern, args)
+        .pop()
+        .expect("one series per setup")
+}
+
+/// Runs latency curves for several setups in parallel via the sweep
+/// engine.
 #[must_use]
 pub fn latency_curves(setups: &[Setup], pattern: TrafficPattern, args: &Args) -> Vec<Series> {
-    parallel_map(setups.to_vec(), |s| latency_curve(&s, pattern, args))
+    figure_campaign("latency_curves", setups.to_vec(), vec![pattern], args)
+        .run()
+        .series(pattern.short_name())
+}
+
+/// Formats a class-comparison latency figure from a campaign result:
+/// one latency-vs-load table per pattern plus the paper's SN/baseline
+/// latency-ratio annotations at the lowest load. With `--json` the raw
+/// campaign result is emitted instead.
+pub fn print_class_figure(
+    result: &CampaignResult,
+    figure: &str,
+    subtitle: &str,
+    sn: &str,
+    baselines: &[&str],
+    args: &Args,
+) {
+    if args.json {
+        print!("{}", result.to_json());
+        return;
+    }
+    for pattern in &result.patterns {
+        let curves = result.series(pattern);
+        Series::tabulate(format!("{figure} ({pattern}): {subtitle}"), "load", &curves)
+            .print(args.csv);
+        let at_low = |name: &str| -> Option<f64> {
+            curves
+                .iter()
+                .find(|s| s.name == name)?
+                .points
+                .first()
+                .map(|&(_, y)| y)
+        };
+        if let Some(sn_lat) = at_low(sn) {
+            let mut table = TextTable::new(
+                format!("{figure} ({pattern}): SN latency ratio at load 0.008"),
+                &["baseline", "SN/baseline"],
+            );
+            for base in baselines {
+                if let Some(b) = at_low(base) {
+                    table.push_row(vec![
+                        (*base).to_string(),
+                        format!("{:.0}%", 100.0 * sn_lat / b),
+                    ]);
+                }
+            }
+            table.print(args.csv);
+        }
+    }
 }
 
 /// The paper's small-class comparison set (N ∈ {192, 200}).
@@ -163,9 +235,8 @@ mod tests {
     #[test]
     fn quick_windows_are_shorter() {
         let quick = Args {
-            csv: false,
             quick: true,
-            smoke: false,
+            ..Args::default()
         };
         let smoke = Args {
             smoke: true,
@@ -177,5 +248,42 @@ mod tests {
         assert!(smoke.warmup() < quick.warmup());
         assert!(smoke.measure() < quick.measure());
         assert!(smoke.trace_cycles() < quick.trace_cycles());
+    }
+
+    #[test]
+    fn figure_campaign_reflects_args() {
+        let args = Args {
+            quick: true,
+            ..Args::default()
+        };
+        let c = figure_campaign(
+            "t",
+            vec![Setup::paper("sn54").unwrap()],
+            vec![TrafficPattern::Random],
+            &args,
+        );
+        assert_eq!(c.warmup, args.warmup());
+        assert_eq!(c.measure, args.measure());
+        assert_eq!(c.loads, load_grid());
+    }
+
+    #[test]
+    fn latency_curve_matches_campaign_series() {
+        let args = Args {
+            smoke: true,
+            ..Args::default()
+        };
+        let setup = Setup::paper("sn54").unwrap();
+        let direct = latency_curve(&setup, TrafficPattern::Random, &args);
+        let via_campaign = figure_campaign(
+            "latency_curves",
+            vec![setup],
+            vec![TrafficPattern::Random],
+            &args,
+        )
+        .run()
+        .series("RND")
+        .remove(0);
+        assert_eq!(direct, via_campaign);
     }
 }

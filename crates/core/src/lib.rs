@@ -26,12 +26,14 @@
 mod parallel;
 mod report;
 mod setup;
+mod sweep;
 
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_with_threads};
 pub use report::{format_float, Series, TextTable};
 pub use setup::{BufferPreset, Setup, SetupError};
+pub use sweep::{Campaign, CampaignResult, SweepPoint};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::{parallel_map, BufferPreset, Series, Setup, TextTable};
+    pub use crate::{parallel_map, BufferPreset, Campaign, Series, Setup, TextTable};
 }

@@ -1,0 +1,550 @@
+//! Sweep-campaign engine: declarative topology × traffic × load grids.
+//!
+//! The paper's figures are families of latency–throughput curves —
+//! dozens of independent simulations each. A [`Campaign`] describes one
+//! such family declaratively (which [`Setup`]s, which
+//! [`TrafficPattern`]s, which injection-rate grid, which simulation
+//! windows) and [`Campaign::run`] fans the curves out over worker
+//! threads, giving every simulated point a seed derived from the spec
+//! alone. Results are therefore **bit-identical for every thread
+//! count** and can be re-derived point-by-point.
+//!
+//! Around the saturation knee the fixed grid is coarse; optional
+//! adaptive refinement bisects the interval between the last
+//! unsaturated and the first saturated load, sharpening the measured
+//! knee without wasting simulations deep inside either regime.
+//!
+//! Results come back as a flat, structured [`CampaignResult`] that can
+//! be rendered as figure tables ([`CampaignResult::series`]) or emitted
+//! as machine-readable JSON ([`CampaignResult::to_json`]).
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_core::{Campaign, Setup};
+//! use snoc_traffic::TrafficPattern;
+//!
+//! let campaign = Campaign::new("demo")
+//!     .with_setups(vec![Setup::paper("sn54")?])
+//!     .with_patterns(vec![TrafficPattern::Random])
+//!     .with_loads(vec![0.02, 0.05])
+//!     .with_windows(200, 800);
+//! let result = campaign.run();
+//! assert_eq!(result.points.len(), 2);
+//! assert!(result.to_json().contains("\"schema\""));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::parallel::parallel_map_with_threads;
+use crate::report::{format_float, Series};
+use crate::setup::Setup;
+use snoc_traffic::TrafficPattern;
+use std::fmt::Write as _;
+
+/// A declarative sweep specification: every combination of setup ×
+/// pattern is one latency–load curve, swept over `loads` (plus optional
+/// knee refinement).
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name (recorded in the JSON output).
+    pub name: String,
+    /// Experiment configurations (one curve per setup per pattern).
+    pub setups: Vec<Setup>,
+    /// Traffic patterns.
+    pub patterns: Vec<TrafficPattern>,
+    /// Injection-rate grid in flits/node/cycle.
+    pub loads: Vec<f64>,
+    /// Warmup cycles per point.
+    pub warmup: u64,
+    /// Measured cycles per point.
+    pub measure: u64,
+    /// Base seed; per-point seeds are derived from it and the point's
+    /// coordinates (never from execution order).
+    pub base_seed: u64,
+    /// Bisection rounds around the saturation knee (0 disables
+    /// refinement).
+    pub refine_rounds: usize,
+    /// Stop a curve after its first saturated grid point (as the
+    /// paper's figures do).
+    pub stop_at_saturation: bool,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Campaign {
+    /// Creates an empty campaign with the paper's default windows
+    /// (2 000 warmup / 10 000 measured cycles).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            setups: Vec::new(),
+            patterns: Vec::new(),
+            loads: Vec::new(),
+            warmup: 2_000,
+            measure: 10_000,
+            base_seed: 0xC0FFEE,
+            refine_rounds: 0,
+            stop_at_saturation: true,
+            threads: 0,
+        }
+    }
+
+    /// Sets the experiment setups.
+    #[must_use]
+    pub fn with_setups(mut self, setups: Vec<Setup>) -> Self {
+        self.setups = setups;
+        self
+    }
+
+    /// Sets the traffic patterns.
+    #[must_use]
+    pub fn with_patterns(mut self, patterns: Vec<TrafficPattern>) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
+    /// Sets the injection-rate grid.
+    #[must_use]
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
+    }
+
+    /// Sets warmup and measurement windows in cycles.
+    #[must_use]
+    pub fn with_windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Enables adaptive knee refinement with the given bisection rounds.
+    #[must_use]
+    pub fn with_refinement(mut self, rounds: usize) -> Self {
+        self.refine_rounds = rounds;
+        self
+    }
+
+    /// Sets the worker thread count (0 = one per core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The deterministic seed of one simulated point. Derived only from
+    /// the base seed and the point's coordinates, so any point can be
+    /// re-run in isolation and any execution order yields the same
+    /// simulation.
+    #[must_use]
+    pub fn point_seed(&self, setup: &str, pattern: TrafficPattern, load: f64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.base_seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(setup.as_bytes());
+        eat(pattern.short_name().as_bytes());
+        eat(&load.to_bits().to_le_bytes());
+        // splitmix64 finalizer for avalanche.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    /// Runs the campaign: one parallel task per (setup, pattern) curve.
+    /// Output ordering and every simulated number are independent of
+    /// the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two setups share a name: names identify curves in the
+    /// result and feed the per-point seeds, so a duplicate would
+    /// silently interleave two curves into one. Give variants distinct
+    /// names (`setup.name = "sn_s+smart".into()`) before adding them.
+    #[must_use]
+    pub fn run(&self) -> CampaignResult {
+        for (i, a) in self.setups.iter().enumerate() {
+            assert!(
+                !self.setups[..i].iter().any(|b| b.name == a.name),
+                "campaign `{}`: duplicate setup name `{}` — curves are keyed \
+                 by name; rename one variant before running",
+                self.name,
+                a.name
+            );
+        }
+        let pairs: Vec<(usize, usize)> = (0..self.setups.len())
+            .flat_map(|s| (0..self.patterns.len()).map(move |p| (s, p)))
+            .collect();
+        let curves = parallel_map_with_threads(pairs, self.threads, |(s, p)| {
+            self.run_curve(&self.setups[s], self.patterns[p])
+        });
+        CampaignResult {
+            name: self.name.clone(),
+            setups: self.setups.iter().map(|s| s.name.clone()).collect(),
+            patterns: self
+                .patterns
+                .iter()
+                .map(|p| p.short_name().to_string())
+                .collect(),
+            warmup: self.warmup,
+            measure: self.measure,
+            base_seed: self.base_seed,
+            points: curves.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs one latency–load curve (grid sweep + knee refinement).
+    fn run_curve(&self, setup: &Setup, pattern: TrafficPattern) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
+        let mut zero_load = 0.0;
+        let mut last_ok: Option<f64> = None;
+        let mut first_sat: Option<f64> = None;
+        for &load in &self.loads {
+            let point = self.run_point(setup, pattern, load, &mut zero_load, false);
+            let saturated = point.saturated;
+            points.push(point);
+            if saturated {
+                first_sat = Some(load);
+                if self.stop_at_saturation {
+                    break;
+                }
+            } else if first_sat.is_none() {
+                last_ok = Some(load);
+            }
+        }
+        // Adaptive refinement: bisect the knee bracket. Each round
+        // halves the interval between the highest load known to be
+        // below saturation and the lowest known saturated load.
+        if let (Some(mut lo), Some(mut hi)) = (last_ok, first_sat) {
+            for _ in 0..self.refine_rounds {
+                let mid = 0.5 * (lo + hi);
+                let point = self.run_point(setup, pattern, mid, &mut zero_load, true);
+                if point.saturated {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+                points.push(point);
+            }
+        }
+        points.sort_by(|a, b| a.load.total_cmp(&b.load));
+        points
+    }
+
+    /// Runs one simulated point. `zero_load` is the curve's reference
+    /// latency for saturation detection (set by the first point run).
+    fn run_point(
+        &self,
+        setup: &Setup,
+        pattern: TrafficPattern,
+        load: f64,
+        zero_load: &mut f64,
+        refined: bool,
+    ) -> SweepPoint {
+        let seed = self.point_seed(&setup.name, pattern, load);
+        let seeded = setup.clone().with_seed(seed);
+        let report = seeded.run_load(pattern, load, self.warmup, self.measure);
+        if *zero_load == 0.0 {
+            *zero_load = report.avg_packet_latency();
+        }
+        SweepPoint {
+            setup: setup.name.clone(),
+            pattern: pattern.short_name().to_string(),
+            load,
+            seed,
+            latency: report.avg_packet_latency(),
+            p99_latency: report.latency_percentile(0.99),
+            throughput: report.throughput(),
+            avg_hops: report.avg_hops(),
+            acceptance: report.acceptance(),
+            delivered_packets: report.delivered_packets,
+            saturated: report.is_saturated(*zero_load),
+            drained: report.drained,
+            refined,
+        }
+    }
+}
+
+/// One simulated point of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Setup name.
+    pub setup: String,
+    /// Traffic pattern short name (`RND`, `ADV1`, …).
+    pub pattern: String,
+    /// Offered load in flits/node/cycle.
+    pub load: f64,
+    /// The derived per-point RNG seed (for exact reruns).
+    pub seed: u64,
+    /// Average packet latency in cycles.
+    pub latency: f64,
+    /// 99th-percentile packet latency in cycles.
+    pub p99_latency: u64,
+    /// Accepted throughput in flits/node/cycle.
+    pub throughput: f64,
+    /// Average network hops per packet.
+    pub avg_hops: f64,
+    /// Fraction of offered packets accepted into injection queues.
+    pub acceptance: f64,
+    /// Measured packets delivered.
+    pub delivered_packets: u64,
+    /// Whether the point is past the saturation knee.
+    pub saturated: bool,
+    /// Whether the network fully drained.
+    pub drained: bool,
+    /// `true` for points added by adaptive knee refinement (as opposed
+    /// to the base grid).
+    pub refined: bool,
+}
+
+/// The structured result of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign name.
+    pub name: String,
+    /// Setup names, in spec order.
+    pub setups: Vec<String>,
+    /// Pattern short names, in spec order.
+    pub patterns: Vec<String>,
+    /// Warmup cycles per point.
+    pub warmup: u64,
+    /// Measured cycles per point.
+    pub measure: u64,
+    /// The campaign's base seed.
+    pub base_seed: u64,
+    /// All simulated points, grouped by curve, sorted by load within
+    /// each curve.
+    pub points: Vec<SweepPoint>,
+}
+
+impl CampaignResult {
+    /// The points of one (setup, pattern) curve, in load order.
+    pub fn curve<'a>(
+        &'a self,
+        setup: &'a str,
+        pattern: &'a str,
+    ) -> impl Iterator<Item = &'a SweepPoint> + 'a {
+        self.points
+            .iter()
+            .filter(move |p| p.setup == setup && p.pattern == pattern)
+    }
+
+    /// Latency-vs-load series for one pattern, one per setup in spec
+    /// order, truncated at saturation (figure convention: "we omit
+    /// performance data for points after network saturation").
+    #[must_use]
+    pub fn series(&self, pattern: &str) -> Vec<Series> {
+        self.setups
+            .iter()
+            .map(|name| {
+                let mut s = Series::new(name.clone());
+                for p in self.curve(name, pattern) {
+                    if p.saturated {
+                        break;
+                    }
+                    s.push(p.load, p.latency);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// The measured saturation-knee estimate for one curve: the highest
+    /// unsaturated load bracketed by a saturated one. `None` when the
+    /// curve never saturated.
+    #[must_use]
+    pub fn knee(&self, setup: &str, pattern: &str) -> Option<f64> {
+        let first_sat = self
+            .curve(setup, pattern)
+            .find(|p| p.saturated)
+            .map(|p| p.load)?;
+        self.curve(setup, pattern)
+            .filter(|p| !p.saturated && p.load < first_sat)
+            .map(|p| p.load)
+            .reduce(f64::max)
+    }
+
+    /// Serializes the full result as JSON (schema
+    /// `slim_noc-sweep-v1`); hand-rolled, the build is offline and has
+    /// no serde.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"slim_noc-sweep-v1\",");
+        let _ = writeln!(out, "  \"campaign\": \"{}\",", escape_json(&self.name));
+        let list = |names: &[String]| {
+            names
+                .iter()
+                .map(|n| format!("\"{}\"", escape_json(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "  \"setups\": [{}],", list(&self.setups));
+        let _ = writeln!(out, "  \"patterns\": [{}],", list(&self.patterns));
+        let _ = writeln!(out, "  \"warmup\": {},", self.warmup);
+        let _ = writeln!(out, "  \"measure\": {},", self.measure);
+        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"setup\": \"{}\", \"pattern\": \"{}\", \"load\": {}, \"seed\": {}, \
+                 \"latency\": {}, \"p99_latency\": {}, \"throughput\": {}, \"avg_hops\": {}, \
+                 \"acceptance\": {}, \"delivered_packets\": {}, \"saturated\": {}, \
+                 \"drained\": {}, \"refined\": {}}}",
+                escape_json(&p.setup),
+                escape_json(&p.pattern),
+                json_f64(p.load),
+                p.seed,
+                json_f64(p.latency),
+                p.p99_latency,
+                json_f64(p.throughput),
+                json_f64(p.avg_hops),
+                json_f64(p.acceptance),
+                p.delivered_packets,
+                p.saturated,
+                p.drained,
+                p.refined,
+            );
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float formatted as a valid JSON number (no NaN/inf; those become
+/// null, which downstream tooling treats as missing).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format_float(x, 6)
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::new("unit")
+            .with_setups(vec![Setup::paper("sn54").expect("paper config")])
+            .with_patterns(vec![TrafficPattern::Random])
+            .with_loads(vec![0.02, 0.05])
+            .with_windows(150, 500)
+    }
+
+    #[test]
+    fn seeds_depend_on_every_coordinate() {
+        let c = tiny_campaign();
+        let base = c.point_seed("sn54", TrafficPattern::Random, 0.02);
+        assert_ne!(base, c.point_seed("sn54", TrafficPattern::Random, 0.05));
+        assert_ne!(base, c.point_seed("sn_s", TrafficPattern::Random, 0.02));
+        assert_ne!(
+            base,
+            c.point_seed("sn54", TrafficPattern::Adversarial1, 0.02)
+        );
+        assert_ne!(
+            base,
+            c.clone()
+                .with_seed(1)
+                .point_seed("sn54", TrafficPattern::Random, 0.02)
+        );
+        // And stable: the same coordinates always hash identically.
+        assert_eq!(base, c.point_seed("sn54", TrafficPattern::Random, 0.02));
+    }
+
+    #[test]
+    fn run_produces_grid_points_in_order() {
+        let r = tiny_campaign().run();
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.points[0].load, 0.02);
+        assert_eq!(r.points[1].load, 0.05);
+        assert!(r.points.iter().all(|p| p.delivered_packets > 0));
+        assert!(r.points.iter().all(|p| !p.refined));
+    }
+
+    #[test]
+    fn series_truncates_at_saturation() {
+        let mut r = tiny_campaign().run();
+        // Forge a saturated tail point.
+        let mut sat = r.points[1].clone();
+        sat.load = 0.9;
+        sat.saturated = true;
+        r.points.push(sat);
+        let series = r.series("RND");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 2, "saturated point dropped");
+        assert_eq!(r.knee("sn54", "RND"), Some(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate setup name")]
+    fn duplicate_setup_names_are_rejected() {
+        let base = Setup::paper("sn54").expect("paper config");
+        let _ = tiny_campaign()
+            .with_setups(vec![base.clone(), base.with_smart(true)])
+            .run();
+    }
+
+    #[test]
+    fn knee_is_none_without_saturation() {
+        let r = tiny_campaign().run();
+        assert_eq!(r.knee("sn54", "RND"), None);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = tiny_campaign().run();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"slim_noc-sweep-v1\""));
+        assert!(json.contains("\"campaign\": \"unit\""));
+        assert_eq!(json.matches("\"setup\":").count(), 2);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("tab\there"), "tab\\u0009here");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

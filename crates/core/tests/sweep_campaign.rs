@@ -1,0 +1,105 @@
+//! Integration tests for the sweep-campaign engine: thread-count
+//! determinism and adaptive saturation-knee refinement.
+
+use snoc_core::{Campaign, Setup};
+use snoc_sim::RoutingKind;
+use snoc_traffic::TrafficPattern;
+
+/// Same spec + same seed ⇒ bit-identical results for every worker
+/// count. Seeds are derived from the point coordinates alone, so the
+/// schedule (which worker runs which curve, in which order) must not
+/// leak into the numbers.
+#[test]
+fn same_spec_is_bit_identical_across_thread_counts() {
+    let campaign = |threads: usize| {
+        Campaign::new("determinism")
+            .with_setups(vec![
+                Setup::paper("sn54").expect("paper config"),
+                Setup::paper("fbf3").expect("paper config"),
+            ])
+            .with_patterns(vec![TrafficPattern::Random, TrafficPattern::Adversarial1])
+            .with_loads(vec![0.02, 0.1, 0.3, 0.5])
+            .with_windows(200, 800)
+            .with_refinement(2)
+            .with_seed(42)
+            .with_threads(threads)
+            .run()
+    };
+    let serial = campaign(1);
+    let two = campaign(2);
+    let auto = campaign(0);
+    assert_eq!(serial, two, "1 vs 2 worker threads");
+    assert_eq!(serial, auto, "1 vs auto worker threads");
+    assert_eq!(serial.to_json(), auto.to_json(), "JSON byte-identical");
+    // A different base seed must actually change the simulations.
+    let other = Campaign::new("determinism")
+        .with_setups(vec![
+            Setup::paper("sn54").expect("paper config"),
+            Setup::paper("fbf3").expect("paper config"),
+        ])
+        .with_patterns(vec![TrafficPattern::Random, TrafficPattern::Adversarial1])
+        .with_loads(vec![0.02, 0.1, 0.3, 0.5])
+        .with_windows(200, 800)
+        .with_refinement(2)
+        .with_seed(43)
+        .run();
+    assert_ne!(serial, other, "base seed must matter");
+}
+
+/// ADV1 on the 54-node Slim NoC maps each router's 3 nodes onto one
+/// victim router, so minimal routing is capacity-limited to
+/// 1/3 flit/node/cycle (one shared link). The adaptive refinement must
+/// bracket that knee: the measured onset sits a little below the ideal
+/// bound because finite injection queues back-pressure before the hard
+/// capacity cap, but the accepted throughput at saturation pins the
+/// 1/3 limit itself.
+#[test]
+fn adaptive_refinement_finds_adv1_knee_near_one_third() {
+    let setup = Setup::paper("sn54")
+        .expect("paper config")
+        .with_routing(RoutingKind::Minimal);
+    let result = Campaign::new("adv1-knee")
+        .with_setups(vec![setup])
+        .with_patterns(vec![TrafficPattern::Adversarial1])
+        .with_loads(vec![0.1, 0.2, 0.3, 0.45, 0.6])
+        .with_windows(500, 4_000)
+        .with_refinement(4)
+        .run();
+    let refined: Vec<_> = result.points.iter().filter(|p| p.refined).collect();
+    assert_eq!(refined.len(), 4, "four bisection rounds");
+    // Every refined load lies inside the grid's knee bracket.
+    for p in &refined {
+        assert!((0.2..0.45).contains(&p.load), "refined load {}", p.load);
+    }
+    let knee = result
+        .knee("sn54", "ADV1")
+        .expect("curve must saturate within the grid");
+    assert!(
+        (0.25..=0.40).contains(&knee),
+        "knee {knee} should be near 1/3"
+    );
+    // Refinement tightened the raw grid estimate (0.2, bracket width
+    // 0.1): four bisections shrink the bracket 16-fold.
+    let first_sat = result
+        .curve("sn54", "ADV1")
+        .find(|p| p.saturated)
+        .map(|p| p.load)
+        .expect("saturated point");
+    assert!(knee > 0.2, "refinement must improve on the grid knee");
+    assert!(
+        first_sat - knee < 0.1 / 8.0 + 1e-9,
+        "bracket [{knee}, {first_sat}] must be tight"
+    );
+    // The accepted throughput at the first saturated point is the
+    // capacity bound — 1/3 flit/node/cycle for ADV1 under minimal
+    // routing.
+    let cap = result
+        .curve("sn54", "ADV1")
+        .find(|p| p.saturated)
+        .map(|p| p.throughput)
+        .expect("saturated point");
+    assert!(
+        (0.25..=0.38).contains(&cap),
+        "saturation throughput {cap} should approach 1/3"
+    );
+}

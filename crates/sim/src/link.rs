@@ -161,20 +161,31 @@ impl Channel {
         }
     }
 
-    /// Pops all credits that have arrived by `now` (credited mode).
-    pub(crate) fn pop_credits(&mut self, now: u64) -> Vec<usize> {
-        let mut out = Vec::new();
+    /// Pops one credit that has arrived by `now` (credited mode). The
+    /// cycle loop drains with `while let` — no per-cycle allocation.
+    pub(crate) fn pop_credit(&mut self, now: u64) -> Option<usize> {
         if let Channel::Credited { credits, .. } = self {
-            while let Some(&(when, vc)) = credits.front() {
+            if let Some(&(when, vc)) = credits.front() {
                 if when <= now {
                     credits.pop_front();
-                    out.push(vc);
-                } else {
-                    break;
+                    return Some(vc);
                 }
             }
         }
-        out
+        None
+    }
+
+    /// Whether the channel holds no flits and no in-flight credits —
+    /// idle channels are skipped by the cycle loop entirely.
+    pub(crate) fn is_idle(&self) -> bool {
+        match self {
+            Channel::Credited {
+                in_flight, credits, ..
+            } => in_flight.is_empty() && credits.is_empty(),
+            Channel::Elastic { stages, .. } => stages
+                .iter()
+                .all(|s| s.iter().all(std::option::Option::is_none)),
+        }
     }
 
     /// Number of flits currently inside the channel (for occupancy-based
@@ -244,9 +255,11 @@ mod tests {
     fn credit_return_is_delayed() {
         let mut ch = Channel::credited(4);
         ch.push_credit(5, 1);
-        assert!(ch.pop_credits(8).is_empty());
-        assert_eq!(ch.pop_credits(9), vec![1]);
-        assert!(ch.pop_credits(10).is_empty());
+        assert!(!ch.is_idle(), "in-flight credit keeps the channel busy");
+        assert!(ch.pop_credit(8).is_none());
+        assert_eq!(ch.pop_credit(9), Some(1));
+        assert!(ch.pop_credit(10).is_none());
+        assert!(ch.is_idle());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::config::{BufferSizing, LinkMode, RoutingKind, SimConfig, SimError};
 use crate::flit::{Flit, FlitKind, PacketId};
 use crate::link::Channel;
-use crate::router::RouterCore;
+use crate::router::{AllocResult, RouterCore, StFlit};
 use crate::routing::RoutingTable;
 use crate::stats::SimReport;
 use rand::{RngExt, SeedableRng};
@@ -48,6 +48,21 @@ pub struct Simulator {
     rng: ChaCha8Rng,
     /// Measured packets still in flight (drain detection).
     outstanding: u64,
+    /// Worklist of routers holding at least one flit. Routers are
+    /// appended when a flit is delivered to an idle router and retained
+    /// while non-idle, so at low load the cycle loop touches only the
+    /// busy corner of the network.
+    active_routers: Vec<usize>,
+    /// `router_queued[r]` — whether `r` is in `active_routers`.
+    router_queued: Vec<bool>,
+    /// Worklist of channels with in-flight flits or credits.
+    active_channels: Vec<usize>,
+    /// `chan_queued[id]` — whether `id` is in `active_channels`.
+    chan_queued: Vec<bool>,
+    /// Scratch for the ST-drain phase (reused every cycle).
+    scratch_st: Vec<(usize, StFlit)>,
+    /// Scratch for the allocation phase (reused every cycle).
+    scratch_alloc: AllocResult,
 }
 
 impl Simulator {
@@ -169,13 +184,16 @@ impl Simulator {
             _ => None,
         };
 
+        let chan_count = channels.len();
         Ok(Simulator {
             cfg: cfg.clone(),
             topo: topo.clone(),
             table,
             concentration,
             node_count: topo.node_count(),
+            router_queued: vec![false; routers.len()],
             routers,
+            chan_queued: vec![false; chan_count],
             channels,
             chan_out,
             chan_in,
@@ -189,6 +207,10 @@ impl Simulator {
             next_pid: 0,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             outstanding: 0,
+            active_routers: Vec::new(),
+            active_channels: Vec::new(),
+            scratch_st: Vec::new(),
+            scratch_alloc: AllocResult::default(),
         })
     }
 
@@ -445,35 +467,65 @@ impl Simulator {
         cost
     }
 
+    /// Enqueues a router on the active worklist (idempotent).
+    #[inline]
+    fn activate_router(&mut self, r: usize) {
+        if !self.router_queued[r] {
+            self.router_queued[r] = true;
+            self.active_routers.push(r);
+        }
+    }
+
+    /// Enqueues a channel on the active worklist (idempotent).
+    #[inline]
+    fn activate_channel(&mut self, id: usize) {
+        if !self.chan_queued[id] {
+            self.chan_queued[id] = true;
+            self.active_channels.push(id);
+        }
+    }
+
     /// Advances the network by one cycle (all phases except traffic
     /// generation, which the run loops own).
+    ///
+    /// Only the active worklists are visited: a channel enters when a
+    /// flit or credit is pushed into it, a router when a flit is
+    /// delivered to it, and both leave once drained — at low load the
+    /// idle bulk of the network costs nothing per cycle. Per-channel
+    /// and per-router operations within one phase touch disjoint state
+    /// (each channel feeds exactly one input port; credits target
+    /// per-port counters), so worklist order does not affect results —
+    /// and the worklists themselves evolve deterministically, keeping
+    /// same-seed runs bit-identical.
     fn step(&mut self, measuring: bool, report: &mut SimReport) {
         let now = self.now;
-        // 1. Link pipelines advance.
-        for ch in &mut self.channels {
-            ch.tick();
-        }
-        // 2. Deliveries into router inputs.
-        for id in 0..self.channels.len() {
+        // Phases 1–3 fused per active channel: pipeline tick, delivery
+        // into the router input, credit returns. Deliveries do not
+        // affect other channels' readiness and credits only feed the
+        // allocation phase below, so fusing preserves phase semantics.
+        for i in 0..self.active_channels.len() {
+            let id = self.active_channels[i];
+            self.channels[id].tick();
             let (dst, port) = self.chan_dst[id];
             let router = &self.routers[dst];
             let delivered =
                 self.channels[id].pop_deliverable(now, |vc| router.can_deliver(port, vc));
             if let Some((vc, flit)) = delivered {
                 self.routers[dst].deliver(port, vc, flit);
+                self.activate_router(dst);
             }
-        }
-        // 3. Credit returns.
-        for id in 0..self.channels.len() {
-            let (src, port) = self.chan_src[id];
-            for vc in self.channels[id].pop_credits(now) {
-                self.routers[src].add_credit(port, vc);
+            let (src, src_port) = self.chan_src[id];
+            while let Some(vc) = self.channels[id].pop_credit(now) {
+                self.routers[src].add_credit(src_port, vc);
             }
         }
         // 4. Switch traversal: ST registers drain onto links / nodes.
-        for r in 0..self.routers.len() {
+        for i in 0..self.active_routers.len() {
+            let r = self.active_routers[i];
+            let mut st = std::mem::take(&mut self.scratch_st);
+            self.routers[r].drain_st(&mut st);
             let net_ports = self.chan_out[r].len();
-            for (port, st) in self.routers[r].take_st() {
+            for &(port, stf) in &st {
                 if measuring {
                     report.activity.crossbar_traversals += 1;
                 }
@@ -482,31 +534,41 @@ impl Simulator {
                     if measuring {
                         report.activity.wire_flit_tiles += self.chan_tiles[ch];
                     }
-                    self.channels[ch].push(now, st.out_vc, st.flit);
+                    self.channels[ch].push(now, stf.out_vc, stf.flit);
+                    self.activate_channel(ch);
                 } else {
-                    self.eject(st.flit, measuring, report);
+                    self.eject(stf.flit, measuring, report);
                 }
             }
+            self.scratch_st = st;
         }
         // 5. Allocation (router pipelines).
-        for r in 0..self.routers.len() {
-            let res = {
+        for i in 0..self.active_routers.len() {
+            let r = self.active_routers[i];
+            if self.routers[r].is_idle() {
+                continue; // nothing buffered, nothing to allocate
+            }
+            let mut res = std::mem::take(&mut self.scratch_alloc);
+            {
                 let routers = &mut self.routers;
                 let channels = &self.channels;
                 let ports = &self.chan_out[r];
                 let ready = |out: usize, vc: usize| channels[ports[out]].can_accept(vc);
-                routers[r].alloc(now, &self.table, self.concentration, &ready)
-            };
+                routers[r].alloc_into(now, &self.table, self.concentration, &ready, &mut res);
+            }
             if measuring {
                 report.activity.buffer_accesses += res.buffer_accesses;
                 report.activity.cb_writes += res.cb_writes;
                 report.activity.cb_reads += res.cb_reads;
                 report.activity.bypasses += res.bypasses;
             }
-            for (port, vc) in res.freed_inputs {
+            for idx in 0..res.freed_inputs.len() {
+                let (port, vc) = res.freed_inputs[idx];
                 let ch = self.chan_in[r][port];
                 self.channels[ch].push_credit(now, vc);
+                self.activate_channel(ch);
             }
+            self.scratch_alloc = res;
         }
         // 6. Injection: one flit per node per cycle into the router.
         for node in 0..self.node_count {
@@ -520,8 +582,31 @@ impl Simulator {
                 let mut flit = self.inj_queues[node].pop_front().expect("non-empty");
                 flit.injected = now;
                 self.routers[r].deliver(port, 0, flit);
+                self.activate_router(r);
             }
         }
+        // Compact the worklists: drop components that went idle. The
+        // queued flags are cleared so they can re-enter later.
+        let routers = &self.routers;
+        let router_queued = &mut self.router_queued;
+        self.active_routers.retain(|&r| {
+            if routers[r].is_idle() {
+                router_queued[r] = false;
+                false
+            } else {
+                true
+            }
+        });
+        let channels = &self.channels;
+        let chan_queued = &mut self.chan_queued;
+        self.active_channels.retain(|&id| {
+            if channels[id].is_idle() {
+                chan_queued[id] = false;
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Hands a flit to its destination node.

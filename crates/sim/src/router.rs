@@ -105,10 +105,20 @@ pub(crate) struct RouterCore {
     rr_in: Vec<usize>,
     /// Round-robin pointer per output port (input selection).
     rr_out: Vec<usize>,
+    /// Flits currently inside the router (buffers, staging, CB queues,
+    /// ST registers). `0` means the router is idle and the cycle loop
+    /// can skip it entirely.
+    live_flits: usize,
+    /// Reusable allocation scratch: per-output claim flags.
+    scratch_claimed: Vec<bool>,
+    /// Reusable allocation scratch: input nominations.
+    scratch_noms: Vec<(usize, usize, RouteDecision)>,
 }
 
 /// Resource release information produced by the allocation phase.
-#[derive(Debug, Default)]
+/// Owned by the simulator and reused across routers and cycles; `alloc`
+/// clears it before filling.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct AllocResult {
     /// Network input ports whose buffer freed one slot: `(port, vc)` —
     /// the network returns one credit upstream for each.
@@ -123,6 +133,18 @@ pub(crate) struct AllocResult {
     pub cb_reads: u64,
     /// Flits that took the bypass path this cycle (activity counter).
     pub bypasses: u64,
+}
+
+impl AllocResult {
+    /// Resets the result for reuse (keeps the Vec capacities).
+    pub(crate) fn clear(&mut self) {
+        self.freed_inputs.clear();
+        self.freed_injection.clear();
+        self.buffer_accesses = 0;
+        self.cb_writes = 0;
+        self.cb_reads = 0;
+        self.bypasses = 0;
+    }
 }
 
 impl RouterCore {
@@ -179,6 +201,9 @@ impl RouterCore {
             out_credits: vec![Vec::new(); net_ports],
             rr_in: vec![0; in_ports],
             rr_out: vec![0; out_ports],
+            live_flits: 0,
+            scratch_claimed: Vec::with_capacity(out_ports),
+            scratch_noms: Vec::with_capacity(in_ports),
         }
     }
 
@@ -211,6 +236,7 @@ impl RouterCore {
         if flit.intermediate == Some(self.id) {
             flit.intermediate_done = true;
         }
+        self.live_flits += 1;
         match &mut self.arch {
             ArchState::Edge { inputs, capacity } => {
                 assert!(
@@ -231,16 +257,31 @@ impl RouterCore {
         }
     }
 
-    /// Drains the ST registers: returns the flits traversing the switch
-    /// this cycle, by output port.
-    pub(crate) fn take_st(&mut self) -> Vec<(usize, StFlit)> {
-        let mut out = Vec::new();
+    /// Drains the ST registers into `out` (cleared first): the flits
+    /// traversing the switch this cycle, by output port. Takes a caller
+    /// scratch buffer so the cycle loop allocates nothing.
+    pub(crate) fn drain_st(&mut self, out: &mut Vec<(usize, StFlit)>) {
+        out.clear();
         for (port, slot) in self.st.iter_mut().enumerate() {
             if let Some(st) = slot.take() {
                 out.push((port, st));
             }
         }
+        self.live_flits -= out.len();
+    }
+
+    /// Test convenience around [`RouterCore::drain_st`].
+    #[cfg(test)]
+    pub(crate) fn take_st(&mut self) -> Vec<(usize, StFlit)> {
+        let mut out = Vec::new();
+        self.drain_st(&mut out);
         out
+    }
+
+    /// Whether the router holds no flits at all (nothing to allocate,
+    /// no ST traffic) — idle routers are skipped by the cycle loop.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.live_flits == 0
     }
 
     /// Occupancy of an output direction (ST register + consumed credits),
@@ -256,8 +297,21 @@ impl RouterCore {
         }
     }
 
-    /// Total flits buffered inside the router (drain detection).
+    /// Total flits buffered inside the router (drain detection). O(1):
+    /// maintained as a counter by `deliver` / `drain_st`.
     pub(crate) fn buffered_flits(&self) -> usize {
+        debug_assert_eq!(
+            self.live_flits,
+            self.recount_flits(),
+            "live-flit counter drifted at {}",
+            self.id
+        );
+        self.live_flits
+    }
+
+    /// Slow recount of every flit inside the router — the ground truth
+    /// for the `live_flits` counter (debug assertions only).
+    fn recount_flits(&self) -> usize {
         let inside: usize = match &self.arch {
             ArchState::Edge { inputs, .. } => inputs
                 .iter()
@@ -282,7 +336,26 @@ impl RouterCore {
 
     /// The allocation phase. `link_ready(out_port, vc)` reports whether
     /// the outgoing channel can accept a flit next cycle (elastic mode;
-    /// credited mode uses the internal credit counters).
+    /// credited mode uses the internal credit counters). `result` is a
+    /// caller-owned scratch cleared and refilled here, so the cycle loop
+    /// performs no per-router allocation.
+    pub(crate) fn alloc_into(
+        &mut self,
+        now: u64,
+        table: &RoutingTable,
+        concentration: usize,
+        link_ready: &dyn Fn(usize, usize) -> bool,
+        result: &mut AllocResult,
+    ) {
+        result.clear();
+        match &self.arch {
+            ArchState::Edge { .. } => self.alloc_edge(table, concentration, link_ready, result),
+            ArchState::Cb { .. } => self.alloc_cb(now, table, concentration, link_ready, result),
+        }
+    }
+
+    /// Allocation returning a fresh result (test convenience).
+    #[cfg(test)]
     pub(crate) fn alloc(
         &mut self,
         now: u64,
@@ -291,14 +364,7 @@ impl RouterCore {
         link_ready: &dyn Fn(usize, usize) -> bool,
     ) -> AllocResult {
         let mut result = AllocResult::default();
-        match &self.arch {
-            ArchState::Edge { .. } => {
-                self.alloc_edge(table, concentration, link_ready, &mut result)
-            }
-            ArchState::Cb { .. } => {
-                self.alloc_cb(now, table, concentration, link_ready, &mut result)
-            }
-        }
+        self.alloc_into(now, table, concentration, link_ready, &mut result);
         result
     }
 
@@ -379,8 +445,13 @@ impl RouterCore {
     ) {
         let in_ports = self.net_ports + self.local_ports;
         // Pass 1 (input arbitration): each input port nominates one VC.
-        let mut nominations: Vec<(usize, usize, RouteDecision)> = Vec::new();
-        let mut claimed = vec![false; self.st.len()];
+        // Both scratch buffers are taken from the router so repeated
+        // cycles reuse their capacity.
+        let mut nominations = std::mem::take(&mut self.scratch_noms);
+        nominations.clear();
+        let mut claimed = std::mem::take(&mut self.scratch_claimed);
+        claimed.clear();
+        claimed.resize(self.st.len(), false);
         for port in 0..in_ports {
             let start = self.rr_in[port];
             for i in 0..self.vcs {
@@ -439,6 +510,8 @@ impl RouterCore {
             }
             self.commit_departure(route, flit);
         }
+        self.scratch_noms = nominations;
+        self.scratch_claimed = claimed;
     }
 
     fn alloc_cb(
@@ -451,7 +524,9 @@ impl RouterCore {
     ) {
         let in_ports = self.net_ports + self.local_ports;
         let out_ports = self.st.len();
-        let mut claimed = vec![false; out_ports];
+        let mut claimed = std::mem::take(&mut self.scratch_claimed);
+        claimed.clear();
+        claimed.resize(out_ports, false);
 
         // Phase A1: the single CB read port serves one eligible flit.
         {
@@ -498,7 +573,8 @@ impl RouterCore {
         }
 
         // Phase A2: bypass — staging heads go straight for the outputs.
-        let mut nominations: Vec<(usize, usize, RouteDecision)> = Vec::new();
+        let mut nominations = std::mem::take(&mut self.scratch_noms);
+        nominations.clear();
         for port in 0..in_ports {
             let start = self.rr_in[port];
             for i in 0..self.vcs {
@@ -647,6 +723,8 @@ impl RouterCore {
                 break 'write;
             }
         }
+        self.scratch_noms = nominations;
+        self.scratch_claimed = claimed;
     }
 }
 

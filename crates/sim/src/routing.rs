@@ -8,6 +8,12 @@
 //! cycle as long as `|VC|` is at least the maximal hop count. For tori,
 //! hop-indexed VCs do not cut the ring cycles, so dimension-order
 //! routing with a dateline VC switch is used instead.
+//!
+//! All strategies are fully precomputed at construction time: `route`
+//! is two flat-array loads (`next_port[cur * nr + dst]` plus the VC
+//! table or the hop counter), so the per-flit per-hop cost in the
+//! simulator's cycle loop is a couple of cache hits, never a
+//! recomputation.
 
 use crate::flit::Flit;
 use snoc_topology::{RouterId, Topology, TopologyKind};
@@ -21,28 +27,22 @@ pub struct RouteDecision {
     pub vc: usize,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Strategy {
-    /// BFS minimal next hops with hop-indexed VCs.
-    Table,
-    /// Dimension-order (X then Y) on a mesh grid: deadlock-free with any
-    /// VC count; VCs are hop-indexed for consistency.
-    DorMesh { x_dim: usize },
-    /// Dimension-order with dateline VC switch on a torus.
-    DorTorus { x_dim: usize, y_dim: usize },
-}
-
 /// Precomputed routing state for one topology.
+///
+/// `dist` and `next_port` are row-major `nr × nr` matrices flattened
+/// into contiguous arrays (`[cur * nr + dst]`); `route_vc` is the
+/// per-pair dateline VC for tori (`None` means hop-indexed VCs).
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
-    strategy: Strategy,
-    /// `dist[a][b]` = hop distance between routers.
-    dist: Vec<Vec<u16>>,
-    /// `next_port[cur][dst]` = output port of the chosen minimal path
-    /// (unused for DOR strategies).
-    next_port: Vec<Vec<u16>>,
-    /// `port_of[cur]` maps neighbor router id -> port, stored as the
-    /// sorted neighbor list (ports are positions in it).
+    nr: usize,
+    /// `dist[a * nr + b]` = hop distance between routers.
+    dist: Vec<u16>,
+    /// `next_port[cur * nr + dst]` = output port of the chosen path.
+    next_port: Vec<u16>,
+    /// Dateline VC per `(cur, dst)` pair (tori only).
+    route_vc: Option<Vec<u8>>,
+    /// `neighbors[cur]` is the sorted neighbor list (ports are positions
+    /// in it).
     neighbors: Vec<Vec<RouterId>>,
 }
 
@@ -53,49 +53,78 @@ impl RoutingTable {
         let nr = topo.router_count();
         let neighbors: Vec<Vec<RouterId>> =
             topo.routers().map(|r| topo.neighbors(r).to_vec()).collect();
-        let mut dist = vec![vec![0u16; nr]; nr];
+        let mut dist = vec![0u16; nr * nr];
         for r in topo.routers() {
             let d = topo.distances_from(r);
             for (j, &dj) in d.iter().enumerate() {
                 assert!(dj != usize::MAX, "disconnected topology");
-                dist[r.index()][j] = dj as u16;
+                dist[r.index() * nr + j] = dj as u16;
             }
         }
-        let strategy = match topo.kind() {
-            TopologyKind::Mesh { x, .. } => Strategy::DorMesh { x_dim: *x },
-            TopologyKind::Torus { x, y } => Strategy::DorTorus {
-                x_dim: *x,
-                y_dim: *y,
-            },
-            _ => Strategy::Table,
-        };
-        let mut next_port = vec![vec![0u16; nr]; nr];
-        if strategy == Strategy::Table {
-            for cur in 0..nr {
-                for dst in 0..nr {
-                    if cur == dst {
-                        continue;
+        let mut next_port = vec![0u16; nr * nr];
+        let mut route_vc = None;
+        match topo.kind() {
+            TopologyKind::Mesh { x, .. } => {
+                let x_dim = *x;
+                for cur in 0..nr {
+                    for dst in 0..nr {
+                        if cur == dst {
+                            continue;
+                        }
+                        let next = dor_next_mesh(RouterId(cur), RouterId(dst), x_dim);
+                        next_port[cur * nr + dst] = port_of(&neighbors, cur, next) as u16;
                     }
-                    // Minimal next hops; tie broken by a (cur, dst) hash so
-                    // different pairs spread over the candidates.
-                    let want = dist[cur][dst] - 1;
-                    let candidates: Vec<usize> = neighbors[cur]
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, n)| dist[n.index()][dst] == want)
-                        .map(|(port, _)| port)
-                        .collect();
-                    assert!(!candidates.is_empty(), "minimal path must exist");
-                    let pick = (cur.wrapping_mul(31).wrapping_add(dst.wrapping_mul(17)))
-                        % candidates.len();
-                    next_port[cur][dst] = candidates[pick] as u16;
+                }
+            }
+            TopologyKind::Torus { x, y } => {
+                let (x_dim, y_dim) = (*x, *y);
+                let mut vcs = vec![0u8; nr * nr];
+                for cur in 0..nr {
+                    for dst in 0..nr {
+                        if cur == dst {
+                            continue;
+                        }
+                        let (next, vc) = dor_next_torus(RouterId(cur), RouterId(dst), x_dim, y_dim);
+                        next_port[cur * nr + dst] = port_of(&neighbors, cur, next) as u16;
+                        vcs[cur * nr + dst] = vc as u8;
+                    }
+                }
+                route_vc = Some(vcs);
+            }
+            _ => {
+                for cur in 0..nr {
+                    for dst in 0..nr {
+                        if cur == dst {
+                            continue;
+                        }
+                        // Minimal next hops; tie broken by a (cur, dst)
+                        // hash so different pairs spread over the
+                        // candidates (two passes, no allocation).
+                        let want = dist[cur * nr + dst] - 1;
+                        let count = neighbors[cur]
+                            .iter()
+                            .filter(|n| dist[n.index() * nr + dst] == want)
+                            .count();
+                        assert!(count > 0, "minimal path must exist");
+                        let pick =
+                            (cur.wrapping_mul(31).wrapping_add(dst.wrapping_mul(17))) % count;
+                        let port = neighbors[cur]
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, n)| dist[n.index() * nr + dst] == want)
+                            .nth(pick)
+                            .map(|(port, _)| port)
+                            .expect("pick < count");
+                        next_port[cur * nr + dst] = port as u16;
+                    }
                 }
             }
         }
         RoutingTable {
-            strategy,
+            nr,
             dist,
             next_port,
+            route_vc,
             neighbors,
         }
     }
@@ -103,7 +132,7 @@ impl RoutingTable {
     /// Hop distance between two routers.
     #[must_use]
     pub fn distance(&self, a: RouterId, b: RouterId) -> usize {
-        self.dist[a.index()][b.index()] as usize
+        self.dist[a.index() * self.nr + b.index()] as usize
     }
 
     /// Number of router-to-router ports at `r`.
@@ -129,9 +158,7 @@ impl RoutingTable {
     /// Panics if the routers are not adjacent.
     #[must_use]
     pub fn port_to(&self, cur: RouterId, next: RouterId) -> usize {
-        self.neighbors[cur.index()]
-            .binary_search(&next)
-            .expect("routers must be adjacent")
+        port_of(&self.neighbors, cur.index(), next)
     }
 
     /// The routing target of a flit, honoring a not-yet-reached Valiant
@@ -151,31 +178,25 @@ impl RoutingTable {
     /// Panics if the flit is already at its destination router.
     #[must_use]
     pub fn route(&self, cur: RouterId, flit: &Flit, in_vc: usize, vcs: usize) -> RouteDecision {
+        let _ = in_vc;
         let dst = Self::target(flit);
         assert_ne!(cur, dst, "flit already at target");
-        match self.strategy {
-            Strategy::Table => {
-                let port = self.next_port[cur.index()][dst.index()] as usize;
-                let vc = (flit.hops as usize).min(vcs - 1);
-                RouteDecision { port, vc }
-            }
-            Strategy::DorMesh { x_dim } => {
-                let next = dor_next_mesh(cur, dst, x_dim);
-                RouteDecision {
-                    port: self.port_to(cur, next),
-                    vc: (flit.hops as usize).min(vcs - 1),
-                }
-            }
-            Strategy::DorTorus { x_dim, y_dim } => {
-                let _ = in_vc;
-                let (next, vc) = dor_next_torus(cur, dst, x_dim, y_dim);
-                RouteDecision {
-                    port: self.port_to(cur, next),
-                    vc: vc.min(vcs - 1),
-                }
-            }
-        }
+        let idx = cur.index() * self.nr + dst.index();
+        let port = self.next_port[idx] as usize;
+        let vc = match &self.route_vc {
+            Some(table) => (table[idx] as usize).min(vcs - 1),
+            None => (flit.hops as usize).min(vcs - 1),
+        };
+        RouteDecision { port, vc }
     }
+}
+
+/// The port of `cur` leading to adjacent router `next` (sorted neighbor
+/// lists, so a binary search).
+fn port_of(neighbors: &[Vec<RouterId>], cur: usize, next: RouterId) -> usize {
+    neighbors[cur]
+        .binary_search(&next)
+        .expect("routers must be adjacent")
 }
 
 /// Dimension-order next hop on a mesh (X first, then Y).
@@ -374,6 +395,36 @@ mod tests {
                 let peer = table.peer(r, port);
                 assert_eq!(table.port_to(r, peer), port);
                 assert!(table.port_to(peer, r) < table.port_count(peer));
+            }
+        }
+    }
+
+    #[test]
+    fn dor_tables_match_recomputation() {
+        // The precomputed DOR port tables must agree with the stateless
+        // next-hop functions for every pair.
+        let mesh = Topology::mesh(5, 3, 1);
+        let mt = RoutingTable::minimal(&mesh);
+        for cur in mesh.routers() {
+            for dst in mesh.routers() {
+                if cur == dst {
+                    continue;
+                }
+                let d = mt.route(cur, &flit_to(dst), 0, 2);
+                assert_eq!(mt.peer(cur, d.port), dor_next_mesh(cur, dst, 5));
+            }
+        }
+        let torus = Topology::torus(4, 4, 1);
+        let tt = RoutingTable::minimal(&torus);
+        for cur in torus.routers() {
+            for dst in torus.routers() {
+                if cur == dst {
+                    continue;
+                }
+                let d = tt.route(cur, &flit_to(dst), 0, 4);
+                let (next, vc) = dor_next_torus(cur, dst, 4, 4);
+                assert_eq!(tt.peer(cur, d.port), next);
+                assert_eq!(d.vc, vc);
             }
         }
     }
