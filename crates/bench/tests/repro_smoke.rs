@@ -1,7 +1,7 @@
 //! Smoke-runs every figure/table reproduction binary with `--smoke`
 //! (minimal simulation windows), asserting each constructs its
 //! experiment configuration and runs end-to-end without panicking.
-//! This keeps the 23 `repro_*` binaries from silently rotting: a binary
+//! This keeps the 28 `repro_*` binaries from silently rotting: a binary
 //! that stops building fails `cargo build`, and one that starts
 //! panicking on its own configs fails here.
 
@@ -79,4 +79,17 @@ fn tables_smoke() {
 fn supplementary_studies_smoke() {
     // Ablation, resilience, and sensitivity sweeps.
     smoke_bins!(repro_ablation, repro_resilience, repro_sensitivity);
+}
+
+#[test]
+fn energy_figures_smoke() {
+    // The energy-efficiency pipeline: per-topology sweeps plus the
+    // cross-topology comparison figure.
+    smoke_bins!(
+        repro_energy_mesh,
+        repro_energy_torus,
+        repro_energy_df,
+        repro_energy_sn,
+        repro_fig_energy
+    );
 }

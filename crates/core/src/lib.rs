@@ -31,7 +31,7 @@ mod sweep;
 pub use parallel::{parallel_map, parallel_map_with_threads};
 pub use report::{format_float, Series, TextTable};
 pub use setup::{BufferPreset, Setup, SetupError};
-pub use sweep::{Campaign, CampaignResult, SweepPoint};
+pub use sweep::{Campaign, CampaignResult, PowerPoint, SweepPoint};
 
 /// Convenient glob-import surface.
 pub mod prelude {

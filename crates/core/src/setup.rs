@@ -312,6 +312,20 @@ impl Setup {
         PowerModel::new(tech).with_cycle_time(self.cycle_time_ns)
     }
 
+    /// Feeds a measured simulation report into the power model: the
+    /// activity factors the simulator counted (buffer reads/writes,
+    /// crossbar traversals, allocator grants, link flit·tiles) drive
+    /// the dynamic-power terms directly.
+    #[must_use]
+    pub fn power_report(&self, tech: TechNode, report: &SimReport) -> snoc_power::PowerReport {
+        self.power_model(tech).evaluate_from_sim(
+            report,
+            &self.topology,
+            &self.layout,
+            self.buffer_flits_per_router(),
+        )
+    }
+
     /// Full §5.4-style evaluation: run traffic, then feed activity into
     /// the power model.
     pub fn evaluate_power(
@@ -323,12 +337,7 @@ impl Setup {
         measure: u64,
     ) -> snoc_power::PowerReport {
         let report = self.run_load(pattern, rate, warmup, measure);
-        self.power_model(tech).evaluate(
-            &self.topology,
-            &self.layout,
-            self.buffer_flits_per_router(),
-            &report,
-        )
+        self.power_report(tech, &report)
     }
 }
 

@@ -38,6 +38,7 @@
 use crate::parallel::parallel_map_with_threads;
 use crate::report::{format_float, Series};
 use crate::setup::Setup;
+use snoc_power::TechNode;
 use snoc_traffic::TrafficPattern;
 use std::fmt::Write as _;
 
@@ -69,6 +70,12 @@ pub struct Campaign {
     pub stop_at_saturation: bool,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Power-aware campaign mode: evaluate the power/area model at this
+    /// technology node for every point, feeding it the activity factors
+    /// the simulation *measured*. Points then carry
+    /// [`SweepPoint::power`] columns and [`CampaignResult::to_json`]
+    /// emits the `slim_noc-sweep-v2` schema (a superset of v1).
+    pub power_tech: Option<TechNode>,
 }
 
 impl Campaign {
@@ -87,6 +94,7 @@ impl Campaign {
             refine_rounds: 0,
             stop_at_saturation: true,
             threads: 0,
+            power_tech: None,
         }
     }
 
@@ -137,6 +145,24 @@ impl Campaign {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables power-aware mode: every point additionally runs the
+    /// power/area model at `tech`, driven by measured activity.
+    #[must_use]
+    pub fn with_power(mut self, tech: TechNode) -> Self {
+        self.power_tech = Some(tech);
+        self
+    }
+
+    /// Controls whether curves stop after their first saturated grid
+    /// point (the figure convention; on by default). Power campaigns
+    /// comparing networks *at matched load* disable this so every
+    /// setup is evaluated over the full grid.
+    #[must_use]
+    pub fn with_stop_at_saturation(mut self, stop: bool) -> Self {
+        self.stop_at_saturation = stop;
         self
     }
 
@@ -200,6 +226,7 @@ impl Campaign {
             warmup: self.warmup,
             measure: self.measure,
             base_seed: self.base_seed,
+            tech: self.power_tech,
             points: curves.into_iter().flatten().collect(),
         }
     }
@@ -258,6 +285,9 @@ impl Campaign {
         if *zero_load == 0.0 {
             *zero_load = report.avg_packet_latency();
         }
+        let power = self
+            .power_tech
+            .map(|tech| PowerPoint::from_report(&seeded.power_report(tech, &report)));
         SweepPoint {
             setup: setup.name.clone(),
             pattern: pattern.short_name().to_string(),
@@ -272,6 +302,43 @@ impl Campaign {
             saturated: report.is_saturated(*zero_load),
             drained: report.drained,
             refined,
+            power,
+        }
+    }
+}
+
+/// Power/area columns of one power-aware sweep point, condensed from a
+/// [`snoc_power::PowerReport`] driven by measured activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPoint {
+    /// Total (static + dynamic) power in watts.
+    pub power_w: f64,
+    /// Static (leakage) power in watts.
+    pub static_w: f64,
+    /// Dynamic power in watts.
+    pub dynamic_w: f64,
+    /// Total network area in mm².
+    pub area_mm2: f64,
+    /// Delivered throughput per watt in flits/J (Table 5's metric).
+    pub throughput_per_watt: f64,
+    /// Network energy per delivered flit in joules.
+    pub energy_per_flit_j: f64,
+    /// Energy–delay product in J·s.
+    pub edp_js: f64,
+}
+
+impl PowerPoint {
+    /// Condenses a full power report into the sweep columns.
+    #[must_use]
+    pub fn from_report(r: &snoc_power::PowerReport) -> Self {
+        PowerPoint {
+            power_w: r.total_power_w(),
+            static_w: r.static_power.total_w(),
+            dynamic_w: r.dynamic_power.total_w(),
+            area_mm2: r.area.total_mm2(),
+            throughput_per_watt: r.throughput_per_power(),
+            energy_per_flit_j: r.energy_per_flit(),
+            edp_js: r.energy_delay(),
         }
     }
 }
@@ -306,6 +373,8 @@ pub struct SweepPoint {
     /// `true` for points added by adaptive knee refinement (as opposed
     /// to the base grid).
     pub refined: bool,
+    /// Power/area columns (power-aware campaigns only).
+    pub power: Option<PowerPoint>,
 }
 
 /// The structured result of a campaign run.
@@ -323,6 +392,9 @@ pub struct CampaignResult {
     pub measure: u64,
     /// The campaign's base seed.
     pub base_seed: u64,
+    /// The technology node of power-aware campaigns (`None` for plain
+    /// latency sweeps; selects the v1 vs v2 JSON schema).
+    pub tech: Option<TechNode>,
     /// All simulated points, grouped by curve, sorted by load within
     /// each curve.
     pub points: Vec<SweepPoint>,
@@ -375,14 +447,27 @@ impl CampaignResult {
             .reduce(f64::max)
     }
 
-    /// Serializes the full result as JSON (schema
-    /// `slim_noc-sweep-v1`); hand-rolled, the build is offline and has
-    /// no serde.
+    /// Serializes the full result as JSON; hand-rolled, the build is
+    /// offline and has no serde.
+    ///
+    /// Plain latency campaigns emit schema `slim_noc-sweep-v1`.
+    /// Power-aware campaigns ([`Campaign::with_power`]) emit
+    /// `slim_noc-sweep-v2`, a strict superset: every v1 field keeps its
+    /// name, order, and units, and each point gains trailing power/area
+    /// columns (`power_w`, `static_w`, `dynamic_w`, `area_mm2`,
+    /// `throughput_per_watt` in flits/J, `energy_per_flit_j`, `edp_js`)
+    /// plus a top-level `tech` entry. v1 consumers that index by field
+    /// name parse v2 unchanged.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"slim_noc-sweep-v1\",");
+        let schema = if self.tech.is_some() {
+            "slim_noc-sweep-v2"
+        } else {
+            "slim_noc-sweep-v1"
+        };
+        let _ = writeln!(out, "  \"schema\": \"{schema}\",");
         let _ = writeln!(out, "  \"campaign\": \"{}\",", escape_json(&self.name));
         let list = |names: &[String]| {
             names
@@ -396,6 +481,9 @@ impl CampaignResult {
         let _ = writeln!(out, "  \"warmup\": {},", self.warmup);
         let _ = writeln!(out, "  \"measure\": {},", self.measure);
         let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        if let Some(tech) = self.tech {
+            let _ = writeln!(out, "  \"tech\": \"{tech}\",");
+        }
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             let _ = write!(
@@ -403,7 +491,7 @@ impl CampaignResult {
                 "    {{\"setup\": \"{}\", \"pattern\": \"{}\", \"load\": {}, \"seed\": {}, \
                  \"latency\": {}, \"p99_latency\": {}, \"throughput\": {}, \"avg_hops\": {}, \
                  \"acceptance\": {}, \"delivered_packets\": {}, \"saturated\": {}, \
-                 \"drained\": {}, \"refined\": {}}}",
+                 \"drained\": {}, \"refined\": {}",
                 escape_json(&p.setup),
                 escape_json(&p.pattern),
                 json_f64(p.load),
@@ -418,6 +506,22 @@ impl CampaignResult {
                 p.drained,
                 p.refined,
             );
+            if let Some(pw) = &p.power {
+                let _ = write!(
+                    out,
+                    ", \"power_w\": {}, \"static_w\": {}, \"dynamic_w\": {}, \
+                     \"area_mm2\": {}, \"throughput_per_watt\": {}, \
+                     \"energy_per_flit_j\": {}, \"edp_js\": {}",
+                    json_f64(pw.power_w),
+                    json_f64(pw.static_w),
+                    json_f64(pw.dynamic_w),
+                    json_f64(pw.area_mm2),
+                    json_f64(pw.throughput_per_watt),
+                    json_f64(pw.energy_per_flit_j),
+                    json_f64(pw.edp_js),
+                );
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.points.len() {
                 ",\n"
             } else {
@@ -546,5 +650,83 @@ mod tests {
         assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape_json("tab\there"), "tab\\u0009here");
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn power_campaign_attaches_measured_power_columns() {
+        let r = tiny_campaign().with_power(TechNode::N45).run();
+        assert_eq!(r.tech, Some(TechNode::N45));
+        for p in &r.points {
+            let pw = p.power.expect("power-aware point");
+            assert!(pw.power_w > 0.0 && pw.power_w.is_finite());
+            assert!(pw.static_w > 0.0);
+            assert!(pw.dynamic_w > 0.0, "activity must be measured");
+            assert!(pw.area_mm2 > 0.0);
+            assert!(pw.throughput_per_watt > 0.0);
+            assert!(pw.energy_per_flit_j > 0.0);
+            assert!(pw.edp_js > 0.0);
+            assert!((pw.power_w - (pw.static_w + pw.dynamic_w)).abs() < 1e-12);
+        }
+        // More load, more measured activity, more dynamic power.
+        let d = |i: usize| r.points[i].power.unwrap().dynamic_w;
+        assert!(d(1) > d(0), "dynamic power grows with load");
+    }
+
+    #[test]
+    fn plain_campaign_has_no_power_columns_and_v1_schema() {
+        let r = tiny_campaign().run();
+        assert_eq!(r.tech, None);
+        assert!(r.points.iter().all(|p| p.power.is_none()));
+        assert!(r.to_json().contains("\"schema\": \"slim_noc-sweep-v1\""));
+        assert!(!r.to_json().contains("power_w"));
+    }
+
+    #[test]
+    fn v2_json_is_a_superset_of_v1() {
+        let v2 = tiny_campaign().with_power(TechNode::N45).run();
+        let json = v2.to_json();
+        assert!(json.contains("\"schema\": \"slim_noc-sweep-v2\""));
+        assert!(json.contains("\"tech\": \"45nm\""));
+        for field in [
+            "power_w",
+            "static_w",
+            "dynamic_w",
+            "area_mm2",
+            "throughput_per_watt",
+            "energy_per_flit_j",
+            "edp_js",
+        ] {
+            assert_eq!(
+                json.matches(&format!("\"{field}\":")).count(),
+                v2.points.len(),
+                "{field} on every point"
+            );
+        }
+        // Strict v1 compatibility: stripping the power columns and the
+        // tech header yields exactly the v1 serialization of the same
+        // points.
+        let mut v1 = v2.clone();
+        v1.tech = None;
+        for p in &mut v1.points {
+            p.power = None;
+        }
+        let v1_json = v1.to_json();
+        for (l2, l1) in json
+            .lines()
+            .filter(|l| !l.contains("\"tech\":"))
+            .zip(v1_json.lines())
+        {
+            if l2.contains("\"schema\":") {
+                continue;
+            }
+            let stripped = match l2.find(", \"power_w\":") {
+                Some(idx) => {
+                    let tail = if l2.ends_with("},") { "}," } else { "}" };
+                    format!("{}{}", &l2[..idx], tail)
+                }
+                None => l2.to_string(),
+            };
+            assert_eq!(stripped, l1, "v2 line must reduce to its v1 form");
+        }
     }
 }

@@ -60,6 +60,9 @@ struct TechConstants {
     sram_pj_per_bit: f64,
     /// Crossbar traversal energy in pJ per bit per port.
     xbar_pj_per_bit_port: f64,
+    /// Allocator grant energy in pJ per grant per port (the arbiter
+    /// trees scale with radix; a few percent of a crossbar traversal).
+    alloc_pj_per_grant_port: f64,
 }
 
 /// Fraction of a wire bundle's metal footprint charged to the silicon
@@ -77,6 +80,7 @@ fn constants(tech: TechNode) -> TechConstants {
             wire_cap_pf_per_mm: 0.020,
             sram_pj_per_bit: 0.150,
             xbar_pj_per_bit_port: 0.025,
+            alloc_pj_per_grant_port: 0.15,
         },
         TechNode::N22 => TechConstants {
             wire_pitch_um: 0.30,
@@ -86,6 +90,7 @@ fn constants(tech: TechNode) -> TechConstants {
             wire_cap_pf_per_mm: 0.018,
             sram_pj_per_bit: 0.060,
             xbar_pj_per_bit_port: 0.010,
+            alloc_pj_per_grant_port: 0.06,
         },
         TechNode::N11 => TechConstants {
             wire_pitch_um: 0.15,
@@ -95,6 +100,7 @@ fn constants(tech: TechNode) -> TechConstants {
             wire_cap_pf_per_mm: 0.016,
             sram_pj_per_bit: 0.025,
             xbar_pj_per_bit_port: 0.004,
+            alloc_pj_per_grant_port: 0.025,
         },
     }
 }
@@ -174,6 +180,8 @@ pub struct DynamicPowerReport {
     pub buffers_w: f64,
     /// Crossbar traversal energy.
     pub crossbars_w: f64,
+    /// Allocator grant energy (switch-allocation arbiters).
+    pub allocators_w: f64,
     /// Wire switching energy.
     pub wires_w: f64,
     /// Endpoint count for per-node normalization.
@@ -184,7 +192,7 @@ impl DynamicPowerReport {
     /// Total dynamic power.
     #[must_use]
     pub fn total_w(&self) -> f64 {
-        self.buffers_w + self.crossbars_w + self.wires_w
+        self.buffers_w + self.crossbars_w + self.allocators_w + self.wires_w
     }
 
     /// Dynamic power per node in watts.
@@ -209,6 +217,11 @@ pub struct PowerReport {
     pub latency_s: f64,
     /// Router cycle time in seconds.
     pub cycle_time_s: f64,
+    /// Flits delivered in the measurement window (energy-per-flit
+    /// denominator).
+    pub delivered_flits: u64,
+    /// Length of the measurement window in cycles.
+    pub measured_cycles: u64,
 }
 
 impl PowerReport {
@@ -220,6 +233,32 @@ impl PowerReport {
 
     /// Throughput per power in flits/J — Table 5's metric ("the number
     /// of flits delivered in a cycle divided by the power consumed").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snoc_power::{AreaReport, DynamicPowerReport, PowerReport, StaticPowerReport};
+    ///
+    /// // 2 flits/cycle at 2 GHz is 4e9 flits/s; at 1 W total power the
+    /// // network delivers 4e9 flits per joule.
+    /// let report = PowerReport {
+    ///     area: AreaReport::default(),
+    ///     static_power: StaticPowerReport { routers_w: 0.3, wires_w: 0.2, nodes: 4 },
+    ///     dynamic_power: DynamicPowerReport {
+    ///         buffers_w: 0.25,
+    ///         crossbars_w: 0.15,
+    ///         allocators_w: 0.05,
+    ///         wires_w: 0.05,
+    ///         nodes: 4,
+    ///     },
+    ///     throughput_flits_per_cycle: 2.0,
+    ///     latency_s: 10e-9,
+    ///     cycle_time_s: 0.5e-9,
+    ///     delivered_flits: 4_000,
+    ///     measured_cycles: 2_000,
+    /// };
+    /// assert!((report.throughput_per_power() - 4.0e9).abs() < 1.0);
+    /// ```
     #[must_use]
     pub fn throughput_per_power(&self) -> f64 {
         if self.total_power_w() == 0.0 {
@@ -227,6 +266,16 @@ impl PowerReport {
         } else {
             self.throughput_flits_per_cycle / self.cycle_time_s / self.total_power_w()
         }
+    }
+
+    /// Network energy spent per delivered flit, in joules: total power
+    /// integrated over the measurement window divided by the flits that
+    /// window delivered. Positive and finite even at zero load, where
+    /// it degrades to the window's (leakage-dominated) energy bill.
+    #[must_use]
+    pub fn energy_per_flit(&self) -> f64 {
+        let window_s = self.measured_cycles.max(1) as f64 * self.cycle_time_s;
+        self.total_power_w() * window_s / self.delivered_flits.max(1) as f64
     }
 
     /// Energy–delay product in J·s (Fig. 18 normalizes this to FBF):
@@ -363,15 +412,24 @@ impl PowerModel {
         let time_s = cycles.max(1) as f64 * self.cycle_time_ns * 1e-9;
         let tile_mm = self.tile_side_mm(topo);
 
-        // Buffers: one read + one write per access; CB accesses counted
-        // separately.
-        let buf_events =
-            (2 * activity.buffer_accesses + activity.cb_writes + activity.cb_reads) as f64;
+        // Buffers: measured reads and writes (edge buffers and CBR
+        // staging) plus central-buffer accesses. `buffer_accesses`
+        // (read+write pairs) is the legacy aggregate kept for
+        // counter-invariant checks; the energy charge uses the exact
+        // per-event counters.
+        let buf_events = (activity.buffer_reads
+            + activity.buffer_writes
+            + activity.cb_writes
+            + activity.cb_reads) as f64;
         let buffers_j = buf_events * w * c.sram_pj_per_bit * 1e-12 * vscale;
 
         let k = topo.router_radix() as f64;
         let xbar_j =
             activity.crossbar_traversals as f64 * w * k * c.xbar_pj_per_bit_port * 1e-12 * vscale;
+
+        // Allocators: the arbiter trees burn energy per successful
+        // grant, scaling with radix (small next to the crossbar term).
+        let alloc_j = activity.alloc_grants as f64 * k * c.alloc_pj_per_grant_port * 1e-12 * vscale;
 
         // Wires: energy per flit per mm.
         let wire_mm_travelled = activity.wire_flit_tiles as f64 * tile_mm;
@@ -380,12 +438,15 @@ impl PowerModel {
         DynamicPowerReport {
             buffers_w: buffers_j / time_s,
             crossbars_w: xbar_j / time_s,
+            allocators_w: alloc_j / time_s,
             wires_w: wires_j / time_s,
             nodes: topo.node_count(),
         }
     }
 
-    /// One-stop evaluation of a simulated configuration.
+    /// One-stop evaluation of a simulated configuration from caller-
+    /// supplied activity (the analytic entry point; identical to
+    /// [`PowerModel::evaluate_from_sim`] for the same report).
     #[must_use]
     pub fn evaluate(
         &self,
@@ -393,6 +454,25 @@ impl PowerModel {
         layout: &Layout,
         buffer_flits_per_router: usize,
         report: &SimReport,
+    ) -> PowerReport {
+        self.evaluate_from_sim(report, topo, layout, buffer_flits_per_router)
+    }
+
+    /// The measured-activity path of the energy pipeline: converts the
+    /// activity factors a simulation *measured* (buffer reads/writes,
+    /// crossbar traversals, allocator grants, link flit·tiles) into
+    /// dynamic + static power, energy per flit, and the energy–delay
+    /// product — no analytic activity guesses anywhere.
+    ///
+    /// `buffer_flits_per_router` sizes the buffer area/leakage terms
+    /// (use `Setup::buffer_flits_per_router` for the §5.1 presets).
+    #[must_use]
+    pub fn evaluate_from_sim(
+        &self,
+        report: &SimReport,
+        topo: &Topology,
+        layout: &Layout,
+        buffer_flits_per_router: usize,
     ) -> PowerReport {
         let area = self.area(topo, layout, buffer_flits_per_router);
         let static_power = self.static_power(topo, layout, &area);
@@ -404,6 +484,8 @@ impl PowerModel {
             throughput_flits_per_cycle: report.throughput() * report.nodes as f64,
             latency_s: report.avg_packet_latency() * self.cycle_time_ns * 1e-9,
             cycle_time_s: self.cycle_time_ns * 1e-9,
+            delivered_flits: report.delivered_flits,
+            measured_cycles: report.measured_cycles,
         }
     }
 }
@@ -511,18 +593,130 @@ mod tests {
         let (sn, _) = sn200();
         let model = PowerModel::new(TechNode::N45);
         let a1 = ActivityCounters {
-            buffer_accesses: 1000,
+            buffer_reads: 1000,
+            buffer_writes: 1000,
             crossbar_traversals: 1000,
+            alloc_grants: 1000,
             wire_flit_tiles: 4000,
             ..Default::default()
         };
         let mut a2 = a1;
-        a2.buffer_accesses *= 2;
+        a2.buffer_reads *= 2;
+        a2.buffer_writes *= 2;
         a2.crossbar_traversals *= 2;
+        a2.alloc_grants *= 2;
         a2.wire_flit_tiles *= 2;
         let p1 = model.dynamic_power(&sn, &a1, 10_000).total_w();
         let p2 = model.dynamic_power(&sn, &a2, 10_000).total_w();
         assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_is_monotone_in_each_activity_factor() {
+        // Physics invariant: more activity of *any* kind never lowers
+        // power, and every modeled component contributes.
+        let (sn, _) = sn200();
+        let model = PowerModel::new(TechNode::N45);
+        let base = ActivityCounters {
+            buffer_reads: 500,
+            buffer_writes: 500,
+            cb_writes: 100,
+            cb_reads: 100,
+            crossbar_traversals: 700,
+            alloc_grants: 700,
+            wire_flit_tiles: 2_000,
+            ..Default::default()
+        };
+        let p0 = model.dynamic_power(&sn, &base, 10_000).total_w();
+        assert!(p0 > 0.0);
+        let bumps: [fn(&mut ActivityCounters); 6] = [
+            |a| a.buffer_reads += 1_000,
+            |a| a.buffer_writes += 1_000,
+            |a| a.cb_writes += 1_000,
+            |a| a.crossbar_traversals += 1_000,
+            |a| a.alloc_grants += 1_000,
+            |a| a.wire_flit_tiles += 1_000,
+        ];
+        for (i, bump) in bumps.iter().enumerate() {
+            let mut a = base;
+            bump(&mut a);
+            let p = model.dynamic_power(&sn, &a, 10_000).total_w();
+            assert!(p > p0, "factor {i}: {p} must exceed {p0}");
+        }
+        // The allocator term stays a small correction, not a dominator.
+        let d = model.dynamic_power(&sn, &base, 10_000);
+        assert!(d.allocators_w < 0.25 * d.total_w());
+    }
+
+    #[test]
+    fn energy_per_flit_positive_and_finite_at_zero_load() {
+        // A window that delivered nothing still burns leakage; the
+        // metric degrades to the window's energy bill, never NaN/inf.
+        let (sn, sn_l) = sn200();
+        let model = PowerModel::new(TechNode::N45);
+        let mut idle = Simulator::build_with_layout(&sn, &sn_l, &SimConfig::default()).unwrap();
+        let empty = idle.run_synthetic(TrafficPattern::Random, 0.0, 0, 500);
+        assert_eq!(empty.delivered_flits, 0, "true zero load");
+        let r = model.evaluate_from_sim(&empty, &sn, &sn_l, buffer_flits(&sn, &sn_l));
+        assert!(r.energy_per_flit() > 0.0);
+        assert!(r.energy_per_flit().is_finite());
+        // And at (low) load it is per-flit: more flits, less J/flit.
+        let mut sim = Simulator::build_with_layout(&sn, &sn_l, &SimConfig::default()).unwrap();
+        let rep = sim.run_synthetic(TrafficPattern::Random, 0.05, 300, 2_000);
+        let loaded = model.evaluate_from_sim(&rep, &sn, &sn_l, buffer_flits(&sn, &sn_l));
+        assert!(loaded.energy_per_flit() > 0.0);
+        assert!(loaded.energy_per_flit() < r.energy_per_flit());
+    }
+
+    #[test]
+    fn tech_shrink_scales_area_and_static_power_down() {
+        // TechNode shrink invariants: both area and leakage fall from
+        // 45 nm to 22 nm to 11 nm for the same design, and per-node
+        // static power falls with them.
+        let (sn, sn_l) = sn200();
+        let f = buffer_flits(&sn, &sn_l);
+        let eval = |tech: TechNode| {
+            let m = PowerModel::new(tech);
+            let a = m.area(&sn, &sn_l, f);
+            let s = m.static_power(&sn, &sn_l, &a);
+            (a.total_mm2(), s.total_w(), s.per_node_w())
+        };
+        let (a45, s45, pn45) = eval(TechNode::N45);
+        let (a22, s22, pn22) = eval(TechNode::N22);
+        let (a11, s11, _) = eval(TechNode::N11);
+        assert!(a22 < a45 && a11 < a22, "area: {a45} > {a22} > {a11}");
+        assert!(s22 < s45 && s11 < s22, "static: {s45} > {s22} > {s11}");
+        assert!(pn22 < pn45);
+        // Logic leakage tracks area × density × voltage.
+        let c45 = constants(TechNode::N45);
+        let c22 = constants(TechNode::N22);
+        let a45r = PowerModel::new(TechNode::N45).area(&sn, &sn_l, f);
+        let a22r = PowerModel::new(TechNode::N22).area(&sn, &sn_l, f);
+        let expect = (a22r.routers_mm2() * c22.leakage_w_per_mm2 * TechNode::N22.voltage())
+            / (a45r.routers_mm2() * c45.leakage_w_per_mm2 * TechNode::N45.voltage());
+        let got = PowerModel::new(TechNode::N22)
+            .static_power(&sn, &sn_l, &a22r)
+            .routers_w
+            / PowerModel::new(TechNode::N45)
+                .static_power(&sn, &sn_l, &a45r)
+                .routers_w;
+        assert!((got - expect).abs() < 1e-12, "router leakage scaling");
+    }
+
+    #[test]
+    fn evaluate_from_sim_matches_analytic_evaluate() {
+        // The measured path and the analytic entry point must agree
+        // exactly when fed the same activity.
+        let (sn, sn_l) = sn200();
+        let mut sim = Simulator::build_with_layout(&sn, &sn_l, &SimConfig::default()).unwrap();
+        let rep = sim.run_synthetic(TrafficPattern::Random, 0.08, 300, 2_000);
+        let model = PowerModel::new(TechNode::N45).with_cycle_time(0.5);
+        let flits = buffer_flits(&sn, &sn_l);
+        let from_sim = model.evaluate_from_sim(&rep, &sn, &sn_l, flits);
+        let analytic = model.evaluate(&sn, &sn_l, flits, &rep);
+        assert_eq!(from_sim, analytic);
+        assert!(from_sim.dynamic_power.total_w() > 0.0, "activity measured");
+        assert_eq!(from_sim.delivered_flits, rep.delivered_flits);
     }
 
     #[test]

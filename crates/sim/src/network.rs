@@ -513,6 +513,9 @@ impl Simulator {
             if let Some((vc, flit)) = delivered {
                 self.routers[dst].deliver(port, vc, flit);
                 self.activate_router(dst);
+                if measuring {
+                    report.activity.buffer_writes += 1;
+                }
             }
             let (src, src_port) = self.chan_src[id];
             while let Some(vc) = self.channels[id].pop_credit(now) {
@@ -532,6 +535,7 @@ impl Simulator {
                 if port < net_ports {
                     let ch = self.chan_out[r][port];
                     if measuring {
+                        report.activity.link_flit_hops += 1;
                         report.activity.wire_flit_tiles += self.chan_tiles[ch];
                     }
                     self.channels[ch].push(now, stf.out_vc, stf.flit);
@@ -558,9 +562,14 @@ impl Simulator {
             }
             if measuring {
                 report.activity.buffer_accesses += res.buffer_accesses;
+                // Edge-buffer pops and CBR staging takes (bypass and
+                // CB-write paths) all read one buffered flit; central
+                // buffer reads are accounted separately via `cb_reads`.
+                report.activity.buffer_reads += res.buffer_accesses + res.bypasses + res.cb_writes;
                 report.activity.cb_writes += res.cb_writes;
                 report.activity.cb_reads += res.cb_reads;
                 report.activity.bypasses += res.bypasses;
+                report.activity.alloc_grants += res.alloc_grants;
             }
             for idx in 0..res.freed_inputs.len() {
                 let (port, vc) = res.freed_inputs[idx];
@@ -583,6 +592,9 @@ impl Simulator {
                 flit.injected = now;
                 self.routers[r].deliver(port, 0, flit);
                 self.activate_router(r);
+                if measuring {
+                    report.activity.buffer_writes += 1;
+                }
             }
         }
         // Compact the worklists: drop components that went idle. The
@@ -834,6 +846,47 @@ mod tests {
             );
             assert_eq!(sim.in_flight_flits(), 0, "{}", topo.name());
         }
+    }
+
+    #[test]
+    fn activity_counters_satisfy_structural_invariants() {
+        // Edge-buffer routers: every ST flit either crossed a link or
+        // ejected, every grant popped one buffered flit, and links are
+        // at least one tile long.
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.08, 500, 3_000);
+        let a = &report.activity;
+        assert!(a.crossbar_traversals > 0);
+        assert_eq!(a.crossbar_traversals, a.link_flit_hops + a.ejections);
+        assert!(a.wire_flit_tiles >= a.link_flit_hops);
+        assert_eq!(a.alloc_grants, a.buffer_accesses, "edge: grant == pop");
+        assert_eq!(a.buffer_reads, a.buffer_accesses, "edge: read == pop");
+        // Reads and writes pair up, modulo flits straddling the window
+        // edges (written before the window opens, read after it closes).
+        let (reads, writes) = (a.buffer_reads as f64, a.buffer_writes as f64);
+        assert!(writes > 0.0);
+        assert!(
+            (reads - writes).abs() / writes < 0.05,
+            "reads {reads} vs writes {writes}"
+        );
+    }
+
+    #[test]
+    fn cbr_activity_counters_satisfy_structural_invariants() {
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::cbr(20)).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.15, 500, 3_000);
+        let a = &report.activity;
+        assert_eq!(a.crossbar_traversals, a.link_flit_hops + a.ejections);
+        assert_eq!(
+            a.alloc_grants,
+            a.bypasses + a.cb_reads + a.cb_writes,
+            "CBR: every grant is a bypass, CB read, or CB write"
+        );
+        assert_eq!(a.buffer_accesses, 0, "CBR has no edge buffers");
+        assert_eq!(a.buffer_reads, a.bypasses + a.cb_writes, "staging takes");
+        assert!(a.buffer_writes > 0);
     }
 
     #[test]

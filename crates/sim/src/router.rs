@@ -133,6 +133,9 @@ pub(crate) struct AllocResult {
     pub cb_reads: u64,
     /// Flits that took the bypass path this cycle (activity counter).
     pub bypasses: u64,
+    /// Successful allocator grants this cycle: edge grants, bypasses,
+    /// central-buffer reads and writes (activity counter).
+    pub alloc_grants: u64,
 }
 
 impl AllocResult {
@@ -144,6 +147,7 @@ impl AllocResult {
         self.cb_writes = 0;
         self.cb_reads = 0;
         self.bypasses = 0;
+        self.alloc_grants = 0;
     }
 }
 
@@ -503,6 +507,7 @@ impl RouterCore {
             self.rr_in[port] = (vc + 1) % self.vcs;
             self.rr_out[route.port] = (port + 1) % (self.net_ports + self.local_ports);
             result.buffer_accesses += 1;
+            result.alloc_grants += 1;
             if port < self.net_ports {
                 result.freed_inputs.push((port, vc));
             } else {
@@ -565,6 +570,7 @@ impl RouterCore {
                         *free += 1;
                         *rr_read = (out_port + 1) % out_ports;
                         result.cb_reads += 1;
+                        result.alloc_grants += 1;
                         self.commit_departure(route, flit);
                         break 'read;
                     }
@@ -634,6 +640,7 @@ impl RouterCore {
             }
             self.rr_in[port] = (vc + 1) % self.vcs;
             result.bypasses += 1;
+            result.alloc_grants += 1;
             if port < self.net_ports {
                 result.freed_inputs.push((port, vc));
             } else {
@@ -715,6 +722,7 @@ impl RouterCore {
                 });
                 *rr_write = (port + 1) % in_ports;
                 result.cb_writes += 1;
+                result.alloc_grants += 1;
                 if port < self.net_ports {
                     result.freed_inputs.push((port, vc));
                 } else {

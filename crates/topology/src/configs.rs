@@ -111,6 +111,9 @@ pub fn paper_config_names() -> Vec<&'static str> {
         // N = 1024 power-of-two design.
         "sn_p2", // N = 54 class (§5.6).
         "t2d54", "cm54", "fbf54", "pfbf54", "sn54",
+        // Balanced Dragonflies (§2.2 baseline; the energy-comparison
+        // class uses df3, the size nearest the N ∈ {192, 200} networks).
+        "df2", "df3",
     ]
 }
 
@@ -150,6 +153,11 @@ pub fn paper_config(name: &str) -> Result<ConfigDescriptor, TopologyError> {
         "fbf54" => (0.6, Topology::flattened_butterfly(6, 3, 3)),
         "pfbf54" => (0.5, Topology::partitioned_fbf(2, 1, 3, 3, 3)),
         "sn54" => (0.5, Topology::slim_noc(3, 3)?),
+        // --- Balanced Dragonflies (h global links/router; N = 72, 342).
+        // Cycle times by radix class: df2 has k = 7 (low-radix, 0.4 ns),
+        // df3 has k = 11 (the SN/PFBF class, 0.5 ns).
+        "df2" => (0.4, Topology::dragonfly(2)),
+        "df3" => (0.5, Topology::dragonfly(3)),
         _ => {
             return Err(TopologyError::UnknownConfig {
                 name: name.to_string(),
@@ -296,6 +304,19 @@ mod tests {
             assert_eq!(cfg.topology.node_count(), n, "{name} node count");
             assert_eq!(cfg.topology.router_radix(), k, "{name} router radix");
         }
+    }
+
+    #[test]
+    fn dragonfly_configs_match_balanced_construction() {
+        // Balanced DF: a = 2h routers/group, g = a·h + 1 groups, p = h.
+        let df2 = paper_config("df2").unwrap();
+        assert_eq!(df2.topology.node_count(), 72);
+        assert_eq!(df2.topology.router_radix(), 7); // (a-1) + h + p
+        assert_eq!(df2.topology.diameter(), 3);
+        let df3 = paper_config("df3").unwrap();
+        assert_eq!(df3.topology.node_count(), 342);
+        assert_eq!(df3.topology.router_radix(), 11);
+        assert_eq!(df3.cycle_time_ns, 0.5, "same radix class as sn_s");
     }
 
     #[test]
