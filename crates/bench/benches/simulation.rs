@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use snoc_core::{BufferPreset, Setup};
 use snoc_sim::{RoutingTable, SimConfig, Simulator};
-use snoc_topology::Topology;
-use snoc_traffic::TrafficPattern;
+use snoc_topology::{NodeId, Topology};
+use snoc_traffic::{MessageKind, TraceMessage, TrafficPattern};
 use std::hint::black_box;
 
 fn bench_routing_tables(c: &mut Criterion) {
@@ -49,6 +49,70 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Event-loop benchmarks: the low-load half of every sweep grid (where
+/// most campaign points live), the drain tail, and a saturated point.
+/// `lowload_*` names are gated with `bench_compare --min-speedup`;
+/// `satload_*` guards against the event machinery slowing the busy case.
+fn bench_simulation_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for (name, topo, cfg, rate) in [
+        (
+            "lowload_sn_s_rnd",
+            Topology::slim_noc(5, 4).unwrap(),
+            SimConfig::default(),
+            0.001,
+        ),
+        (
+            "lowload_sn54_cbr",
+            Topology::slim_noc(3, 3).unwrap(),
+            SimConfig::cbr(20),
+            0.001,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::build(&topo, &cfg).unwrap();
+                sim.run_synthetic(TrafficPattern::Random, rate, 500, 20_000)
+            });
+        });
+    }
+    group.bench_function("lowload_trace_gaps", |b| {
+        // A sparse trace: one read every 500 cycles — mostly dead time
+        // the cycle loop should fast-forward across.
+        let topo = Topology::slim_noc(3, 3).unwrap();
+        let nodes = topo.node_count();
+        let trace: Vec<TraceMessage> = (0..100u64)
+            .map(|i| TraceMessage {
+                cycle: i * 500,
+                src: NodeId((i as usize * 7) % nodes),
+                dst: NodeId((i as usize * 13 + 1) % nodes),
+                kind: MessageKind::ReadRequest,
+            })
+            .filter(|m| m.src != m.dst)
+            .collect();
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+            sim.run_trace(&trace, 0)
+        });
+    });
+    group.bench_function("drain_sn_s_rnd", |b| {
+        let topo = Topology::slim_noc(5, 4).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.25, 0, 2_000)
+        });
+    });
+    group.bench_function("satload_sn_s_rnd", |b| {
+        let topo = Topology::slim_noc(5, 4).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.40, 200, 2_000)
+        });
+    });
+    group.finish();
+}
+
 fn bench_figure_smoke(c: &mut Criterion) {
     // Smoke versions of the figure sweeps: one low-load point per class.
     let mut group = c.benchmark_group("figure_smoke");
@@ -72,6 +136,7 @@ criterion_group!(
     benches,
     bench_routing_tables,
     bench_simulation,
+    bench_simulation_events,
     bench_figure_smoke
 );
 criterion_main!(benches);

@@ -22,6 +22,19 @@
 //! Matched baseline entries missing from the results also fail, so a
 //! regression cannot hide behind a renamed or deleted benchmark.
 //!
+//! Beyond the regression gate, `--min-speedup N` asserts that every
+//! benchmark matching `--speedup-pattern` (default
+//! `simulation/lowload_`) runs at least `N`x *faster* than its baseline
+//! entry (after the same machine-speed calibration) — the gate that
+//! keeps the event-accelerated cycle loop's low-load win from silently
+//! eroding. The baseline's lowload entries were deliberately recorded
+//! just before that optimization landed, so the speedup is measured
+//! against the pre-event cycle loop.
+//!
+//! `--table-out FILE` additionally writes the rendered before/after
+//! ratio table to a file (pass or fail) so CI can upload it as an
+//! artifact.
+//!
 //! In record mode (`--record out.json`) the scraped results are
 //! written in the `BENCH_baseline.json` schema; re-record after an
 //! intentional perf change and commit the file.
@@ -44,6 +57,9 @@ fn main() -> ExitCode {
     let mut record_path = None;
     let mut pattern = "simulation/".to_string();
     let mut max_ratio = 2.0f64;
+    let mut min_speedup = 0.0f64;
+    let mut speedup_pattern = "simulation/lowload_".to_string();
+    let mut table_out = None;
     let mut notes = String::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -64,12 +80,22 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 });
             }
+            "--min-speedup" => {
+                min_speedup = value("--min-speedup").parse().unwrap_or_else(|e| {
+                    eprintln!("--min-speedup: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--speedup-pattern" => speedup_pattern = value("--speedup-pattern"),
+            "--table-out" => table_out = Some(value("--table-out")),
             "--notes" => notes = value("--notes"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_compare --results BENCH_OUT \
                      [--baseline BENCH_baseline.json] [--pattern simulation/] \
-                     [--max-ratio 2.0] [--record NEW_BASELINE.json] [--notes TEXT]"
+                     [--max-ratio 2.0] [--min-speedup 5.0] \
+                     [--speedup-pattern simulation/lowload_] [--table-out FILE] \
+                     [--record NEW_BASELINE.json] [--notes TEXT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -114,17 +140,49 @@ fn main() -> ExitCode {
         }
     };
     let baseline = parse_measurements(&baseline_raw);
-    match compare(&baseline, &results, &pattern, max_ratio) {
-        Ok(report) => {
-            print!("{report}");
-            ExitCode::SUCCESS
-        }
-        Err(report) => {
-            print!("{report}");
-            eprintln!("bench-regression check FAILED (tolerance {max_ratio}x)");
-            ExitCode::FAILURE
+    let gates = Gates {
+        pattern: &pattern,
+        max_ratio,
+        min_speedup,
+        speedup_pattern: &speedup_pattern,
+    };
+    let outcome = compare(&baseline, &results, &gates);
+    let report = match &outcome {
+        Ok(report) | Err(report) => report.as_str(),
+    };
+    // Print the report before attempting the table write: a failed
+    // write must not swallow an already-computed gate verdict.
+    print!("{report}");
+    let mut table_failed = false;
+    if let Some(path) = table_out {
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("cannot write {path}: {e}");
+            table_failed = true;
         }
     }
+    if outcome.is_err() {
+        eprintln!(
+            "bench-regression check FAILED (tolerance {max_ratio}x, min speedup {min_speedup}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if table_failed {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The comparison thresholds and name filters of one `compare` run.
+struct Gates<'a> {
+    /// Prefix of the benchmarks gated against `max_ratio`.
+    pattern: &'a str,
+    /// Fail when a calibrated current/baseline ratio exceeds this.
+    max_ratio: f64,
+    /// Fail when a `speedup_pattern` benchmark's calibrated speedup
+    /// (baseline/current) falls below this (`<= 0` disables the gate).
+    min_speedup: f64,
+    /// Prefix of the benchmarks gated against `min_speedup`.
+    speedup_pattern: &'a str,
 }
 
 /// Extracts `CRITERION_JSONL: {...}` lines from raw bench output.
@@ -270,17 +328,21 @@ fn calibration_factor(baseline: &[Measurement], results: &[Measurement], pattern
     ratios[ratios.len() / 2]
 }
 
-/// Compares results to the baseline for names starting with `pattern`,
-/// after machine-speed calibration (see [`calibration_factor`]).
-/// Returns the rendered report; `Err` when any calibrated ratio
-/// exceeds `max_ratio` or a matched baseline benchmark is missing.
+/// Compares results to the baseline for names starting with
+/// `gates.pattern`, after machine-speed calibration (see
+/// [`calibration_factor`]); with `gates.min_speedup > 0`, additionally
+/// asserts the calibrated speedup of every `gates.speedup_pattern`
+/// benchmark. Returns the rendered report; `Err` when any calibrated
+/// ratio exceeds `max_ratio`, a gated speedup falls short, or a matched
+/// baseline benchmark is missing.
 fn compare(
     baseline: &[Measurement],
     results: &[Measurement],
-    pattern: &str,
-    max_ratio: f64,
+    gates: &Gates,
 ) -> Result<String, String> {
     use std::fmt::Write as _;
+    let pattern = gates.pattern;
+    let max_ratio = gates.max_ratio;
     let mut out = String::new();
     let mut failed = false;
     let matched: Vec<&Measurement> = baseline
@@ -332,6 +394,51 @@ fn compare(
             "{out}no baseline benchmarks match `{pattern}` — wrong pattern or empty baseline\n"
         ));
     }
+    if gates.min_speedup > 0.0 {
+        let speedup_pattern = gates.speedup_pattern;
+        let gated: Vec<&Measurement> = baseline
+            .iter()
+            .filter(|m| m.name.starts_with(speedup_pattern))
+            .collect();
+        let _ = writeln!(
+            out,
+            "asserting >= {:.2}x calibrated speedup on {} `{speedup_pattern}*` benchmarks",
+            gates.min_speedup,
+            gated.len()
+        );
+        if gated.is_empty() {
+            return Err(format!(
+                "{out}no baseline benchmarks match `{speedup_pattern}` — the speedup \
+                 gate has nothing to assert\n"
+            ));
+        }
+        for base in &gated {
+            match results.iter().find(|m| m.name == base.name) {
+                Some(cur) if cur.mean_ns > 0.0 => {
+                    let speedup = base.mean_ns * calibration / cur.mean_ns;
+                    let verdict = if speedup < gates.min_speedup {
+                        failed = true;
+                        "TOO SLOW"
+                    } else {
+                        "ok"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<44} {:>14.1} {:>14.1} {:>6.2}x  {verdict}",
+                        base.name, base.mean_ns, cur.mean_ns, speedup
+                    );
+                }
+                _ => {
+                    failed = true;
+                    let _ = writeln!(
+                        out,
+                        "{:<44} {:>14.1} {:>14} {:>7}  MISSING",
+                        base.name, base.mean_ns, "-", "-"
+                    );
+                }
+            }
+        }
+    }
     if failed {
         Err(out)
     } else {
@@ -356,6 +463,24 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
             name: name.to_string(),
             mean_ns,
             iters: 10,
+        }
+    }
+
+    /// The regression-only gate configuration used by most tests.
+    fn regression_gates(max_ratio: f64) -> Gates<'static> {
+        Gates {
+            pattern: "simulation/",
+            max_ratio,
+            min_speedup: 0.0,
+            speedup_pattern: "simulation/lowload_",
+        }
+    }
+
+    /// Regression gate plus the lowload speedup gate.
+    fn speedup_gates(min_speedup: f64) -> Gates<'static> {
+        Gates {
+            min_speedup,
+            ..regression_gates(2.0)
         }
     }
 
@@ -394,7 +519,7 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
     fn compare_passes_within_tolerance() {
         let base = vec![m("simulation/a", 100.0), m("other/c", 1.0)];
         let cur = vec![m("simulation/a", 180.0), m("other/c", 1.0)];
-        let report = compare(&base, &cur, "simulation/", 2.0).expect("within tolerance");
+        let report = compare(&base, &cur, &regression_gates(2.0)).expect("within tolerance");
         assert!(report.contains("ok"));
         assert!(!report.contains("other/c"), "non-matched bench not gated");
     }
@@ -413,14 +538,14 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
             m("other/c", 30.0),
             m("other/d", 60.0),
         ];
-        assert!(compare(&base, &slower_machine, "simulation/", 2.0).is_ok());
+        assert!(compare(&base, &slower_machine, &regression_gates(2.0)).is_ok());
         // A 3x slowdown of only the hot path still fails.
         let hot_path_regressed = vec![
             m("simulation/a", 300.0),
             m("other/c", 10.0),
             m("other/d", 20.0),
         ];
-        assert!(compare(&base, &hot_path_regressed, "simulation/", 2.0).is_err());
+        assert!(compare(&base, &hot_path_regressed, &regression_gates(2.0)).is_err());
     }
 
     #[test]
@@ -434,7 +559,7 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
     fn compare_fails_on_regression_and_missing() {
         let base = vec![m("simulation/a", 100.0), m("simulation/b", 100.0)];
         let cur = vec![m("simulation/a", 250.0)];
-        let report = compare(&base, &cur, "simulation/", 2.0).expect_err("must fail");
+        let report = compare(&base, &cur, &regression_gates(2.0)).expect_err("must fail");
         assert!(report.contains("REGRESSED"));
         assert!(report.contains("MISSING"));
     }
@@ -443,7 +568,68 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
     fn compare_fails_on_empty_match() {
         let base = vec![m("other/c", 1.0)];
         let cur = vec![m("other/c", 1.0)];
-        assert!(compare(&base, &cur, "simulation/", 2.0).is_err());
+        assert!(compare(&base, &cur, &regression_gates(2.0)).is_err());
+    }
+
+    #[test]
+    fn speedup_gate_passes_fast_and_fails_slow() {
+        let base = vec![
+            m("simulation/lowload_a", 10_000.0),
+            m("simulation/sat_b", 100.0),
+            m("other/c", 10.0),
+        ];
+        // 10x faster on the gated bench, unchanged elsewhere: passes 5x.
+        let fast = vec![
+            m("simulation/lowload_a", 1_000.0),
+            m("simulation/sat_b", 100.0),
+            m("other/c", 10.0),
+        ];
+        let report = compare(&base, &fast, &speedup_gates(5.0)).expect("10x beats 5x");
+        assert!(report.contains("asserting >= 5.00x"));
+        assert!(report.contains("10.00x  ok"), "{report}");
+        // Only 2x faster: the speedup gate fails even though the
+        // regression gate is happy.
+        let slow = vec![
+            m("simulation/lowload_a", 5_000.0),
+            m("simulation/sat_b", 100.0),
+            m("other/c", 10.0),
+        ];
+        let report = compare(&base, &slow, &speedup_gates(5.0)).expect_err("2x misses 5x");
+        assert!(report.contains("TOO SLOW"), "{report}");
+        // min_speedup 0 disables the gate entirely.
+        assert!(compare(&base, &slow, &speedup_gates(0.0)).is_ok());
+    }
+
+    #[test]
+    fn speedup_gate_is_machine_calibrated() {
+        let base = vec![
+            m("simulation/lowload_a", 10_000.0),
+            m("other/c", 10.0),
+            m("other/d", 20.0),
+        ];
+        // A 2x slower machine shows only a 5x raw speedup for a true
+        // 10x win; the calibration factor restores it.
+        let slower_machine = vec![
+            m("simulation/lowload_a", 2_000.0),
+            m("other/c", 20.0),
+            m("other/d", 40.0),
+        ];
+        let report = compare(&base, &slower_machine, &speedup_gates(8.0)).expect("calibrated 10x");
+        assert!(report.contains("10.00x  ok"), "{report}");
+    }
+
+    #[test]
+    fn speedup_gate_fails_on_missing_or_empty() {
+        let base = vec![m("simulation/lowload_a", 100.0), m("simulation/x", 1.0)];
+        let cur = vec![m("simulation/x", 1.0)];
+        let report = compare(&base, &cur, &speedup_gates(5.0)).expect_err("missing gated bench");
+        assert!(report.contains("MISSING"));
+        // No baseline entries match the speedup pattern at all: that is
+        // a configuration error, not a pass.
+        let base = vec![m("simulation/x", 1.0)];
+        let cur = vec![m("simulation/x", 1.0)];
+        let report = compare(&base, &cur, &speedup_gates(5.0)).expect_err("nothing to assert");
+        assert!(report.contains("nothing to assert"), "{report}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod routing;
 mod stats;
 
 pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
-pub use flit::{Flit, FlitKind, PacketId};
+pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
 pub use network::Simulator;
 pub use routing::RoutingTable;
 pub use stats::{ActivityCounters, LatencyLoadPoint, SimReport};

@@ -5,8 +5,12 @@
 //! [`Channel`]s. Channel latency in cycles is `⌈dist/H⌉` where `dist` is
 //! the Manhattan wire length in tiles and `H` the SMART hops-per-cycle
 //! (§3.2.2); without a layout every link is one cycle.
+//!
+//! Channels move 4-byte [`FlitRef`] arena indices, not flit payloads —
+//! the flit itself stays in the simulator's [`crate::flit::FlitArena`]
+//! from injection to ejection.
 
-use crate::flit::Flit;
+use crate::flit::FlitRef;
 use std::collections::VecDeque;
 
 /// A unidirectional link channel.
@@ -19,7 +23,7 @@ pub(crate) enum Channel {
         /// Latency in cycles.
         latency: u64,
         /// In-flight flits tagged with arrival cycle and VC.
-        in_flight: VecDeque<(u64, usize, Flit)>,
+        in_flight: VecDeque<(u64, usize, FlitRef)>,
         /// In-flight credits (returning upstream) tagged with arrival
         /// cycle and VC.
         credits: VecDeque<(u64, usize)>,
@@ -29,7 +33,7 @@ pub(crate) enum Channel {
     /// master latch lets at most one flit advance per stage per cycle.
     Elastic {
         /// `stages[s][vc]`: the slave latch of stage `s` for `vc`.
-        stages: Vec<Vec<Option<Flit>>>,
+        stages: Vec<Vec<Option<FlitRef>>>,
         /// Round-robin pointer per stage for the shared master latch.
         rr: Vec<usize>,
     },
@@ -78,7 +82,7 @@ impl Channel {
     ///
     /// Panics (elastic mode) if stage 0 is occupied — callers must check
     /// [`Channel::can_accept`].
-    pub(crate) fn push(&mut self, now: u64, vc: usize, flit: Flit) {
+    pub(crate) fn push(&mut self, now: u64, vc: usize, flit: FlitRef) {
         match self {
             Channel::Credited {
                 latency, in_flight, ..
@@ -133,7 +137,7 @@ impl Channel {
         &mut self,
         now: u64,
         mut accept: impl FnMut(usize) -> bool,
-    ) -> Option<(usize, Flit)> {
+    ) -> Option<(usize, FlitRef)> {
         match self {
             Channel::Credited { in_flight, .. } => {
                 if let Some(&(when, vc, _)) = in_flight.front() {
@@ -188,6 +192,38 @@ impl Channel {
         }
     }
 
+    /// A conservative earliest cycle at which this channel can change
+    /// state, used by the cycle-skipping fast-forward. `None` means the
+    /// channel is idle (nothing will ever happen without a new push).
+    ///
+    /// Credited wires are passive between the push and the scheduled
+    /// arrival, so the head-of-queue arrival cycles bound the next event
+    /// exactly (the caller clamps results into the future — a blocked
+    /// head due in the past simply means "next cycle"). Elastic
+    /// pipelines latch every cycle while occupied, so they pin the next
+    /// event to `now + 1`.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        match self {
+            Channel::Credited {
+                in_flight, credits, ..
+            } => {
+                let flit = in_flight.front().map(|&(when, _, _)| when);
+                let credit = credits.front().map(|&(when, _)| when);
+                match (flit, credit) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Channel::Elastic { .. } => {
+                if self.is_idle() {
+                    None
+                } else {
+                    Some(now + 1)
+                }
+            }
+        }
+    }
+
     /// Number of flits currently inside the channel (for occupancy-based
     /// adaptive routing and drain checks).
     pub(crate) fn occupancy(&self) -> usize {
@@ -204,51 +240,52 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{FlitKind, PacketId};
+    use crate::flit::{Flit, FlitArena, PacketId};
     use snoc_topology::{NodeId, RouterId};
 
-    fn flit(n: u64) -> Flit {
-        Flit {
-            packet: PacketId(n),
-            kind: FlitKind::HeadTail,
-            src: NodeId(0),
-            dst: NodeId(1),
-            dst_router: RouterId(1),
-            intermediate: None,
-            intermediate_done: false,
-            hops: 0,
-            created: 0,
-            injected: 0,
-            packet_len: 1,
-            measured: true,
-            wants_reply: false,
-        }
+    /// An arena pre-filled with `n` single-flit packets; `refs[i]` is
+    /// packet `i`.
+    fn arena(n: u64) -> (FlitArena, Vec<FlitRef>) {
+        let mut arena = FlitArena::default();
+        let refs = (0..n)
+            .map(|i| {
+                arena.insert(
+                    Flit::packet(
+                        PacketId(i),
+                        NodeId(0),
+                        NodeId(1),
+                        RouterId(1),
+                        1,
+                        0,
+                        true,
+                        false,
+                    )[0],
+                )
+            })
+            .collect();
+        (arena, refs)
     }
 
     #[test]
     fn credited_delivers_after_latency() {
+        let (_a, f) = arena(2);
         let mut ch = Channel::credited(3);
-        ch.push(10, 0, flit(1));
+        ch.push(10, 0, f[1]);
         assert!(ch.pop_deliverable(12, |_| true).is_none());
-        let (vc, f) = ch.pop_deliverable(13, |_| true).unwrap();
+        let (vc, got) = ch.pop_deliverable(13, |_| true).unwrap();
         assert_eq!(vc, 0);
-        assert_eq!(f.packet, PacketId(1));
+        assert_eq!(got, f[1]);
         assert!(ch.pop_deliverable(14, |_| true).is_none());
     }
 
     #[test]
     fn credited_preserves_order() {
+        let (_a, f) = arena(3);
         let mut ch = Channel::credited(2);
-        ch.push(0, 0, flit(1));
-        ch.push(1, 1, flit(2));
-        assert_eq!(
-            ch.pop_deliverable(2, |_| true).unwrap().1.packet,
-            PacketId(1)
-        );
-        assert_eq!(
-            ch.pop_deliverable(3, |_| true).unwrap().1.packet,
-            PacketId(2)
-        );
+        ch.push(0, 0, f[1]);
+        ch.push(1, 1, f[2]);
+        assert_eq!(ch.pop_deliverable(2, |_| true).unwrap().1, f[1]);
+        assert_eq!(ch.pop_deliverable(3, |_| true).unwrap().1, f[2]);
     }
 
     #[test]
@@ -264,9 +301,10 @@ mod tests {
 
     #[test]
     fn elastic_pipeline_advances_one_stage_per_cycle() {
+        let (_a, f) = arena(8);
         let mut ch = Channel::elastic(3, 2);
         assert!(ch.can_accept(0));
-        ch.push(0, 0, flit(7));
+        ch.push(0, 0, f[7]);
         assert!(!ch.can_accept(0));
         assert!(ch.can_accept(1), "other VC slot still free");
         // After one tick the flit is in stage 1; after two, stage 2
@@ -274,14 +312,15 @@ mod tests {
         ch.tick();
         assert!(ch.pop_deliverable(2, |_| true).is_none());
         ch.tick();
-        let (vc, f) = ch.pop_deliverable(3, |_| true).unwrap();
-        assert_eq!((vc, f.packet), (0, PacketId(7)));
+        let (vc, got) = ch.pop_deliverable(3, |_| true).unwrap();
+        assert_eq!((vc, got), (0, f[7]));
     }
 
     #[test]
     fn elastic_backpressure_holds_flit_in_final_stage() {
+        let (_a, f) = arena(2);
         let mut ch = Channel::elastic(1, 1);
-        ch.push(0, 0, flit(1));
+        ch.push(0, 0, f[1]);
         // Receiver refuses: flit stays, stage 0 remains blocked.
         assert!(ch.pop_deliverable(1, |_| false).is_none());
         assert!(!ch.can_accept(0));
@@ -292,9 +331,10 @@ mod tests {
 
     #[test]
     fn elastic_shared_master_admits_one_advance_per_stage() {
+        let (_a, f) = arena(3);
         let mut ch = Channel::elastic(2, 2);
-        ch.push(0, 0, flit(1));
-        ch.push(0, 1, flit(2));
+        ch.push(0, 0, f[1]);
+        ch.push(0, 1, f[2]);
         ch.tick(); // only one of the two can advance to stage 1
         let advanced = !ch.can_accept(0) as usize + !ch.can_accept(1) as usize;
         assert_eq!(advanced, 1, "one VC still occupies stage 0");
@@ -302,9 +342,10 @@ mod tests {
 
     #[test]
     fn elastic_round_robin_alternates_vcs() {
+        let (_a, f) = arena(3);
         let mut ch = Channel::elastic(1, 2);
-        ch.push(0, 0, flit(1));
-        ch.push(0, 1, flit(2));
+        ch.push(0, 0, f[1]);
+        ch.push(0, 1, f[2]);
         let (vc1, _) = ch.pop_deliverable(1, |_| true).unwrap();
         let (vc2, _) = ch.pop_deliverable(2, |_| true).unwrap();
         assert_ne!(vc1, vc2, "round-robin serves both VCs");
@@ -312,12 +353,32 @@ mod tests {
 
     #[test]
     fn occupancy_counts() {
+        let (_a, f) = arena(3);
         let mut ch = Channel::credited(2);
         assert_eq!(ch.occupancy(), 0);
-        ch.push(0, 0, flit(1));
-        ch.push(0, 1, flit(2));
+        ch.push(0, 0, f[1]);
+        ch.push(0, 1, f[2]);
         assert_eq!(ch.occupancy(), 2);
         ch.pop_deliverable(2, |_| true);
         assert_eq!(ch.occupancy(), 1);
+    }
+
+    #[test]
+    fn next_event_tracks_heads_and_idleness() {
+        let (_a, f) = arena(2);
+        let mut ch = Channel::credited(3);
+        assert_eq!(ch.next_event(0), None, "idle channel");
+        ch.push(0, 0, f[0]); // arrives at 3
+        ch.push_credit(1, 0); // arrives at 4
+        assert_eq!(ch.next_event(0), Some(3));
+        assert!(ch.pop_deliverable(3, |_| true).is_some());
+        assert_eq!(ch.next_event(3), Some(4), "credit head remains");
+        assert_eq!(ch.pop_credit(4), Some(0));
+        assert_eq!(ch.next_event(4), None);
+        // Elastic pipelines tick every cycle while occupied.
+        let mut el = Channel::elastic(3, 1);
+        assert_eq!(el.next_event(7), None);
+        el.push(7, 0, f[1]);
+        assert_eq!(el.next_event(7), Some(8));
     }
 }

@@ -1,8 +1,8 @@
-//! The simulator: network assembly, the cycle loop, injection/ejection,
-//! traffic drivers and adaptive route selection.
+//! The simulator: network assembly, the event-accelerated cycle loop,
+//! injection/ejection, traffic drivers and adaptive route selection.
 
 use crate::config::{BufferSizing, LinkMode, RoutingKind, SimConfig, SimError};
-use crate::flit::{Flit, FlitKind, PacketId};
+use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
 use crate::link::Channel;
 use crate::router::{AllocResult, RouterCore, StFlit};
 use crate::routing::RoutingTable;
@@ -11,11 +11,20 @@ use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use snoc_layout::Layout;
 use snoc_topology::{NodeId, RouterId, Topology, TopologyKind};
-use snoc_traffic::{PatternSampler, TraceMessage, TrafficPattern};
-use std::collections::VecDeque;
+use snoc_traffic::{BurstModel, InjectionProcess, PatternSampler, TraceMessage, TrafficPattern};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A ready-to-run network simulator bound to one topology (and optionally
 /// one layout, which determines link latencies and RTT-sized buffers).
+///
+/// The run loops are *event-accelerated*: traffic generation is an event
+/// calendar of per-node geometric injection draws (cost proportional to
+/// offered traffic, not `nodes × cycles`), and whenever every worklist is
+/// empty the clock fast-forwards straight to the conservatively earliest
+/// next event instead of ticking through dead cycles. Fast-forwarding is
+/// an optimization only — same seed, same [`SimReport`], bit for bit,
+/// with it on or off (see [`Simulator::set_cycle_skipping`]).
 ///
 /// See the crate docs for an example.
 #[derive(Debug, Clone)]
@@ -39,8 +48,11 @@ pub struct Simulator {
     chan_tiles: Vec<u64>,
     /// `[router][net out port]` → initial per-VC credit count.
     init_credits: Vec<Vec<usize>>,
-    /// Per-node injection queues (flits).
-    inj_queues: Vec<VecDeque<Flit>>,
+    /// Single home of every in-flight flit; buffers, staging queues,
+    /// link stages and ST registers hold 4-byte [`FlitRef`]s into it.
+    arena: FlitArena,
+    /// Per-node injection queues (flit refs).
+    inj_queues: Vec<VecDeque<FlitRef>>,
     /// FBF grid width for XY-adaptive routing, if applicable.
     fbf_x_dim: Option<usize>,
     now: u64,
@@ -59,6 +71,13 @@ pub struct Simulator {
     active_channels: Vec<usize>,
     /// `chan_queued[id]` — whether `id` is in `active_channels`.
     chan_queued: Vec<bool>,
+    /// Worklist of nodes with a non-empty injection queue.
+    active_inj: Vec<usize>,
+    /// `inj_queued[node]` — whether `node` is in `active_inj`.
+    inj_queued: Vec<bool>,
+    /// Whether the run loops may fast-forward over event-free cycles
+    /// (on by default; equivalence-tested against the off setting).
+    cycle_skip: bool,
     /// Scratch for the ST-drain phase (reused every cycle).
     scratch_st: Vec<(usize, StFlit)>,
     /// Scratch for the allocation phase (reused every cycle).
@@ -201,6 +220,7 @@ impl Simulator {
             chan_src,
             chan_tiles,
             init_credits,
+            arena: FlitArena::default(),
             inj_queues: vec![VecDeque::new(); topo.node_count()],
             fbf_x_dim,
             now: 0,
@@ -209,6 +229,9 @@ impl Simulator {
             outstanding: 0,
             active_routers: Vec::new(),
             active_channels: Vec::new(),
+            active_inj: Vec::new(),
+            inj_queued: vec![false; topo.node_count()],
+            cycle_skip: true,
             scratch_st: Vec::new(),
             scratch_alloc: AllocResult::default(),
         })
@@ -226,6 +249,14 @@ impl Simulator {
         self.now
     }
 
+    /// Enables or disables cycle-skipping (on by default). With skipping
+    /// off, the run loops tick every cycle exactly like the classic
+    /// cycle-accurate loop; the results are identical either way — the
+    /// toggle exists so tests can assert that equivalence.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
+    }
+
     /// Runs open-loop synthetic traffic: `rate` flits/node/cycle of
     /// `cfg.packet_flits`-flit packets under `pattern`, measured after
     /// `warmup` cycles for `measure` cycles, plus a bounded drain phase.
@@ -241,6 +272,13 @@ impl Simulator {
     }
 
     /// Runs synthetic traffic with a pre-compiled pattern sampler.
+    ///
+    /// Injection is event-driven: each node carries a next-injection
+    /// cycle drawn from geometric inter-arrival sampling — distribution-
+    /// identical to a per-cycle Bernoulli trial at `rate / packet_flits`
+    /// — and the calendar of those cycles both replaces the per-node
+    /// per-cycle RNG loop and gives the cycle-skipper a horizon to jump
+    /// to.
     pub fn run_pattern(
         &mut self,
         sampler: &PatternSampler,
@@ -251,31 +289,59 @@ impl Simulator {
         let mut report = SimReport::new(self.node_count);
         report.measured_cycles = measure;
         let pkt_len = self.cfg.packet_flits;
-        let inject_prob = (rate / pkt_len as f64).min(1.0);
         let end_measure = warmup + measure;
         let drain_cap = end_measure + measure.max(2_000);
+        // The injection calendar: (cycle, node) min-heap of pending
+        // packet injections. Entries at or past `end_measure` can never
+        // fire and are dropped eagerly (arrivals are strictly
+        // increasing per node).
+        let t0 = self.now;
+        let mut process =
+            InjectionProcess::new(self.node_count, rate, pkt_len, BurstModel::uniform());
+        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> =
+            BinaryHeap::with_capacity(self.node_count);
+        for node in 0..self.node_count {
+            if let Some(c) = process.next_arrival(node, &mut self.rng) {
+                let cycle = t0.saturating_add(c);
+                if cycle < end_measure {
+                    calendar.push(Reverse((cycle, node)));
+                }
+            }
+        }
         while self.now < end_measure || (self.outstanding > 0 && self.now < drain_cap) {
             let measuring = self.now >= warmup && self.now < end_measure;
             self.step(measuring, &mut report);
-            if self.now < end_measure && inject_prob > 0.0 {
-                for src in 0..self.node_count {
-                    if !self.rng.random_bool(inject_prob) {
-                        continue;
+            if self.now < end_measure {
+                while let Some(&Reverse((cycle, src))) = calendar.peek() {
+                    if cycle > self.now {
+                        break;
                     }
-                    let Some(dst) = sampler.sample(NodeId(src), &mut self.rng) else {
-                        continue;
-                    };
-                    self.generate(
-                        NodeId(src),
-                        dst,
-                        pkt_len as u32,
-                        false,
-                        measuring,
-                        &mut report,
-                    );
+                    calendar.pop();
+                    if let Some(dst) = sampler.sample(NodeId(src), &mut self.rng) {
+                        self.generate(
+                            NodeId(src),
+                            dst,
+                            pkt_len as u32,
+                            false,
+                            measuring,
+                            &mut report,
+                        );
+                    }
+                    if let Some(c) = process.next_arrival(src, &mut self.rng) {
+                        let next = t0.saturating_add(c);
+                        if next < end_measure {
+                            calendar.push(Reverse((next, src)));
+                        }
+                    }
                 }
             }
-            self.now += 1;
+            let horizon = calendar.peek().map(|&Reverse((cycle, _))| cycle);
+            let (cap, idle_target) = if self.now < end_measure {
+                (end_measure, end_measure)
+            } else {
+                (drain_cap, self.now + 1)
+            };
+            self.advance(horizon, cap, idle_target);
         }
         report.drained = self.outstanding == 0;
         report.total_cycles = self.now;
@@ -284,7 +350,8 @@ impl Simulator {
 
     /// Replays a trace (§5.1's PARSEC/SPLASH protocol): read requests are
     /// answered with 6-flit replies by their destination node. Packets
-    /// created at or after `warmup` are measured.
+    /// created at or after `warmup` are measured. Gaps between trace
+    /// messages with no network activity are fast-forwarded.
     pub fn run_trace(&mut self, trace: &[TraceMessage], warmup: u64) -> SimReport {
         let mut report = SimReport::new(self.node_count);
         let end = trace.last().map_or(0, |m| m.cycle + 1);
@@ -306,11 +373,43 @@ impl Simulator {
                     &mut report,
                 );
             }
-            self.now += 1;
+            let (horizon, cap) = if next < trace.len() {
+                // More messages pend: the loop runs to the next one
+                // regardless of the drain cap, exactly like the
+                // cycle-accurate loop.
+                (Some(trace[next].cycle), u64::MAX)
+            } else {
+                (None, drain_cap)
+            };
+            self.advance(horizon, cap, self.now + 1);
         }
         report.drained = self.outstanding == 0;
         report.total_cycles = self.now;
         report
+    }
+
+    /// Advances the clock. While any router or injection queue holds a
+    /// flit the network must be stepped next cycle; otherwise the only
+    /// future events are channel arrivals/credits and the caller's
+    /// `horizon` (next pending injection or trace message), so the clock
+    /// jumps straight to the earliest of those — or to `idle_target`
+    /// when nothing pends at all. The jump is clamped into
+    /// `(now, cap]`, so loop-boundary cycles (measurement end, drain
+    /// cap) are always landed on exactly; skipped cycles are provably
+    /// event-free, keeping results bit-identical to single-stepping.
+    fn advance(&mut self, horizon: Option<u64>, cap: u64, idle_target: u64) {
+        if !self.cycle_skip || !self.active_routers.is_empty() || !self.active_inj.is_empty() {
+            self.now += 1;
+            return;
+        }
+        let mut next = horizon;
+        for &id in &self.active_channels {
+            if let Some(e) = self.channels[id].next_event(self.now) {
+                next = Some(next.map_or(e, |n| n.min(e)));
+            }
+        }
+        let target = next.unwrap_or(idle_target);
+        self.now = target.clamp(self.now + 1, cap.max(self.now + 1));
     }
 
     /// Creates a packet and appends its flits to the source node's
@@ -351,31 +450,34 @@ impl Simulator {
         let src_router = RouterId(src.index() / self.concentration);
         let id = PacketId(self.next_pid);
         self.next_pid += 1;
-        let mut flits = Flit::packet(
-            id,
-            src,
-            dst,
-            dst_router,
-            len,
-            self.now,
-            measured,
-            wants_reply,
-        );
-        if src_router != dst_router {
-            if let Some(mid) = self.adaptive_intermediate(src_router, dst_router) {
-                for f in &mut flits {
-                    f.intermediate = Some(mid);
-                }
-            }
-        }
+        let intermediate = if src_router != dst_router {
+            self.adaptive_intermediate(src_router, dst_router)
+        } else {
+            None
+        };
         if measured {
             report.injected_packets += 1;
             self.outstanding += 1;
         }
-        let q = &mut self.inj_queues[src.index()];
-        for f in flits {
-            q.push_back(f);
+        for i in 0..len {
+            let mut f = Flit::nth_of_packet(
+                id,
+                i,
+                len,
+                src,
+                dst,
+                dst_router,
+                self.now,
+                measured,
+                wants_reply,
+            );
+            if let Some(mid) = intermediate {
+                f.set_intermediate(mid);
+            }
+            let fr = self.arena.insert(f);
+            self.inj_queues[src.index()].push_back(fr);
         }
+        self.activate_injection(src.index());
     }
 
     /// Adaptive route selection at the source (§6): UGAL-L/UGAL-G pick
@@ -455,7 +557,7 @@ impl Simulator {
     fn path_cost(&self, src: RouterId, dst: RouterId) -> f64 {
         let mut cur = src;
         let mut cost = 0.0;
-        let mut hops = 0u32;
+        let mut hops = 0u16;
         while cur != dst {
             let mut f = probe_flit(dst);
             f.hops = hops;
@@ -485,18 +587,29 @@ impl Simulator {
         }
     }
 
+    /// Enqueues a node on the injection worklist (idempotent).
+    #[inline]
+    fn activate_injection(&mut self, node: usize) {
+        if !self.inj_queued[node] {
+            self.inj_queued[node] = true;
+            self.active_inj.push(node);
+        }
+    }
+
     /// Advances the network by one cycle (all phases except traffic
     /// generation, which the run loops own).
     ///
     /// Only the active worklists are visited: a channel enters when a
     /// flit or credit is pushed into it, a router when a flit is
-    /// delivered to it, and both leave once drained — at low load the
-    /// idle bulk of the network costs nothing per cycle. Per-channel
-    /// and per-router operations within one phase touch disjoint state
+    /// delivered to it, a node when a packet enters its injection
+    /// queue, and each leaves once drained — at low load the idle bulk
+    /// of the network costs nothing per cycle. Per-channel, per-router
+    /// and per-node operations within one phase touch disjoint state
     /// (each channel feeds exactly one input port; credits target
-    /// per-port counters), so worklist order does not affect results —
-    /// and the worklists themselves evolve deterministically, keeping
-    /// same-seed runs bit-identical.
+    /// per-port counters; each node owns one injection port), so
+    /// worklist order does not affect results — and the worklists
+    /// themselves evolve deterministically, keeping same-seed runs
+    /// bit-identical.
     fn step(&mut self, measuring: bool, report: &mut SimReport) {
         let now = self.now;
         // Phases 1–3 fused per active channel: pipeline tick, delivery
@@ -511,7 +624,7 @@ impl Simulator {
             let delivered =
                 self.channels[id].pop_deliverable(now, |vc| router.can_deliver(port, vc));
             if let Some((vc, flit)) = delivered {
-                self.routers[dst].deliver(port, vc, flit);
+                self.routers[dst].deliver(port, vc, flit, &mut self.arena);
                 self.activate_router(dst);
                 if measuring {
                     report.activity.buffer_writes += 1;
@@ -555,10 +668,18 @@ impl Simulator {
             let mut res = std::mem::take(&mut self.scratch_alloc);
             {
                 let routers = &mut self.routers;
+                let arena = &mut self.arena;
                 let channels = &self.channels;
                 let ports = &self.chan_out[r];
                 let ready = |out: usize, vc: usize| channels[ports[out]].can_accept(vc);
-                routers[r].alloc_into(now, &self.table, self.concentration, &ready, &mut res);
+                routers[r].alloc_into(
+                    now,
+                    &self.table,
+                    self.concentration,
+                    arena,
+                    &ready,
+                    &mut res,
+                );
             }
             if measuring {
                 report.activity.buffer_accesses += res.buffer_accesses;
@@ -579,18 +700,17 @@ impl Simulator {
             }
             self.scratch_alloc = res;
         }
-        // 6. Injection: one flit per node per cycle into the router.
-        for node in 0..self.node_count {
-            if self.inj_queues[node].is_empty() {
-                continue;
-            }
+        // 6. Injection: one flit per active node per cycle into the
+        // router.
+        for i in 0..self.active_inj.len() {
+            let node = self.active_inj[i];
             let r = node / self.concentration;
             let offset = node % self.concentration;
             let port = self.chan_out[r].len() + offset;
             if self.routers[r].can_deliver(port, 0) {
-                let mut flit = self.inj_queues[node].pop_front().expect("non-empty");
-                flit.injected = now;
-                self.routers[r].deliver(port, 0, flit);
+                let fr = self.inj_queues[node].pop_front().expect("non-empty");
+                self.arena.get_mut(fr).injected = now;
+                self.routers[r].deliver(port, 0, fr, &mut self.arena);
                 self.activate_router(r);
                 if measuring {
                     report.activity.buffer_writes += 1;
@@ -619,17 +739,32 @@ impl Simulator {
                 true
             }
         });
+        let inj_queues = &self.inj_queues;
+        let inj_queued = &mut self.inj_queued;
+        self.active_inj.retain(|&node| {
+            if inj_queues[node].is_empty() {
+                inj_queued[node] = false;
+                false
+            } else {
+                true
+            }
+        });
     }
 
-    /// Hands a flit to its destination node.
-    fn eject(&mut self, flit: Flit, measuring: bool, report: &mut SimReport) {
+    /// Hands a flit to its destination node, releasing its arena slot.
+    fn eject(&mut self, fr: FlitRef, measuring: bool, report: &mut SimReport) {
+        let flit = self.arena.remove(fr);
         if measuring {
             report.activity.ejections += 1;
         }
         if flit.kind.is_tail() {
             if flit.measured {
                 self.outstanding = self.outstanding.saturating_sub(1);
-                report.record_delivery(self.now - flit.created, flit.hops, flit.packet_len);
+                report.record_delivery(
+                    self.now - flit.created,
+                    u32::from(flit.hops),
+                    flit.packet_len,
+                );
             }
             if flit.wants_reply {
                 // The destination answers with a 6-flit read reply.
@@ -639,9 +774,20 @@ impl Simulator {
     }
 
     /// Total flits currently inside the network (buffers, links, ST) and
-    /// injection queues — zero once fully drained.
+    /// injection queues — zero once fully drained. O(1): every in-flight
+    /// flit occupies exactly one arena slot.
     #[must_use]
     pub fn in_flight_flits(&self) -> usize {
+        debug_assert_eq!(
+            self.arena.len(),
+            self.recount_in_flight(),
+            "arena live count drifted from the structural recount"
+        );
+        self.arena.len()
+    }
+
+    /// Slow structural recount of in-flight flits (debug assertions).
+    fn recount_in_flight(&self) -> usize {
         let routers: usize = self.routers.iter().map(RouterCore::buffered_flits).sum();
         let links: usize = self.channels.iter().map(Channel::occupancy).sum();
         let queues: usize = self.inj_queues.iter().map(VecDeque::len).sum();
@@ -651,21 +797,17 @@ impl Simulator {
 
 /// A minimal flit used to probe routing decisions.
 fn probe_flit(dst_router: RouterId) -> Flit {
-    Flit {
-        packet: PacketId(u64::MAX),
-        kind: FlitKind::HeadTail,
-        src: NodeId(0),
-        dst: NodeId(dst_router.index()),
+    Flit::nth_of_packet(
+        PacketId(u64::MAX),
+        0,
+        1,
+        NodeId(0),
+        NodeId(dst_router.index()),
         dst_router,
-        intermediate: None,
-        intermediate_done: false,
-        hops: 0,
-        created: 0,
-        injected: 0,
-        packet_len: 1,
-        measured: false,
-        wants_reply: false,
-    }
+        0,
+        false,
+        false,
+    )
 }
 
 impl Simulator {
@@ -681,7 +823,7 @@ impl Simulator {
                     out,
                     "router {r}: {} flits buffered; detail: {}",
                     n,
-                    router.debug_detail()
+                    router.debug_detail(&self.arena)
                 );
             }
         }
@@ -1054,5 +1196,15 @@ mod tests {
             report.acceptance() < 1.0 || !report.drained,
             "0.9 flits/node/cycle must exceed capacity: {report}"
         );
+    }
+
+    #[test]
+    fn zero_rate_fast_forwards_to_the_window_end() {
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.0, 1_000, 50_000);
+        assert_eq!(report.total_cycles, 51_000, "clock lands on the boundary");
+        assert_eq!(report.delivered_packets, 0);
+        assert!(report.drained);
     }
 }

@@ -12,9 +12,13 @@
 //! Both architectures share the output side: a one-entry switch-traversal
 //! (ST) register per output port, per-VC wormhole output allocation, and
 //! credit counters toward downstream buffers (credited links).
+//!
+//! All queues and registers hold 4-byte [`FlitRef`] arena indices; the
+//! flit payloads live in the simulator's [`FlitArena`], so the hot
+//! push/pop paths move indices, not ~64-byte structs.
 
 use crate::config::{LinkMode, RouterArch};
-use crate::flit::Flit;
+use crate::flit::{Flit, FlitArena, FlitRef};
 use crate::routing::{RouteDecision, RoutingTable};
 use snoc_topology::RouterId;
 use std::collections::VecDeque;
@@ -23,14 +27,14 @@ use std::collections::VecDeque;
 /// its output channel in the current cycle.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct StFlit {
-    pub flit: Flit,
+    pub flit: FlitRef,
     pub out_vc: usize,
 }
 
 /// Per-input-VC state of an edge-buffer router.
 #[derive(Debug, Clone, Default)]
 struct InputVc {
-    buf: VecDeque<Flit>,
+    buf: VecDeque<FlitRef>,
     /// Route held from head to tail of the current packet.
     route: Option<RouteDecision>,
 }
@@ -45,7 +49,7 @@ enum CbMode {
 /// Per-input-VC state of a central-buffer router.
 #[derive(Debug, Clone, Default)]
 struct StagingVc {
-    slot: Option<Flit>,
+    slot: Option<FlitRef>,
     route: Option<RouteDecision>,
     mode: Option<CbMode>,
 }
@@ -53,7 +57,7 @@ struct StagingVc {
 /// A flit parked in the central buffer with its eligibility cycle.
 #[derive(Debug, Clone, Copy)]
 struct CbFlit {
-    flit: Flit,
+    flit: FlitRef,
     eligible_at: u64,
 }
 
@@ -65,6 +69,9 @@ enum ArchState {
         /// Per-VC input buffer capacity per network input port (injection
         /// ports use the same capacity).
         capacity: Vec<usize>,
+        /// Flits buffered per input port (any VC) — allocation skips
+        /// ports at 0, so idle inputs cost one integer load per cycle.
+        port_flits: Vec<u32>,
     },
     Cb {
         /// `[in_port][vc]` single-flit staging.
@@ -83,6 +90,12 @@ enum ArchState {
         rr_read: usize,
         /// Round-robin over inputs for the single CB write port.
         rr_write: usize,
+        /// Occupied staging slots per input port — the bypass and
+        /// CB-write scans skip ports at 0.
+        staging_occ: Vec<u32>,
+        /// Flits queued in the CB per output port — the CB-read scan
+        /// skips outputs at 0.
+        queue_flits: Vec<u32>,
     },
 }
 
@@ -109,6 +122,9 @@ pub(crate) struct RouterCore {
     /// ST registers). `0` means the router is idle and the cycle loop
     /// can skip it entirely.
     live_flits: usize,
+    /// Occupied ST registers — `drain_st` returns without scanning
+    /// when 0.
+    st_live: usize,
     /// Reusable allocation scratch: per-output claim flags.
     scratch_claimed: Vec<bool>,
     /// Reusable allocation scratch: input nominations.
@@ -178,6 +194,7 @@ impl RouterCore {
                         .map(|_| vec![InputVc::default(); vcs])
                         .collect(),
                     capacity,
+                    port_flits: vec![0; in_ports],
                 }
             }
             RouterArch::CentralBuffer { cb_flits } => ArchState::Cb {
@@ -191,6 +208,8 @@ impl RouterCore {
                 free: cb_flits,
                 rr_read: 0,
                 rr_write: 0,
+                staging_occ: vec![0; in_ports],
+                queue_flits: vec![0; out_ports],
             },
         };
         RouterCore {
@@ -206,6 +225,7 @@ impl RouterCore {
             rr_in: vec![0; in_ports],
             rr_out: vec![0; out_ports],
             live_flits: 0,
+            st_live: 0,
             scratch_claimed: Vec::with_capacity(out_ports),
             scratch_noms: Vec::with_capacity(in_ports),
         }
@@ -224,7 +244,9 @@ impl RouterCore {
     /// Whether input `port` can accept a flit on `vc` right now.
     pub(crate) fn can_deliver(&self, port: usize, vc: usize) -> bool {
         match &self.arch {
-            ArchState::Edge { inputs, capacity } => inputs[port][vc].buf.len() < capacity[port],
+            ArchState::Edge {
+                inputs, capacity, ..
+            } => inputs[port][vc].buf.len() < capacity[port],
             ArchState::Cb { staging, .. } => staging[port][vc].slot.is_none(),
         }
     }
@@ -234,29 +256,40 @@ impl RouterCore {
     /// # Panics
     ///
     /// Panics if the input has no space ([`RouterCore::can_deliver`]).
-    pub(crate) fn deliver(&mut self, port: usize, vc: usize, mut flit: Flit) {
+    pub(crate) fn deliver(&mut self, port: usize, vc: usize, flit: FlitRef, arena: &mut FlitArena) {
         // Valiant bookkeeping: reaching the intermediate re-targets the
         // flit at its true destination.
-        if flit.intermediate == Some(self.id) {
-            flit.intermediate_done = true;
+        let f = arena.get_mut(flit);
+        if f.intermediate() == Some(self.id) {
+            f.mark_intermediate_done();
         }
         self.live_flits += 1;
         match &mut self.arch {
-            ArchState::Edge { inputs, capacity } => {
+            ArchState::Edge {
+                inputs,
+                capacity,
+                port_flits,
+            } => {
                 assert!(
                     inputs[port][vc].buf.len() < capacity[port],
                     "input buffer overflow at {} port {port} vc {vc}",
                     self.id
                 );
                 inputs[port][vc].buf.push_back(flit);
+                port_flits[port] += 1;
             }
-            ArchState::Cb { staging, .. } => {
+            ArchState::Cb {
+                staging,
+                staging_occ,
+                ..
+            } => {
                 assert!(
                     staging[port][vc].slot.is_none(),
                     "staging overflow at {} port {port} vc {vc}",
                     self.id
                 );
                 staging[port][vc].slot = Some(flit);
+                staging_occ[port] += 1;
             }
         }
     }
@@ -266,20 +299,16 @@ impl RouterCore {
     /// scratch buffer so the cycle loop allocates nothing.
     pub(crate) fn drain_st(&mut self, out: &mut Vec<(usize, StFlit)>) {
         out.clear();
+        if self.st_live == 0 {
+            return;
+        }
         for (port, slot) in self.st.iter_mut().enumerate() {
             if let Some(st) = slot.take() {
                 out.push((port, st));
             }
         }
         self.live_flits -= out.len();
-    }
-
-    /// Test convenience around [`RouterCore::drain_st`].
-    #[cfg(test)]
-    pub(crate) fn take_st(&mut self) -> Vec<(usize, StFlit)> {
-        let mut out = Vec::new();
-        self.drain_st(&mut out);
-        out
+        self.st_live -= out.len();
     }
 
     /// Whether the router holds no flits at all (nothing to allocate,
@@ -342,19 +371,25 @@ impl RouterCore {
     /// the outgoing channel can accept a flit next cycle (elastic mode;
     /// credited mode uses the internal credit counters). `result` is a
     /// caller-owned scratch cleared and refilled here, so the cycle loop
-    /// performs no per-router allocation.
+    /// performs no per-router allocation. `arena` resolves the buffered
+    /// [`FlitRef`]s (and records the hop on departing flits).
     pub(crate) fn alloc_into(
         &mut self,
         now: u64,
         table: &RoutingTable,
         concentration: usize,
+        arena: &mut FlitArena,
         link_ready: &dyn Fn(usize, usize) -> bool,
         result: &mut AllocResult,
     ) {
         result.clear();
         match &self.arch {
-            ArchState::Edge { .. } => self.alloc_edge(table, concentration, link_ready, result),
-            ArchState::Cb { .. } => self.alloc_cb(now, table, concentration, link_ready, result),
+            ArchState::Edge { .. } => {
+                self.alloc_edge(table, concentration, arena, link_ready, result);
+            }
+            ArchState::Cb { .. } => {
+                self.alloc_cb(now, table, concentration, arena, link_ready, result);
+            }
         }
     }
 
@@ -365,10 +400,11 @@ impl RouterCore {
         now: u64,
         table: &RoutingTable,
         concentration: usize,
+        arena: &mut FlitArena,
         link_ready: &dyn Fn(usize, usize) -> bool,
     ) -> AllocResult {
         let mut result = AllocResult::default();
-        self.alloc_into(now, table, concentration, link_ready, &mut result);
+        self.alloc_into(now, table, concentration, arena, link_ready, &mut result);
         result
     }
 
@@ -380,7 +416,8 @@ impl RouterCore {
         flit: &Flit,
         in_vc: usize,
     ) -> RouteDecision {
-        if flit.dst_router == self.id && (flit.intermediate.is_none() || flit.intermediate_done) {
+        if flit.dst_router == self.id && (flit.intermediate().is_none() || flit.intermediate_done())
+        {
             // Eject to the local node's port.
             let local = flit.dst.index() % concentration;
             RouteDecision {
@@ -420,20 +457,22 @@ impl RouterCore {
     }
 
     /// Books the departure of `flit` through `out`: updates wormhole
-    /// state, credits, and the ST register.
-    fn commit_departure(&mut self, out: RouteDecision, mut flit: Flit) {
+    /// state, credits, the hop counter, and the ST register.
+    fn commit_departure(&mut self, out: RouteDecision, flit: FlitRef, arena: &mut FlitArena) {
         if out.port < self.net_ports {
-            if flit.kind.is_head() {
-                self.out_pkt[out.port][out.vc] = Some(flit.packet);
+            let f = arena.get_mut(flit);
+            if f.kind.is_head() {
+                self.out_pkt[out.port][out.vc] = Some(f.packet);
             }
-            if flit.kind.is_tail() {
+            if f.kind.is_tail() {
                 self.out_pkt[out.port][out.vc] = None;
             }
+            f.hops += 1;
             if self.credited {
                 self.out_credits[out.port][out.vc] -= 1;
             }
-            flit.hops += 1;
         }
+        self.st_live += 1;
         self.st[out.port] = Some(StFlit {
             flit,
             out_vc: out.vc,
@@ -444,6 +483,7 @@ impl RouterCore {
         &mut self,
         table: &RoutingTable,
         concentration: usize,
+        arena: &mut FlitArena,
         link_ready: &dyn Fn(usize, usize) -> bool,
         result: &mut AllocResult,
     ) {
@@ -457,6 +497,14 @@ impl RouterCore {
         claimed.clear();
         claimed.resize(self.st.len(), false);
         for port in 0..in_ports {
+            {
+                let ArchState::Edge { port_flits, .. } = &self.arch else {
+                    unreachable!()
+                };
+                if port_flits[port] == 0 {
+                    continue; // empty input: nothing to nominate
+                }
+            }
             let start = self.rr_in[port];
             for i in 0..self.vcs {
                 let vc = (start + i) % self.vcs;
@@ -467,9 +515,10 @@ impl RouterCore {
                         unreachable!()
                     };
                     let unit = &inputs[port][vc];
-                    let Some(flit) = unit.buf.front() else {
+                    let Some(&fr) = unit.buf.front() else {
                         continue;
                     };
+                    let flit = arena.get(fr);
                     let route = match unit.route {
                         Some(r) => r,
                         None => self.compute_route(table, concentration, flit, vc),
@@ -493,15 +542,20 @@ impl RouterCore {
                 continue;
             }
             claimed[route.port] = true;
-            let ArchState::Edge { inputs, .. } = &mut self.arch else {
+            let ArchState::Edge {
+                inputs, port_flits, ..
+            } = &mut self.arch
+            else {
                 unreachable!()
             };
+            port_flits[port] -= 1;
             let unit = &mut inputs[port][vc];
-            let flit = unit.buf.pop_front().expect("nominated");
-            if flit.kind.is_head() {
+            let fr = unit.buf.pop_front().expect("nominated");
+            let kind = arena.get(fr).kind;
+            if kind.is_head() {
                 unit.route = Some(route);
             }
-            if flit.kind.is_tail() {
+            if kind.is_tail() {
                 unit.route = None;
             }
             self.rr_in[port] = (vc + 1) % self.vcs;
@@ -513,7 +567,7 @@ impl RouterCore {
             } else {
                 result.freed_injection.push((port - self.net_ports, vc));
             }
-            self.commit_departure(route, flit);
+            self.commit_departure(route, fr, arena);
         }
         self.scratch_noms = nominations;
         self.scratch_claimed = claimed;
@@ -524,6 +578,7 @@ impl RouterCore {
         now: u64,
         table: &RoutingTable,
         concentration: usize,
+        arena: &mut FlitArena,
         link_ready: &dyn Fn(usize, usize) -> bool,
         result: &mut AllocResult,
     ) {
@@ -543,6 +598,14 @@ impl RouterCore {
             };
             'read: for i in 0..out_ports {
                 let out_port = (start + i) % out_ports;
+                {
+                    let ArchState::Cb { queue_flits, .. } = &self.arch else {
+                        unreachable!()
+                    };
+                    if queue_flits[out_port] == 0 {
+                        continue; // no CB flit bound for this output
+                    }
+                }
                 for vc in 0..self.vcs {
                     let candidate = {
                         let ArchState::Cb { queues, .. } = &self.arch else {
@@ -553,25 +616,27 @@ impl RouterCore {
                             .filter(|c| c.eligible_at <= now)
                             .map(|c| c.flit)
                     };
-                    let Some(flit) = candidate else { continue };
+                    let Some(fr) = candidate else { continue };
                     let route = RouteDecision { port: out_port, vc };
-                    if self.output_ready(&claimed, route, &flit, link_ready) {
+                    if self.output_ready(&claimed, route, arena.get(fr), link_ready) {
                         claimed[out_port] = true;
                         let ArchState::Cb {
                             queues,
                             free,
                             rr_read,
+                            queue_flits,
                             ..
                         } = &mut self.arch
                         else {
                             unreachable!()
                         };
                         queues[out_port][vc].pop_front();
+                        queue_flits[out_port] -= 1;
                         *free += 1;
                         *rr_read = (out_port + 1) % out_ports;
                         result.cb_reads += 1;
                         result.alloc_grants += 1;
-                        self.commit_departure(route, flit);
+                        self.commit_departure(route, fr, arena);
                         break 'read;
                     }
                 }
@@ -582,26 +647,35 @@ impl RouterCore {
         let mut nominations = std::mem::take(&mut self.scratch_noms);
         nominations.clear();
         for port in 0..in_ports {
+            {
+                let ArchState::Cb { staging_occ, .. } = &self.arch else {
+                    unreachable!()
+                };
+                if staging_occ[port] == 0 {
+                    continue; // empty staging: nothing to bypass
+                }
+            }
             let start = self.rr_in[port];
             for i in 0..self.vcs {
                 let vc = (start + i) % self.vcs;
-                let (flit, route, mode) = {
+                let (fr, route, mode) = {
                     let ArchState::Cb { staging, .. } = &self.arch else {
                         unreachable!()
                     };
                     let unit = &staging[port][vc];
-                    let Some(flit) = unit.slot else { continue };
+                    let Some(fr) = unit.slot else { continue };
                     let route = match unit.route {
                         Some(r) => r,
-                        None => self.compute_route(table, concentration, &flit, vc),
+                        None => self.compute_route(table, concentration, arena.get(fr), vc),
                     };
-                    (flit, route, unit.mode)
+                    (fr, route, unit.mode)
                 };
                 // A packet committed to the CB keeps using it (atomic CB
                 // allocation, §4.3); others try the bypass.
                 if mode == Some(CbMode::Central) {
                     continue;
                 }
+                let flit = arena.get(fr);
                 // Ordering: a *head* never bypasses a non-empty CB queue
                 // for the same (output, VC) — packets on a VC stay in
                 // order. Body flits of an in-flight bypass packet are
@@ -614,7 +688,7 @@ impl RouterCore {
                     };
                     route.port < out_ports && !queues[route.port][route.vc].is_empty()
                 };
-                if !queue_blocked && self.output_ready(&claimed, route, &flit, link_ready) {
+                if !queue_blocked && self.output_ready(&claimed, route, flit, link_ready) {
                     nominations.push((port, vc, route));
                     break;
                 }
@@ -625,16 +699,23 @@ impl RouterCore {
                 continue;
             }
             claimed[route.port] = true;
-            let ArchState::Cb { staging, .. } = &mut self.arch else {
+            let ArchState::Cb {
+                staging,
+                staging_occ,
+                ..
+            } = &mut self.arch
+            else {
                 unreachable!()
             };
+            staging_occ[port] -= 1;
             let unit = &mut staging[port][vc];
-            let flit = unit.slot.take().expect("nominated");
-            if flit.kind.is_head() {
+            let fr = unit.slot.take().expect("nominated");
+            let kind = arena.get(fr).kind;
+            if kind.is_head() {
                 unit.route = Some(route);
                 unit.mode = Some(CbMode::Bypass);
             }
-            if flit.kind.is_tail() {
+            if kind.is_tail() {
                 unit.route = None;
                 unit.mode = None;
             }
@@ -646,7 +727,7 @@ impl RouterCore {
             } else {
                 result.freed_injection.push((port - self.net_ports, vc));
             }
-            self.commit_departure(route, flit);
+            self.commit_departure(route, fr, arena);
         }
 
         // Phase B: the single CB write port admits one flit from staging.
@@ -658,19 +739,28 @@ impl RouterCore {
         };
         'write: for i in 0..in_ports {
             let port = (start_w + i) % in_ports;
+            {
+                let ArchState::Cb { staging_occ, .. } = &self.arch else {
+                    unreachable!()
+                };
+                if staging_occ[port] == 0 {
+                    continue; // empty staging: nothing to admit
+                }
+            }
             for vc in 0..self.vcs {
-                let (flit, route, mode) = {
+                let (fr, route, mode) = {
                     let ArchState::Cb { staging, .. } = &self.arch else {
                         unreachable!()
                     };
                     let unit = &staging[port][vc];
-                    let Some(flit) = unit.slot else { continue };
+                    let Some(fr) = unit.slot else { continue };
                     let route = match unit.route {
                         Some(r) => r,
-                        None => self.compute_route(table, concentration, &flit, vc),
+                        None => self.compute_route(table, concentration, arena.get(fr), vc),
                     };
-                    (flit, route, unit.mode)
+                    (fr, route, unit.mode)
                 };
+                let flit = *arena.get(fr);
                 // Heads divert to the CB only if the whole packet fits
                 // (atomic allocation) and no other packet is still
                 // streaming through the target queue; bodies follow
@@ -697,13 +787,17 @@ impl RouterCore {
                     open_pkt,
                     free,
                     rr_write,
+                    staging_occ,
+                    queue_flits,
                     ..
                 } = &mut self.arch
                 else {
                     unreachable!()
                 };
+                staging_occ[port] -= 1;
+                queue_flits[route.port] += 1;
                 let unit = &mut staging[port][vc];
-                let flit = unit.slot.take().expect("checked");
+                let fr = unit.slot.take().expect("checked");
                 if flit.kind.is_head() {
                     unit.route = Some(route);
                     unit.mode = Some(CbMode::Central);
@@ -717,7 +811,7 @@ impl RouterCore {
                 }
                 // The buffered path adds two cycles over the bypass.
                 queues[route.port][route.vc].push_back(CbFlit {
-                    flit,
+                    flit: fr,
                     eligible_at: now + 2,
                 });
                 *rr_write = (port + 1) % in_ports;
@@ -739,7 +833,7 @@ impl RouterCore {
 impl RouterCore {
     /// Debug helper: per-structure flit locations.
     #[doc(hidden)]
-    pub(crate) fn debug_detail(&self) -> String {
+    pub(crate) fn debug_detail(&self, arena: &FlitArena) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         match &self.arch {
@@ -751,7 +845,10 @@ impl RouterCore {
                                 out,
                                 "in[{p}][{v}]={} (head {:?} route {:?}) ",
                                 unit.buf.len(),
-                                unit.buf.front().map(|f| (f.packet, f.kind)),
+                                unit.buf.front().map(|&f| {
+                                    let f = arena.get(f);
+                                    (f.packet, f.kind)
+                                }),
                                 unit.route
                             );
                         }
@@ -767,7 +864,8 @@ impl RouterCore {
                 let _ = write!(out, "cb_free={free} ");
                 for (p, vcs) in staging.iter().enumerate() {
                     for (v, unit) in vcs.iter().enumerate() {
-                        if let Some(f) = unit.slot {
+                        if let Some(fr) = unit.slot {
+                            let f = arena.get(fr);
                             let _ = write!(
                                 out,
                                 "stage[{p}][{v}]={:?}/{:?} mode {:?} route {:?} ",
@@ -783,7 +881,10 @@ impl RouterCore {
                                 out,
                                 "cbq[{o}][{v}]={} head={:?} ",
                                 q.len(),
-                                q.front().map(|c| (c.flit.packet, c.flit.kind))
+                                q.front().map(|c| {
+                                    let f = arena.get(c.flit);
+                                    (f.packet, f.kind)
+                                })
                             );
                         }
                     }
@@ -792,7 +893,7 @@ impl RouterCore {
         }
         for (o, st) in self.st.iter().enumerate() {
             if let Some(s) = st {
-                let _ = write!(out, "st[{o}]={:?} ", s.flit.packet);
+                let _ = write!(out, "st[{o}]={:?} ", arena.get(s.flit).packet);
             }
         }
         for (o, vcs) in self.out_pkt.iter().enumerate() {
@@ -849,52 +950,70 @@ mod tests {
         r
     }
 
+    /// Drains the ST registers through the scratch-buffer path (the same
+    /// path the cycle loop uses).
+    fn take_st(r: &mut RouterCore) -> Vec<(usize, StFlit)> {
+        let mut out = Vec::new();
+        r.drain_st(&mut out);
+        out
+    }
+
     #[test]
     fn edge_router_two_cycle_path() {
         // Router 0 of a 3x1 mesh: one network port (to router 1).
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = edge_router(1);
-        let f = head_to(2, 1);
+        let f = arena.insert(head_to(2, 1));
         // Inject via the local port.
-        r.deliver(1, 0, f);
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        r.deliver(1, 0, f, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.freed_injection.len(), 1);
-        let st = r.take_st();
+        let st = take_st(&mut r);
         assert_eq!(st.len(), 1);
         assert_eq!(st[0].0, 0, "departs through the network port");
-        assert_eq!(st[0].1.flit.hops, 1, "hop counted at departure");
+        assert_eq!(arena.get(st[0].1.flit).hops, 1, "hop counted at departure");
     }
 
     #[test]
     fn edge_router_respects_credits() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = edge_router(1);
         r.set_credits(0, 0); // no downstream space
-        r.deliver(1, 0, head_to(2, 1));
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        let f = arena.insert(head_to(2, 1));
+        r.deliver(1, 0, f, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         assert!(res.freed_injection.is_empty(), "blocked without credits");
-        assert!(r.take_st().is_empty());
+        assert!(take_st(&mut r).is_empty());
         r.add_credit(0, 0);
-        let res = r.alloc(1, &table, 1, &|_, _| true);
+        let res = r.alloc(1, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.freed_injection.len(), 1);
     }
 
     #[test]
     fn edge_router_ejects_local_traffic() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = edge_router(1);
         // Destination is router 0 itself -> ejection port (index 1).
-        r.deliver(0, 0, head_to(0, 1));
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        let f = arena.insert(head_to(0, 1));
+        r.deliver(0, 0, f, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.freed_inputs, vec![(0, 0)]);
-        let st = r.take_st();
+        let st = take_st(&mut r);
         assert_eq!(st[0].0, 1, "ejection port");
-        assert_eq!(st[0].1.flit.hops, 0, "ejection is not a network hop");
+        assert_eq!(
+            arena.get(st[0].1.flit).hops,
+            0,
+            "ejection is not a network hop"
+        );
     }
 
     #[test]
     fn wormhole_blocks_interleaving_on_same_vc() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = edge_router(1);
         // Two packets on different input ports, both to router 2, VC0.
         let a = Flit::packet(
@@ -917,24 +1036,27 @@ mod tests {
             true,
             false,
         );
-        r.deliver(1, 0, a[0]);
-        r.deliver(1, 1, b[0]); // other VC of the injection port
-                               // Head A wins the output VC0; head B (routed to VC0 as well,
-                               // hops = 0) must wait until A's tail passes.
-        let _ = r.alloc(0, &table, 1, &|_, _| true);
-        let st = r.take_st();
+        let a0 = arena.insert(a[0]);
+        let a1 = arena.insert(a[1]);
+        let b0 = arena.insert(b[0]);
+        r.deliver(1, 0, a0, &mut arena);
+        r.deliver(1, 1, b0, &mut arena); // other VC of the injection port
+                                         // Head A wins the output VC0; head B (routed to VC0 as well,
+                                         // hops = 0) must wait until A's tail passes.
+        let _ = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
+        let st = take_st(&mut r);
         assert_eq!(st.len(), 1);
-        assert_eq!(st[0].1.flit.packet, PacketId(7));
+        assert_eq!(arena.get(st[0].1.flit).packet, PacketId(7));
         // B still blocked: output VC0 held by packet 7.
-        r.deliver(1, 0, a[1]); // A's tail
-        let _ = r.alloc(1, &table, 1, &|_, _| true);
-        let st = r.take_st();
+        r.deliver(1, 0, a1, &mut arena); // A's tail
+        let _ = r.alloc(1, &table, 1, &mut arena, &|_, _| true);
+        let st = take_st(&mut r);
         assert_eq!(st.len(), 1);
-        assert_eq!(st[0].1.flit.packet, PacketId(7), "tail first");
+        assert_eq!(arena.get(st[0].1.flit).packet, PacketId(7), "tail first");
         // Tail released the VC: B may now go.
-        let _ = r.alloc(2, &table, 1, &|_, _| true);
-        let st = r.take_st();
-        assert_eq!(st[0].1.flit.packet, PacketId(8));
+        let _ = r.alloc(2, &table, 1, &mut arena, &|_, _| true);
+        let st = take_st(&mut r);
+        assert_eq!(arena.get(st[0].1.flit).packet, PacketId(8));
     }
 
     fn cb_router(net_ports: usize, cb: usize) -> RouterCore {
@@ -954,39 +1076,45 @@ mod tests {
     #[test]
     fn cbr_bypass_is_fast_path() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = cb_router(1, 20);
-        r.deliver(1, 0, head_to(2, 1));
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        let f = arena.insert(head_to(2, 1));
+        r.deliver(1, 0, f, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.bypasses, 1);
         assert_eq!(res.cb_writes, 0);
-        assert_eq!(r.take_st().len(), 1);
+        assert_eq!(take_st(&mut r).len(), 1);
     }
 
     #[test]
     fn cbr_conflict_diverts_to_central_buffer() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = cb_router(1, 20);
         // Two single-flit packets racing for the same output.
-        r.deliver(1, 0, head_to(2, 1));
+        let f = arena.insert(head_to(2, 1));
+        r.deliver(1, 0, f, &mut arena);
         let mut other = head_to(2, 1);
         other.packet = PacketId(9);
-        r.deliver(0, 0, other);
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        let other = arena.insert(other);
+        r.deliver(0, 0, other, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         // One bypasses; the other is written into the CB.
         assert_eq!(res.bypasses, 1);
         assert_eq!(res.cb_writes, 1);
-        assert_eq!(r.take_st().len(), 1);
+        assert_eq!(take_st(&mut r).len(), 1);
         // The CB flit becomes eligible two cycles later (4-cycle path).
-        let res = r.alloc(1, &table, 1, &|_, _| true);
+        let res = r.alloc(1, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.cb_reads, 0, "not yet eligible");
-        let res = r.alloc(2, &table, 1, &|_, _| true);
+        let res = r.alloc(2, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(res.cb_reads, 1);
-        assert_eq!(r.take_st().len(), 1);
+        assert_eq!(take_st(&mut r).len(), 1);
     }
 
     #[test]
     fn cbr_atomic_allocation_requires_full_packet_space() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = cb_router(1, 6);
         // Fill the output so the bypass fails, with a 6-flit packet
         // already reserving the whole CB.
@@ -1000,11 +1128,13 @@ mod tests {
             true,
             false,
         );
-        r.deliver(1, 0, p1[0]);
+        let p1_head = arena.insert(p1[0]);
+        r.deliver(1, 0, p1_head, &mut arena);
         let mut blocker = head_to(2, 1);
         blocker.packet = PacketId(2);
-        r.deliver(0, 0, blocker);
-        let res = r.alloc(0, &table, 1, &|_, _| true);
+        let blocker = arena.insert(blocker);
+        r.deliver(0, 0, blocker, &mut arena);
+        let res = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         // Blocker (or p1) bypasses; the other head wants the CB. The
         // 6-flit head reserves all 6 slots; a later head must stall.
         assert_eq!(res.bypasses + res.cb_writes, 2);
@@ -1012,8 +1142,9 @@ mod tests {
         third.packet = PacketId(3);
         third.kind = FlitKind::Head;
         third.packet_len = 2;
-        r.deliver(0, 0, third);
-        let res = r.alloc(1, &table, 1, &|_, _| false);
+        let third = arena.insert(third);
+        r.deliver(0, 0, third, &mut arena);
+        let res = r.alloc(1, &table, 1, &mut arena, &|_, _| false);
         // Output refuses (link not ready) and the CB is fully reserved:
         // the third head can neither bypass nor enter the CB.
         assert_eq!(res.bypasses, 0);
@@ -1023,13 +1154,15 @@ mod tests {
     #[test]
     fn buffered_flit_accounting() {
         let (_t, table) = table();
+        let mut arena = FlitArena::default();
         let mut r = edge_router(1);
         assert_eq!(r.buffered_flits(), 0);
-        r.deliver(1, 0, head_to(2, 1));
+        let f = arena.insert(head_to(2, 1));
+        r.deliver(1, 0, f, &mut arena);
         assert_eq!(r.buffered_flits(), 1);
-        let _ = r.alloc(0, &table, 1, &|_, _| true);
+        let _ = r.alloc(0, &table, 1, &mut arena, &|_, _| true);
         assert_eq!(r.buffered_flits(), 1, "now in the ST register");
-        let _ = r.take_st();
+        let _ = take_st(&mut r);
         assert_eq!(r.buffered_flits(), 0);
     }
 }

@@ -165,8 +165,8 @@ impl RoutingTable {
     /// intermediate.
     #[must_use]
     pub fn target(flit: &Flit) -> RouterId {
-        match flit.intermediate {
-            Some(mid) if !flit.intermediate_done => mid,
+        match flit.intermediate() {
+            Some(mid) if !flit.intermediate_done() => mid,
             _ => flit.dst_router,
         }
     }
@@ -380,9 +380,9 @@ mod tests {
     fn valiant_intermediate_target() {
         let mut f = flit_to(RouterId(9));
         assert_eq!(RoutingTable::target(&f), RouterId(9));
-        f.intermediate = Some(RouterId(4));
+        f.set_intermediate(RouterId(4));
         assert_eq!(RoutingTable::target(&f), RouterId(4));
-        f.intermediate_done = true;
+        f.mark_intermediate_done();
         assert_eq!(RoutingTable::target(&f), RouterId(9));
     }
 

@@ -201,6 +201,63 @@ impl SimReport {
         }
     }
 
+    /// Serializes the complete report — every raw counter, the activity
+    /// counters, and the full latency histogram — as JSON (hand-rolled;
+    /// the build is offline and has no serde).
+    ///
+    /// Two reports are equal iff their JSON is byte-identical, which is
+    /// what the cycle-skipping equivalence tests compare: any divergence
+    /// in any counter shows up as a byte difference.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"slim_noc-sim-report-v1\",\n");
+        let _ = writeln!(out, "  \"measured_cycles\": {},", self.measured_cycles);
+        let _ = writeln!(out, "  \"total_cycles\": {},", self.total_cycles);
+        let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(out, "  \"injected_packets\": {},", self.injected_packets);
+        let _ = writeln!(out, "  \"delivered_packets\": {},", self.delivered_packets);
+        let _ = writeln!(out, "  \"delivered_flits\": {},", self.delivered_flits);
+        let _ = writeln!(out, "  \"latency_sum\": {},", self.latency_sum);
+        let _ = writeln!(out, "  \"latency_max\": {},", self.latency_max);
+        let _ = writeln!(out, "  \"hops_sum\": {},", self.hops_sum);
+        let _ = writeln!(
+            out,
+            "  \"stalled_generations\": {},",
+            self.stalled_generations
+        );
+        let _ = writeln!(out, "  \"drained\": {},", self.drained);
+        let a = &self.activity;
+        let _ = writeln!(
+            out,
+            "  \"activity\": {{\"buffer_accesses\": {}, \"buffer_writes\": {}, \
+             \"buffer_reads\": {}, \"cb_writes\": {}, \"cb_reads\": {}, \"bypasses\": {}, \
+             \"crossbar_traversals\": {}, \"alloc_grants\": {}, \"link_flit_hops\": {}, \
+             \"wire_flit_tiles\": {}, \"ejections\": {}}},",
+            a.buffer_accesses,
+            a.buffer_writes,
+            a.buffer_reads,
+            a.cb_writes,
+            a.cb_reads,
+            a.bypasses,
+            a.crossbar_traversals,
+            a.alloc_grants,
+            a.link_flit_hops,
+            a.wire_flit_tiles,
+            a.ejections,
+        );
+        out.push_str("  \"latency_histogram\": [");
+        for (i, count) in self.latency_histogram.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{count}");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// A simple saturation heuristic used by load sweeps: the network is
     /// saturated when it rejects offered traffic, latency explodes
     /// relative to `zero_load` latency, or it accepted packets but
@@ -362,6 +419,25 @@ mod tests {
         assert!(!r.is_saturated(f64::NAN));
         assert!(!r.is_saturated(f64::INFINITY));
         assert!(r.is_saturated(10.0), "finite reference still works");
+    }
+
+    #[test]
+    fn report_json_distinguishes_every_counter() {
+        let mut a = SimReport::new(4);
+        a.measured_cycles = 100;
+        a.record_delivery(10, 2, 6);
+        let same = a.clone();
+        assert_eq!(a.to_json(), same.to_json());
+        assert!(a.to_json().contains("\"delivered_packets\": 1"));
+        assert!(a
+            .to_json()
+            .contains("\"schema\": \"slim_noc-sim-report-v1\""));
+        let mut b = a.clone();
+        b.activity.ejections += 1;
+        assert_ne!(a.to_json(), b.to_json(), "activity divergence visible");
+        let mut c = a.clone();
+        c.record_delivery(11, 2, 6);
+        assert_ne!(a.to_json(), c.to_json(), "histogram divergence visible");
     }
 
     #[test]

@@ -1,7 +1,67 @@
 //! Injection processes: Bernoulli flit-rate injection with optional
 //! Markov-modulated burstiness.
+//!
+//! Two equivalent drivers are provided. [`InjectionProcess::tick`] is the
+//! cycle-accurate form: one call per node per cycle, each performing the
+//! Markov state transition and a Bernoulli trial. For event-driven
+//! simulators [`InjectionProcess::next_arrival`] samples the *cycle of
+//! the next packet* directly from geometric inter-arrival (and phase
+//! length) draws — distribution-identical to iterating `tick`, at a cost
+//! proportional to the number of arrivals instead of the number of
+//! cycles.
 
 use rand::{Rng, RngExt};
+
+/// Samples the number of failed Bernoulli(`p`) trials before the first
+/// success — the geometric distribution on `{0, 1, 2, …}` with
+/// `P(k) = (1 − p)^k · p` — using one uniform draw (inversion).
+///
+/// Degenerate probabilities are total: `p >= 1` always succeeds
+/// immediately (returns 0) and `p <= 0` (or NaN) never succeeds
+/// (returns `u64::MAX` as "never").
+pub fn geometric_failures<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    if p.is_nan() || p <= 0.0 {
+        return u64::MAX;
+    }
+    // Inversion with a uniform draw from [0, 1):
+    // k = ⌊ln(1 − u) / ln(1 − p)⌋. `1 − u` is in (0, 1], so the
+    // numerator is finite and ≤ 0; the denominator is computed as
+    // `ln_1p(−p)`, which stays accurate (≈ −p) for tiny p where
+    // `(1.0 − p).ln()` would round to zero and collapse the gap to 0 —
+    // turning a near-zero rate into one arrival per cycle. The as-cast
+    // saturates on overflow (huge k for tiny p), which reads as
+    // "never" downstream.
+    let u: f64 = rng.random();
+    ((1.0 - u).ln() / (-p).ln_1p()) as u64
+}
+
+/// Per-node state of the event-driven sampler (see
+/// [`InjectionProcess::next_arrival`]).
+#[derive(Debug, Clone, Copy)]
+struct NodeSchedule {
+    /// First cycle whose Bernoulli trial has not been examined yet.
+    clock: u64,
+    /// Exclusive end of the current on/off phase (`u64::MAX` = forever).
+    phase_end: u64,
+    /// Whether the current phase is the injecting (on) phase.
+    on: bool,
+    /// Whether the initial phase length has been drawn.
+    primed: bool,
+}
+
+impl Default for NodeSchedule {
+    fn default() -> Self {
+        NodeSchedule {
+            clock: 0,
+            phase_end: u64::MAX,
+            on: true,
+            primed: false,
+        }
+    }
+}
 
 /// A two-state (on/off) Markov burst model.
 ///
@@ -50,8 +110,12 @@ pub struct InjectionProcess {
     rate: f64,
     packet_flits: usize,
     burst: BurstModel,
-    /// Per-node on/off state.
+    /// Per-node on/off state (cycle-accurate [`InjectionProcess::tick`]
+    /// driver).
     on: Vec<bool>,
+    /// Per-node event-driven state ([`InjectionProcess::next_arrival`]
+    /// driver; independent of `on`, so the two drivers never interfere).
+    sched: Vec<NodeSchedule>,
     on_rate: f64,
 }
 
@@ -78,6 +142,7 @@ impl InjectionProcess {
             packet_flits,
             burst,
             on: vec![true; nodes],
+            sched: vec![NodeSchedule::default(); nodes],
             on_rate,
         }
     }
@@ -110,6 +175,84 @@ impl InjectionProcess {
             *state = true;
         }
         *state && self.on_rate > 0.0 && rng.random_bool(self.on_rate)
+    }
+
+    /// Samples the absolute cycle of node `node`'s next packet injection,
+    /// advancing the node's event-driven schedule. Successive calls
+    /// return strictly increasing cycles; the first call returns the
+    /// node's first arrival counting from cycle 0.
+    ///
+    /// Distribution-identical to driving [`InjectionProcess::tick`] once
+    /// per cycle: arrivals within an on phase are geometric
+    /// inter-arrival draws at the on-state rate, and phase lengths are
+    /// geometric draws with the burst transition probabilities (the
+    /// Markov sojourn-time distribution). Draws that overshoot a phase
+    /// boundary are discarded and resampled in the next on phase, which
+    /// is exact by memorylessness of the geometric distribution.
+    ///
+    /// Returns `None` when the node can never inject again (zero rate,
+    /// or an absorbing off state with `off_to_on == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, node: usize, rng: &mut R) -> Option<u64> {
+        if self.on_rate <= 0.0 {
+            return None;
+        }
+        if !self.sched[node].primed {
+            // The process starts on, but `tick` applies the on→off check
+            // already at cycle 0 — the initial on phase has no guaranteed
+            // first cycle.
+            let len = geometric_failures(self.burst.on_to_off, rng);
+            let s = &mut self.sched[node];
+            s.primed = true;
+            s.phase_end = s.clock.saturating_add(len);
+        }
+        loop {
+            let s = self.sched[node];
+            if s.clock == u64::MAX {
+                return None; // schedule exhausted by a saturated draw
+            }
+            if s.on {
+                let gap = geometric_failures(self.on_rate, rng);
+                let arrival = s.clock.saturating_add(gap);
+                if arrival == u64::MAX {
+                    // The draw saturated (astronomically small rate):
+                    // the next arrival is beyond any representable
+                    // cycle. Ending the schedule here keeps the
+                    // strictly-increasing contract.
+                    self.sched[node].clock = u64::MAX;
+                    return None;
+                }
+                if arrival < s.phase_end || s.phase_end == u64::MAX {
+                    self.sched[node].clock = arrival.saturating_add(1);
+                    return Some(arrival);
+                }
+                // Every trial left in this on phase failed: switch off at
+                // `phase_end`. The switch cycle itself is ineligible, and
+                // each later cycle returns on with probability
+                // `off_to_on` — an off sojourn of `1 + Geom(off_to_on)`.
+                if self.burst.off_to_on <= 0.0 {
+                    return None; // absorbing off state
+                }
+                let len = 1u64.saturating_add(geometric_failures(self.burst.off_to_on, rng));
+                let s = &mut self.sched[node];
+                s.on = false;
+                s.clock = s.phase_end;
+                s.phase_end = s.clock.saturating_add(len);
+            } else {
+                // Jump to the cycle the node switches back on; that cycle
+                // is eligible, and each later cycle stays on with
+                // probability `1 − on_to_off` — an on sojourn of
+                // `1 + Geom(on_to_off)`.
+                let len = 1u64.saturating_add(geometric_failures(self.burst.on_to_off, rng));
+                let s = &mut self.sched[node];
+                s.on = true;
+                s.clock = s.phase_end;
+                s.phase_end = s.clock.saturating_add(len);
+            }
+        }
     }
 }
 

@@ -37,7 +37,7 @@ mod injection;
 mod patterns;
 mod trace;
 
-pub use injection::{BurstModel, InjectionProcess};
+pub use injection::{geometric_failures, BurstModel, InjectionProcess};
 pub use patterns::{PatternSampler, TrafficPattern};
 pub use trace::{
     benchmark_names, benchmark_workloads, MessageKind, TraceMessage, TraceWorkload, WorkloadParams,

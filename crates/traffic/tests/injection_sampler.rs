@@ -1,0 +1,213 @@
+//! Statistical tests for the event-driven injection sampler
+//! ([`InjectionProcess::next_arrival`]): the geometric inter-arrival
+//! draws must reproduce the configured *flit rate* (mean check) and the
+//! exact geometric gap distribution (chi-squared check) for both the
+//! plain Bernoulli process and bursty [`BurstModel`] processes — the
+//! distributions the cycle-accurate `tick` driver produces.
+//!
+//! All RNGs are seeded, so the statistics are deterministic: the
+//! thresholds are generous for honest sampling but far below any
+//! systematic bias (e.g. an off-by-one in the gap support shifts the
+//! mean by a whole cycle and fails the rate checks immediately).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snoc_traffic::{geometric_failures, BurstModel, InjectionProcess};
+
+/// Counts arrivals up to `horizon` cycles via `next_arrival`.
+fn arrivals_until(p: &mut InjectionProcess, horizon: u64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    while let Some(cycle) = p.next_arrival(0, &mut rng) {
+        if cycle >= horizon {
+            break;
+        }
+        out.push(cycle);
+    }
+    out
+}
+
+#[test]
+fn geometric_failures_edge_cases_and_mean() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    assert_eq!(geometric_failures(1.0, &mut rng), 0, "certain success");
+    assert_eq!(geometric_failures(1.5, &mut rng), 0, "clamped above 1");
+    assert_eq!(geometric_failures(0.0, &mut rng), u64::MAX, "never");
+    assert_eq!(geometric_failures(-0.5, &mut rng), u64::MAX, "never");
+    assert_eq!(geometric_failures(f64::NAN, &mut rng), u64::MAX, "never");
+    // Mean of Geom(p) on {0, 1, …} is (1 − p) / p.
+    let p = 0.2;
+    let n = 200_000;
+    let sum: f64 = (0..n).map(|_| geometric_failures(p, &mut rng) as f64).sum();
+    let mean = sum / f64::from(n);
+    let expect = (1.0 - p) / p;
+    assert!(
+        (mean - expect).abs() < 0.05,
+        "mean {mean} vs expected {expect}"
+    );
+}
+
+#[test]
+fn uniform_sampler_matches_configured_flit_rate() {
+    for (rate, pkt_len) in [(0.12, 6), (0.05, 2), (0.4, 1)] {
+        let mut p = InjectionProcess::new(1, rate, pkt_len, BurstModel::uniform());
+        let horizon = 400_000;
+        let packets = arrivals_until(&mut p, horizon, 7).len();
+        let flit_rate = packets as f64 * pkt_len as f64 / horizon as f64;
+        assert!(
+            (flit_rate - rate).abs() < rate * 0.05,
+            "rate {rate} x{pkt_len}: measured {flit_rate}"
+        );
+    }
+}
+
+#[test]
+fn bursty_sampler_preserves_long_run_rate() {
+    for burst in [
+        BurstModel {
+            off_to_on: 0.02,
+            on_to_off: 0.02,
+        },
+        BurstModel {
+            off_to_on: 0.01,
+            on_to_off: 0.05,
+        },
+    ] {
+        let rate = 0.10;
+        let mut p = InjectionProcess::new(1, rate, 2, burst);
+        let horizon = 2_000_000;
+        let packets = arrivals_until(&mut p, horizon, 11).len();
+        let flit_rate = packets as f64 * 2.0 / horizon as f64;
+        assert!(
+            (flit_rate - rate).abs() < rate * 0.08,
+            "burst {burst:?}: measured {flit_rate} vs {rate}"
+        );
+    }
+}
+
+#[test]
+fn bursty_sampler_matches_tick_driver_rate() {
+    // The event-driven sampler and the cycle-accurate tick driver are
+    // two implementations of the same process: their long-run packet
+    // rates must agree (independent seeds, so only distribution-level
+    // agreement is expected).
+    let burst = BurstModel {
+        off_to_on: 0.03,
+        on_to_off: 0.06,
+    };
+    let horizon = 1_000_000u64;
+    let mut event = InjectionProcess::new(1, 0.12, 3, burst);
+    let by_events = arrivals_until(&mut event, horizon, 13).len() as f64;
+    let mut ticked = InjectionProcess::new(1, 0.12, 3, burst);
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let by_ticks = (0..horizon).filter(|_| ticked.tick(0, &mut rng)).count() as f64;
+    let rel = (by_events - by_ticks).abs() / by_ticks;
+    assert!(
+        rel < 0.03,
+        "event-driven {by_events} vs tick-driven {by_ticks} packets"
+    );
+}
+
+#[test]
+fn uniform_inter_arrival_gaps_are_geometric_chi_squared() {
+    // Single-flit packets at rate p: the failure count between
+    // consecutive arrivals is exactly Geom(p) on {0, 1, …}. Bin the
+    // observed gaps, compare to expectation with a chi-squared
+    // statistic. 12 tail-merged bins ⇒ 11 degrees of freedom; the
+    // χ²(11) 0.1% critical value is 31.3 — a generous bound for an
+    // honest sampler, far below any systematic support/offset bug
+    // (an off-by-one shifts every bin and scores in the thousands).
+    let p = 0.25;
+    let mut proc = InjectionProcess::new(1, p, 1, BurstModel::uniform());
+    let arrivals = arrivals_until(&mut proc, 2_000_000, 17);
+    let n = arrivals.len() - 1;
+    const BINS: usize = 12;
+    let mut observed = [0u64; BINS]; // last bin = tail (gap >= BINS-1)
+    for w in arrivals.windows(2) {
+        let gap = (w[1] - w[0] - 1) as usize;
+        observed[gap.min(BINS - 1)] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (k, &obs) in observed.iter().enumerate() {
+        let prob = if k < BINS - 1 {
+            (1.0 - p).powi(k as i32) * p
+        } else {
+            (1.0 - p).powi((BINS - 1) as i32) // tail mass
+        };
+        let expect = prob * n as f64;
+        assert!(expect > 5.0, "bin {k} too thin for chi-squared");
+        chi2 += (obs as f64 - expect).powi(2) / expect;
+    }
+    assert!(chi2 < 31.3, "chi-squared {chi2} over {BINS} bins (n = {n})");
+}
+
+#[test]
+fn burst_phases_produce_long_gaps() {
+    // A bursty process must show gaps far longer than the uniform
+    // process at the same rate ever produces (the off phases).
+    let burst = BurstModel {
+        off_to_on: 0.01,
+        on_to_off: 0.05,
+    };
+    let mut p = InjectionProcess::new(1, 0.05, 1, burst);
+    let arrivals = arrivals_until(&mut p, 200_000, 19);
+    let longest = arrivals.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+    assert!(longest > 200, "longest gap {longest}");
+}
+
+#[test]
+fn absorbing_states_terminate_the_schedule() {
+    // Zero rate: never injects.
+    let mut p = InjectionProcess::new(1, 0.0, 1, BurstModel::uniform());
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    assert_eq!(p.next_arrival(0, &mut rng), None);
+    // Absorbing off state: once the node switches off it never returns.
+    let burst = BurstModel {
+        off_to_on: 0.0,
+        on_to_off: 0.5,
+    };
+    let mut p = InjectionProcess::new(1, 0.4, 1, burst);
+    let mut seen = 0;
+    while p.next_arrival(0, &mut rng).is_some() {
+        seen += 1;
+        assert!(seen < 10_000, "absorbing off state must end the stream");
+    }
+}
+
+#[test]
+fn saturated_draws_end_the_schedule_instead_of_repeating() {
+    // An astronomically small rate saturates the geometric draw; the
+    // sampler must return None (schedule over) rather than
+    // Some(u64::MAX) forever, which would violate the
+    // strictly-increasing contract and spin callers without a horizon.
+    let mut p = InjectionProcess::new(1, 1e-300, 1, BurstModel::uniform());
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    assert_eq!(p.next_arrival(0, &mut rng), None);
+    assert_eq!(p.next_arrival(0, &mut rng), None, "stays terminated");
+    // A tiny-but-representable rate stays finite and strictly
+    // increasing (ln_1p keeps the inversion accurate where
+    // `(1.0 - p).ln()` would round to zero and inject every cycle).
+    let mut p = InjectionProcess::new(1, 1e-18, 1, BurstModel::uniform());
+    let a = p.next_arrival(0, &mut rng);
+    assert!(
+        a.is_none_or(|c| c > 1_000_000_000),
+        "rate 1e-18 must not produce a near-term arrival: {a:?}"
+    );
+}
+
+#[test]
+fn arrivals_are_strictly_increasing_and_deterministic() {
+    let burst = BurstModel {
+        off_to_on: 0.1,
+        on_to_off: 0.1,
+    };
+    let mut a = InjectionProcess::new(2, 0.2, 2, burst);
+    let mut b = InjectionProcess::new(2, 0.2, 2, burst);
+    let seq_a = arrivals_until(&mut a, 50_000, 29);
+    let seq_b = arrivals_until(&mut b, 50_000, 29);
+    assert_eq!(seq_a, seq_b, "same seed, same schedule");
+    assert!(
+        seq_a.windows(2).all(|w| w[1] > w[0]),
+        "strictly increasing arrivals"
+    );
+}
