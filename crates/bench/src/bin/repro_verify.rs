@@ -1,0 +1,257 @@
+//! Differential verification driver: runs the optimized
+//! event-accelerated simulator and the golden reference model
+//! (`snoc_refsim`) over a deterministic matrix of topology × routing ×
+//! pattern × rate, checks conservation laws and cross-engine agreement
+//! on every case, and exits non-zero on the first class of divergence.
+//!
+//! Three check tiers per case (see `crates/refsim/tests/differential.rs`
+//! for the fuzzed version of the same contract):
+//!
+//! - `conserve` — each engine's snapshot satisfies the activity-counter
+//!   conservation laws;
+//! - `stats` — injected/delivered counts within binomial tolerance,
+//!   mean hops/latency within relative tolerance (skipped below a
+//!   minimum sample, e.g. in `--smoke` windows);
+//! - `exact` — workload-driven minimal-routing cases must produce
+//!   byte-identical snapshots.
+//!
+//! `--smoke` shrinks windows to prove the pipeline end-to-end; `--json`
+//! emits one JSON object per case instead of the table.
+
+use snoc_bench::Args;
+use snoc_core::{format_float, TextTable};
+use snoc_refsim::check::{compare_statistics, workload};
+use snoc_refsim::{RefConfig, RefSimulator};
+use snoc_sim::{Conformance, RoutingKind, SimConfig, Simulator, Snapshot};
+use snoc_topology::Topology;
+use snoc_traffic::TrafficPattern;
+
+/// One differential case of the matrix.
+struct Case {
+    topo: Topology,
+    vcs: usize,
+    routing: RoutingKind,
+    pattern: TrafficPattern,
+    rate: f64,
+    exact: bool,
+}
+
+/// One evaluated row.
+struct Outcome {
+    label: String,
+    optimized: Snapshot,
+    reference: Snapshot,
+    verdict: Result<&'static str, String>,
+}
+
+fn topologies() -> Vec<(Topology, usize)> {
+    vec![
+        (Topology::slim_noc(3, 3).unwrap(), 2),
+        (Topology::mesh(4, 3, 2), 2),
+        (Topology::torus(4, 4, 2), 2),
+        (Topology::dragonfly(2), 4),
+        (Topology::flattened_butterfly(3, 3, 2), 2),
+    ]
+}
+
+fn matrix(args: &Args) -> Vec<Case> {
+    let rates: &[f64] = if args.smoke {
+        &[0.05]
+    } else if args.quick {
+        &[0.03, 0.10]
+    } else {
+        &[0.03, 0.08, 0.15]
+    };
+    let patterns = [
+        TrafficPattern::Random,
+        TrafficPattern::BitShuffle,
+        TrafficPattern::Adversarial1,
+        TrafficPattern::BitReversal,
+    ];
+    let mut cases = Vec::new();
+    for (topo, vcs) in topologies() {
+        for &pattern in &patterns {
+            for &rate in rates {
+                cases.push(Case {
+                    topo: topo.clone(),
+                    vcs,
+                    routing: RoutingKind::Minimal,
+                    pattern,
+                    rate,
+                    exact: false,
+                });
+            }
+        }
+        // One workload-driven exact-equality case per topology.
+        cases.push(Case {
+            topo: topo.clone(),
+            vcs,
+            routing: RoutingKind::Minimal,
+            pattern: TrafficPattern::Random,
+            rate: rates[0],
+            exact: true,
+        });
+    }
+    // Adaptive routing on the diameter-2 Slim NoC (4 VCs cover the
+    // longest Valiant detour).
+    let sn = Topology::slim_noc(3, 3).unwrap();
+    for routing in [RoutingKind::UgalL, RoutingKind::UgalG] {
+        cases.push(Case {
+            topo: sn.clone(),
+            vcs: 4,
+            routing,
+            pattern: TrafficPattern::Adversarial1,
+            rate: rates[0],
+            exact: false,
+        });
+    }
+    cases
+}
+
+fn run_case(case: &Case, args: &Args) -> Outcome {
+    let sim_cfg = SimConfig::default()
+        .with_vcs(case.vcs)
+        .with_routing(case.routing)
+        .with_seed(0xBEEF);
+    let ref_cfg = RefConfig::try_from_sim(&sim_cfg)
+        .expect("matrix uses edge/credited configs")
+        .with_seed(0xBEEF ^ 0x5EED_5EED);
+    let mut sim = Simulator::build(&case.topo, &sim_cfg).expect("sim builds");
+    let mut rsim = RefSimulator::build(&case.topo, &ref_cfg).expect("refsim builds");
+    let (optimized, reference, mode) = if case.exact {
+        let trace = workload(
+            &case.topo,
+            case.pattern,
+            case.rate,
+            args.trace_cycles(),
+            0xD1FF,
+        );
+        let warmup = args.trace_cycles() / 4;
+        (
+            sim.run_trace(&trace, warmup).snapshot(),
+            rsim.run_workload(&trace, warmup),
+            "exact",
+        )
+    } else {
+        (
+            sim.run_synthetic(case.pattern, case.rate, args.warmup(), args.measure())
+                .snapshot(),
+            rsim.run_synthetic(case.pattern, case.rate, args.warmup(), args.measure()),
+            "stats",
+        )
+    };
+    let label = format!(
+        "{} {} {:?} {}{}",
+        case.topo.name(),
+        case.pattern,
+        case.routing,
+        format_float(case.rate, 2),
+        if case.exact { " [exact]" } else { "" },
+    );
+    let verdict = evaluate(&optimized, &reference, mode);
+    Outcome {
+        label,
+        optimized,
+        reference,
+        verdict,
+    }
+}
+
+fn evaluate(
+    optimized: &Snapshot,
+    reference: &Snapshot,
+    mode: &str,
+) -> Result<&'static str, String> {
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("optimized conservation: {e}"))?;
+    reference
+        .check_conservation()
+        .map_err(|e| format!("reference conservation: {e}"))?;
+    if mode == "exact" {
+        if optimized != reference {
+            return Err("exact-mode snapshots diverged".to_string());
+        }
+        return Ok("exact match");
+    }
+    // The agreement tier is the shared contract in `snoc_refsim::check`
+    // — the same one the fuzzed differential suite enforces.
+    compare_statistics(optimized, reference, 50)
+}
+
+fn main() {
+    let args = Args::parse();
+    let cases = matrix(&args);
+    let outcomes: Vec<Outcome> = cases.iter().map(|c| run_case(c, &args)).collect();
+    let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.verdict.is_err()).collect();
+
+    if args.json {
+        println!("[");
+        for (i, o) in outcomes.iter().enumerate() {
+            let (ok, detail) = match &o.verdict {
+                Ok(d) => (true, (*d).to_string()),
+                Err(e) => (false, e.clone()),
+            };
+            println!(
+                "  {{\"case\": \"{}\", \"pass\": {ok}, \"detail\": \"{}\", \
+                 \"injected\": [{}, {}], \"delivered\": [{}, {}], \
+                 \"latency\": [{}, {}]}}{}",
+                o.label,
+                detail.replace('"', "'"),
+                o.optimized.injected_packets,
+                o.reference.injected_packets,
+                o.optimized.delivered_packets,
+                o.reference.delivered_packets,
+                format_float(o.optimized.mean_latency(), 2),
+                format_float(o.reference.mean_latency(), 2),
+                if i + 1 < outcomes.len() { "," } else { "" }
+            );
+        }
+        println!("]");
+    } else {
+        let mut table = TextTable::new(
+            "Differential verification: optimized engine vs. golden reference".to_string(),
+            &[
+                "case",
+                "inj(opt)",
+                "inj(ref)",
+                "del(opt)",
+                "del(ref)",
+                "lat(opt)",
+                "lat(ref)",
+                "hops(opt)",
+                "hops(ref)",
+                "verdict",
+            ],
+        );
+        for o in &outcomes {
+            table.push_row(vec![
+                o.label.clone(),
+                o.optimized.injected_packets.to_string(),
+                o.reference.injected_packets.to_string(),
+                o.optimized.delivered_packets.to_string(),
+                o.reference.delivered_packets.to_string(),
+                format_float(o.optimized.mean_latency(), 1),
+                format_float(o.reference.mean_latency(), 1),
+                format_float(o.optimized.mean_hops(), 2),
+                format_float(o.reference.mean_hops(), 2),
+                match &o.verdict {
+                    Ok(d) => (*d).to_string(),
+                    Err(e) => format!("FAIL: {e}"),
+                },
+            ]);
+        }
+        table.print(args.csv);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "repro_verify: {} of {} cases failed:",
+            failures.len(),
+            outcomes.len()
+        );
+        for o in &failures {
+            eprintln!("  REPRO {}: {}", o.label, o.verdict.as_ref().unwrap_err());
+        }
+        std::process::exit(1);
+    }
+}

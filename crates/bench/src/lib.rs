@@ -34,7 +34,7 @@ pub struct Args {
     pub quick: bool,
     /// Use minimal simulation windows: every experiment still builds and
     /// runs end-to-end, but the numbers are statistically meaningless.
-    /// Exists so the test suite can smoke-run all 28 binaries cheaply.
+    /// Exists so the test suite can smoke-run all 29 binaries cheaply.
     pub smoke: bool,
 }
 

@@ -1,7 +1,7 @@
 //! Smoke-runs every figure/table reproduction binary with `--smoke`
 //! (minimal simulation windows), asserting each constructs its
 //! experiment configuration and runs end-to-end without panicking.
-//! This keeps the 28 `repro_*` binaries from silently rotting: a binary
+//! This keeps the 29 `repro_*` binaries from silently rotting: a binary
 //! that stops building fails `cargo build`, and one that starts
 //! panicking on its own configs fails here.
 
@@ -79,6 +79,14 @@ fn tables_smoke() {
 fn supplementary_studies_smoke() {
     // Ablation, resilience, and sensitivity sweeps.
     smoke_bins!(repro_ablation, repro_resilience, repro_sensitivity);
+}
+
+#[test]
+fn differential_verification_smoke() {
+    // The reference-model differential matrix: conservation laws plus
+    // exact-equality workload cases run even in smoke windows (the
+    // statistical tiers need larger samples and skip themselves).
+    smoke_bins!(repro_verify);
 }
 
 #[test]

@@ -60,6 +60,26 @@ fn fixed_result() -> CampaignResult {
     }
 }
 
+/// The same fixed result as a power-aware (v2) campaign: a tech node
+/// plus power columns on every point. Values exercise scientific
+/// notation and plain decimals.
+fn fixed_result_v2() -> CampaignResult {
+    let mut v2 = fixed_result();
+    v2.tech = Some(TechNode::N45);
+    for p in &mut v2.points {
+        p.power = Some(PowerPoint {
+            power_w: 8.461,
+            static_w: 2.872,
+            dynamic_w: 5.589,
+            area_mm2: 97.25,
+            throughput_per_watt: 2.306e9,
+            energy_per_flit_j: 4.336e-10,
+            edp_js: 1.044e-7,
+        });
+    }
+    v2
+}
+
 #[test]
 fn sweep_v1_json_matches_golden_file() {
     let golden = include_str!("golden/sweep_v1.json");
@@ -126,24 +146,66 @@ fn v1_field_names_and_order_are_pinned() {
 }
 
 #[test]
+fn sweep_v2_json_matches_golden_file() {
+    // v2 is pinned byte-for-byte just like v1: `bench_compare`, the CI
+    // energy-figure artifact, and plotting scripts consume it. Bump to
+    // v3 instead of mutating this schema. To record an intentional
+    // schema bump, run with `UPDATE_GOLDEN=1` and commit the diff.
+    let got = fixed_result_v2().to_json();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sweep_v2.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; record it with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, golden,
+        "slim_noc-sweep-v2 serialization changed; this schema is pinned \
+         for downstream consumers — bump to a new schema version instead \
+         of mutating v2 (or run with UPDATE_GOLDEN=1 for an intentional \
+         bump and review the diff)"
+    );
+}
+
+#[test]
+fn v2_power_columns_and_order_are_pinned() {
+    let json = fixed_result_v2().to_json();
+    assert!(json.contains("\"schema\": \"slim_noc-sweep-v2\""));
+    assert!(json.contains("\"tech\": \"45nm\""));
+    // Power columns trail the v1 point fields, in this order, on every
+    // point line.
+    let power_order = [
+        "refined", // last v1 field
+        "power_w",
+        "static_w",
+        "dynamic_w",
+        "area_mm2",
+        "throughput_per_watt",
+        "energy_per_flit_j",
+        "edp_js",
+    ];
+    for line in json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"setup\""))
+    {
+        let mut last = 0;
+        for field in power_order {
+            let idx = line
+                .find(&format!("\"{field}\":"))
+                .unwrap_or_else(|| panic!("missing v2 point field {field} in {line}"));
+            assert!(idx > last, "v2 point field {field} out of order in {line}");
+            last = idx;
+        }
+    }
+}
+
+#[test]
 fn v2_superset_preserves_every_v1_point_prefix() {
     // The same fixed result rendered as v2: every v1 point line must
     // survive verbatim as the prefix of its v2 line, so a v1 consumer
     // reading by field name sees identical values.
     let v1 = fixed_result();
-    let mut v2 = fixed_result();
-    v2.tech = Some(TechNode::N45);
-    for p in &mut v2.points {
-        p.power = Some(PowerPoint {
-            power_w: 8.461,
-            static_w: 2.872,
-            dynamic_w: 5.589,
-            area_mm2: 97.25,
-            throughput_per_watt: 2.306e9,
-            energy_per_flit_j: 4.336e-10,
-            edp_js: 1.044e-7,
-        });
-    }
+    let v2 = fixed_result_v2();
     let v1_json = v1.to_json();
     let v2_json = v2.to_json();
     assert!(v2_json.contains("\"schema\": \"slim_noc-sweep-v2\""));

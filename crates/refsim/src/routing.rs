@@ -1,0 +1,265 @@
+//! An independent implementation of the routing *specification* the
+//! optimized engine's `snoc_sim::RoutingTable` precomputes:
+//!
+//! - **table strategy** (Slim NoC, Flattened Butterfly, Dragonfly, …):
+//!   minimal next hops from BFS distances, ties broken by the documented
+//!   `(cur·31 + dst·17) mod candidates` hash over the sorted neighbor
+//!   list, with hop-indexed VCs (`vc = min(hops, |VC|−1)`);
+//! - **mesh**: dimension-order routing, X first, hop-indexed VCs;
+//! - **torus**: dimension-order routing along the shorter ring direction
+//!   (ties go forward) with the stateless dateline VC rule — going
+//!   forward, a hop made from a position past the destination
+//!   (`cur > dst`) precedes the wrap edge and uses VC0, anything else
+//!   VC1 (mirrored for the − direction).
+//!
+//! Nothing here is shared with `snoc_sim`'s flattened arrays: distances
+//! come from a fresh BFS and next hops are recomputed from the written
+//! spec, so agreement between the two (pinned by the differential tests)
+//! is evidence about the spec, not about shared code.
+
+use snoc_topology::{RouterId, Topology, TopologyKind};
+
+/// Which next-hop rule the topology selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Dimension-order on an `x × y` mesh.
+    Mesh { x: usize },
+    /// Dimension-order with dateline VCs on an `x × y` torus.
+    Torus { x: usize, y: usize },
+    /// BFS minimal table with hash tie-break.
+    Table,
+}
+
+/// Reference routing state: plain nested `Vec`s, recomputed per query
+/// where the spec allows it.
+#[derive(Debug, Clone)]
+pub struct RefRouting {
+    strategy: Strategy,
+    /// `dist[a][b]` — hop distance between routers.
+    dist: Vec<Vec<usize>>,
+    /// Sorted neighbor list per router (ports are positions in it).
+    neighbors: Vec<Vec<RouterId>>,
+}
+
+impl RefRouting {
+    /// Builds the reference routing state for a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is disconnected.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        let nr = topo.router_count();
+        let neighbors: Vec<Vec<RouterId>> =
+            topo.routers().map(|r| topo.neighbors(r).to_vec()).collect();
+        let dist = (0..nr).map(|src| bfs(&neighbors, src)).collect();
+        let strategy = match topo.kind() {
+            TopologyKind::Mesh { x, .. } => Strategy::Mesh { x: *x },
+            TopologyKind::Torus { x, y } => Strategy::Torus { x: *x, y: *y },
+            _ => Strategy::Table,
+        };
+        RefRouting {
+            strategy,
+            dist,
+            neighbors,
+        }
+    }
+
+    /// Hop distance between two routers.
+    #[must_use]
+    pub fn distance(&self, a: RouterId, b: RouterId) -> usize {
+        self.dist[a.index()][b.index()]
+    }
+
+    /// Number of router-to-router ports at `r`.
+    #[must_use]
+    pub fn port_count(&self, r: RouterId) -> usize {
+        self.neighbors[r.index()].len()
+    }
+
+    /// The neighbor reached through `port` of router `r`.
+    #[must_use]
+    pub fn peer(&self, r: RouterId, port: usize) -> RouterId {
+        self.neighbors[r.index()][port]
+    }
+
+    /// The port of `cur` leading to the adjacent router `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routers are not adjacent.
+    #[must_use]
+    pub fn port_to(&self, cur: RouterId, next: RouterId) -> usize {
+        self.neighbors[cur.index()]
+            .iter()
+            .position(|&n| n == next)
+            .expect("routers must be adjacent")
+    }
+
+    /// Routes a flit currently at `cur` toward `target` on hop `hops`:
+    /// returns `(output port, output VC)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cur == target`.
+    #[must_use]
+    pub fn route(&self, cur: RouterId, target: RouterId, hops: u32, vcs: usize) -> (usize, usize) {
+        assert_ne!(cur, target, "flit already at target");
+        let hop_vc = (hops as usize).min(vcs - 1);
+        match self.strategy {
+            Strategy::Mesh { x } => {
+                let next = dor_next_mesh(cur, target, x);
+                (self.port_to(cur, next), hop_vc)
+            }
+            Strategy::Torus { x, y } => {
+                let (next, vc) = dor_next_torus(cur, target, x, y);
+                (self.port_to(cur, next), vc.min(vcs - 1))
+            }
+            Strategy::Table => {
+                let (c, d) = (cur.index(), target.index());
+                let want = self.dist[c][d] - 1;
+                let candidates: Vec<usize> = self.neighbors[c]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| self.dist[n.index()][d] == want)
+                    .map(|(port, _)| port)
+                    .collect();
+                assert!(!candidates.is_empty(), "minimal path must exist");
+                let pick = (c.wrapping_mul(31).wrapping_add(d.wrapping_mul(17))) % candidates.len();
+                (candidates[pick], hop_vc)
+            }
+        }
+    }
+}
+
+/// Breadth-first distances from `src` over the router graph.
+fn bfs(neighbors: &[Vec<RouterId>], src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; neighbors.len()];
+    dist[src] = 0;
+    let mut frontier = vec![src];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &cur in &frontier {
+            for n in &neighbors[cur] {
+                if dist[n.index()] == usize::MAX {
+                    dist[n.index()] = dist[cur] + 1;
+                    next.push(n.index());
+                }
+            }
+        }
+        frontier = next;
+    }
+    assert!(
+        dist.iter().all(|&d| d != usize::MAX),
+        "disconnected topology"
+    );
+    dist
+}
+
+/// Dimension-order next hop on a mesh (X first, then Y).
+fn dor_next_mesh(cur: RouterId, dst: RouterId, x_dim: usize) -> RouterId {
+    let (cx, cy) = (cur.index() % x_dim, cur.index() / x_dim);
+    let (dx, dy) = (dst.index() % x_dim, dst.index() / x_dim);
+    if cx != dx {
+        let nx = if dx > cx { cx + 1 } else { cx - 1 };
+        RouterId(cy * x_dim + nx)
+    } else {
+        let ny = if dy > cy { cy + 1 } else { cy - 1 };
+        RouterId(ny * x_dim + cx)
+    }
+}
+
+/// Dimension-order next hop on a torus, with the dateline VC.
+fn dor_next_torus(cur: RouterId, dst: RouterId, x_dim: usize, y_dim: usize) -> (RouterId, usize) {
+    let (cx, cy) = (cur.index() % x_dim, cur.index() / x_dim);
+    let (dx, dy) = (dst.index() % x_dim, dst.index() / x_dim);
+    if cx != dx {
+        let (nx, vc) = ring_step(cx, dx, x_dim);
+        (RouterId(cy * x_dim + nx), vc)
+    } else {
+        let (ny, vc) = ring_step(cy, dy, y_dim);
+        (RouterId(ny * x_dim + cx), vc)
+    }
+}
+
+/// One step along a ring from `c` toward `d`: (next index, dateline VC).
+fn ring_step(c: usize, d: usize, dim: usize) -> (usize, usize) {
+    let fwd = (d + dim - c) % dim;
+    let go_fwd = fwd <= dim - fwd; // shorter way; tie -> forward
+    if go_fwd {
+        (
+            (c + 1) % dim,
+            usize::from(c < d), // pre-wrap segment (c > d) on VC0
+        )
+    } else {
+        ((c + dim - 1) % dim, usize::from(c > d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoc_topology::Topology;
+
+    #[test]
+    fn minimal_paths_walk_to_their_target() {
+        for topo in [
+            Topology::slim_noc(3, 3).unwrap(),
+            Topology::mesh(4, 3, 2),
+            Topology::torus(4, 4, 2),
+            Topology::dragonfly(2),
+        ] {
+            let routing = RefRouting::new(&topo);
+            for src in topo.routers() {
+                for dst in topo.routers() {
+                    if src == dst {
+                        continue;
+                    }
+                    let mut cur = src;
+                    let mut hops = 0u32;
+                    while cur != dst {
+                        let (port, _) = routing.route(cur, dst, hops, 4);
+                        cur = routing.peer(cur, port);
+                        hops += 1;
+                        assert!(
+                            (hops as usize) <= topo.router_count(),
+                            "{}: loop {src} -> {dst}",
+                            topo.name()
+                        );
+                    }
+                    assert_eq!(
+                        hops as usize,
+                        routing.distance(src, dst),
+                        "{}: non-minimal {src} -> {dst}",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dateline_rule() {
+        let topo = Topology::torus(6, 1, 1);
+        let routing = RefRouting::new(&topo);
+        // 5 -> 1 goes forward through the wrap: pre-wrap on VC0, then VC1.
+        let (p, vc) = routing.route(RouterId(5), RouterId(1), 0, 2);
+        assert_eq!(routing.peer(RouterId(5), p), RouterId(0));
+        assert_eq!(vc, 0);
+        let (p2, vc2) = routing.route(RouterId(0), RouterId(1), 1, 2);
+        assert_eq!(routing.peer(RouterId(0), p2), RouterId(1));
+        assert_eq!(vc2, 1);
+    }
+
+    #[test]
+    fn ports_are_positions_in_sorted_neighbor_lists() {
+        let topo = Topology::slim_noc(3, 2).unwrap();
+        let routing = RefRouting::new(&topo);
+        for r in topo.routers() {
+            for port in 0..routing.port_count(r) {
+                let peer = routing.peer(r, port);
+                assert_eq!(routing.port_to(r, peer), port);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The differential verification harness: the optimized
+//! event-accelerated `snoc_sim::Simulator` cross-checked against the
+//! golden `snoc_refsim::RefSimulator` over a fuzzed matrix of
+//! topology × routing × pattern × rate × seed.
+//!
+//! Checks per case:
+//!
+//! - **conservation** — each engine's [`Snapshot`] satisfies the
+//!   activity-counter conservation laws (crossbar == link hops +
+//!   ejections, grants == pops, histogram mass == deliveries, drained
+//!   ⇒ delivered == injected);
+//! - **agreement** — injected/delivered packet counts within binomial
+//!   sampling tolerance, per-flit hop totals and mean latency within a
+//!   tight relative tolerance (both engines target the same offered
+//!   load and implement the same microarchitectural spec, but draw
+//!   their own randomness);
+//! - **exact equality** — for workload-driven runs under deterministic
+//!   minimal routing neither engine consumes randomness, so the two
+//!   snapshots must be byte-for-byte equal (every counter, activity
+//!   figure, the full latency histogram and the final clock).
+//!
+//! Case counts are chosen so a default `cargo test` run covers well
+//! over 200 fuzzed cases; set `PROPTEST_CASES` for a deep soak (the CI
+//! `verify` job runs one nightly).
+
+use proptest::prelude::*;
+use snoc_refsim::check::{compare_statistics, workload};
+use snoc_refsim::{RefConfig, RefSimulator};
+use snoc_sim::{Conformance, RoutingKind, SimConfig, Simulator};
+use snoc_topology::{NodeId, Topology};
+use snoc_traffic::{BurstModel, TrafficPattern};
+
+/// The fuzzed topology pool: at least one member of every supported
+/// family (Slim NoC, mesh, torus, Dragonfly, Flattened Butterfly), all
+/// small enough that a case simulates in milliseconds. The second
+/// element is the VC count required for deadlock freedom (hop-indexed
+/// VCs need one VC per hop of the longest minimal path).
+fn topology(idx: usize) -> (Topology, usize) {
+    match idx {
+        0 => (Topology::slim_noc(3, 3).unwrap(), 2),
+        1 => (Topology::mesh(4, 3, 2), 2),
+        2 => (Topology::torus(4, 4, 2), 2),
+        3 => (Topology::dragonfly(2), 4),
+        4 => (Topology::flattened_butterfly(3, 3, 2), 2),
+        _ => (Topology::slim_noc(3, 2).unwrap(), 2),
+    }
+}
+
+fn pattern(idx: usize) -> TrafficPattern {
+    match idx {
+        0 => TrafficPattern::Random,
+        1 => TrafficPattern::BitShuffle,
+        2 => TrafficPattern::BitReversal,
+        3 => TrafficPattern::Adversarial1,
+        4 => TrafficPattern::Adversarial2,
+        _ => TrafficPattern::Transpose,
+    }
+}
+
+fn configs(vcs: usize, routing: RoutingKind, seed: u64) -> (SimConfig, RefConfig) {
+    let sim = SimConfig::default()
+        .with_vcs(vcs)
+        .with_routing(routing)
+        .with_seed(seed);
+    let reference = RefConfig::try_from_sim(&sim).expect("edge/credited config");
+    // Give the reference engine an independent stream: agreement must
+    // come from the shared spec, never from shared draws.
+    (sim, reference.with_seed(seed ^ 0x5EED_5EED))
+}
+
+/// Runs one synthetic differential case and applies every check.
+/// Returns an error string naming the first failed check.
+#[allow(clippy::too_many_arguments)] // a flat case descriptor, called from 3 proptests
+fn check_synthetic_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    routing: RoutingKind,
+    rate: f64,
+    burst: BurstModel,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+) -> Result<(), String> {
+    let (topo, vcs) = topology(topo_idx);
+    let vcs = if routing == RoutingKind::Minimal {
+        vcs
+    } else {
+        4
+    };
+    let (sim_cfg, ref_cfg) = configs(vcs, routing, seed);
+    let pat = pattern(pat_idx);
+    let mut sim = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+    let optimized = sim
+        .run_synthetic_bursty(pat, rate, burst, warmup, measure)
+        .snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+    let reference = rsim.run_synthetic_bursty(pat, rate, burst, warmup, measure);
+    let ctx = format!(
+        "topo {} pattern {pat} routing {routing:?} rate {rate:.4} seed {seed}",
+        topo.name()
+    );
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: optimized conservation: {e}"))?;
+    reference
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: reference conservation: {e}"))?;
+    // The agreement tier lives in `snoc_refsim::check` so this suite
+    // and the `repro_verify` matrix enforce the identical contract.
+    compare_statistics(&optimized, &reference, 50)
+        .map(|_| ())
+        .map_err(|e| format!("{ctx}: {e}"))
+}
+
+/// One exact-equality case: same workload into both engines, minimal
+/// routing, zero RNG consumption — snapshots must be equal.
+fn check_exact_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    rate: f64,
+    seed: u64,
+    cycles: u64,
+) -> Result<(), String> {
+    let (topo, vcs) = topology(topo_idx);
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, seed);
+    let pat = pattern(pat_idx);
+    let trace = workload(&topo, pat, rate, cycles, seed);
+    let warmup = cycles / 4;
+    let mut sim = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+    let optimized = sim.run_trace(&trace, warmup).snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+    let reference = rsim.run_workload(&trace, warmup);
+    if optimized != reference {
+        return Err(format!(
+            "exact mode diverged: topo {} pattern {pat} rate {rate:.4} seed {seed} \
+             ({} messages)\noptimized: {optimized:?}\nreference: {reference:?}",
+            topo.name(),
+            trace.len()
+        ));
+    }
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("conservation in exact mode: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzzed synthetic differential: minimal routing over every
+    /// topology family and pattern.
+    #[test]
+    fn optimized_engine_matches_reference_on_synthetic_traffic(
+        topo_idx in 0usize..6,
+        pat_idx in 0usize..6,
+        rate in 0.01f64..0.16,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = check_synthetic_case(
+            topo_idx, pat_idx, RoutingKind::Minimal, rate,
+            BurstModel::uniform(), seed, 400, 2_400,
+        );
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed adaptive-routing differential: UGAL-L and UGAL-G on the
+    /// diameter-2 families (where 4 VCs cover the longest detour).
+    #[test]
+    fn optimized_engine_matches_reference_under_ugal(
+        topo_sel in 0usize..3,
+        ugal_g in 0usize..2,
+        pat_idx in 0usize..2,
+        rate in 0.01f64..0.12,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo_idx = [0, 4, 5][topo_sel]; // sn 3x3, FBF, sn 3x2
+        let routing = if ugal_g == 1 { RoutingKind::UgalG } else { RoutingKind::UgalL };
+        let r = check_synthetic_case(
+            topo_idx, pat_idx, routing, rate,
+            BurstModel::uniform(), seed, 400, 2_400,
+        );
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed bursty-injection differential: on/off Markov phases on
+    /// top of the Bernoulli/geometric duality.
+    #[test]
+    fn optimized_engine_matches_reference_under_bursts(
+        topo_idx in 0usize..6,
+        off_to_on in 0.05f64..0.9,
+        on_to_off in 0.05f64..0.9,
+        rate in 0.01f64..0.10,
+        seed in 0u64..1_000_000,
+    ) {
+        let burst = BurstModel { off_to_on, on_to_off };
+        let r = check_synthetic_case(
+            topo_idx, 0, RoutingKind::Minimal, rate, burst, seed, 400, 3_200,
+        );
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed exact-equality mode: explicit workloads under minimal
+    /// routing leave no randomness in either engine, so the snapshots
+    /// must match bit for bit.
+    #[test]
+    fn exact_equality_on_workload_driven_runs(
+        topo_idx in 0usize..6,
+        pat_idx in 0usize..6,
+        rate in 0.005f64..0.14,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = check_exact_case(topo_idx, pat_idx, rate, seed, 1_200);
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+}
+
+/// The reference routing reimplementation must agree with the optimized
+/// `RoutingTable` on every (router, target) decision — ports, VCs and
+/// distances — for every topology family in the pool. Differential at
+/// the routing layer, cheaper and sharper than end-to-end runs.
+#[test]
+fn reference_routing_agrees_with_optimized_tables() {
+    use snoc_refsim::RefRouting;
+    use snoc_sim::{Flit, PacketId, RoutingTable};
+
+    for idx in 0..6 {
+        let (topo, vcs) = topology(idx);
+        let table = RoutingTable::minimal(&topo);
+        let reference = RefRouting::new(&topo);
+        for cur in topo.routers() {
+            assert_eq!(table.port_count(cur), reference.port_count(cur));
+            for dst in topo.routers() {
+                if cur == dst {
+                    continue;
+                }
+                assert_eq!(
+                    table.distance(cur, dst),
+                    reference.distance(cur, dst),
+                    "{}: dist {cur} -> {dst}",
+                    topo.name()
+                );
+                for hops in 0..2u32 {
+                    let mut flit = Flit::nth_of_packet(
+                        PacketId(0),
+                        0,
+                        1,
+                        NodeId(0),
+                        NodeId(dst.index()),
+                        dst,
+                        0,
+                        false,
+                        false,
+                    );
+                    flit.hops = hops as u16;
+                    let opt = table.route(cur, &flit, 0, vcs);
+                    let (port, vc) = reference.route(cur, dst, hops, vcs);
+                    assert_eq!(
+                        (opt.port, opt.vc),
+                        (port, vc),
+                        "{}: route {cur} -> {dst} hop {hops}",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Zero-rate runs: both engines must report a completely idle network.
+#[test]
+fn zero_rate_agrees_exactly() {
+    let (topo, vcs) = topology(0);
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, 7);
+    let mut sim = Simulator::build(&topo, &sim_cfg).unwrap();
+    let optimized = sim
+        .run_synthetic(TrafficPattern::Random, 0.0, 1_000, 20_000)
+        .snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    let reference = rsim.run_synthetic(TrafficPattern::Random, 0.0, 1_000, 20_000);
+    assert_eq!(optimized, reference);
+    assert_eq!(optimized.delivered_packets, 0);
+    assert_eq!(optimized.total_cycles, 21_000);
+}
+
+/// A deterministic saturation-stress case: conservation laws must hold
+/// even when the network rejects offered load (no latency comparison —
+/// saturated latencies are seed-dependent).
+#[test]
+fn conservation_holds_at_saturation_in_both_engines() {
+    let (topo, vcs) = topology(0);
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, 21);
+    let mut sim = Simulator::build(&topo, &sim_cfg).unwrap();
+    let optimized = sim
+        .run_synthetic(TrafficPattern::Adversarial1, 0.8, 500, 2_000)
+        .snapshot();
+    optimized.check_conservation().unwrap();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    let reference = rsim.run_synthetic(TrafficPattern::Adversarial1, 0.8, 500, 2_000);
+    reference.check_conservation().unwrap();
+    assert!(
+        optimized.stalled_generations > 0,
+        "0.8 must exceed capacity"
+    );
+    assert!(reference.stalled_generations > 0);
+}

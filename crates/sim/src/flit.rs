@@ -219,9 +219,28 @@ pub struct FlitRef(u32);
 pub struct FlitArena {
     slots: Vec<Flit>,
     free: Vec<u32>,
+    /// Debug-only per-slot liveness: turns a double `remove` (which
+    /// would silently alias the slot between two later `insert`s) or an
+    /// access through a stale [`FlitRef`] into an immediate assertion
+    /// failure instead of corrupted statistics. Compiled out of release
+    /// builds — the hot path pays nothing.
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
 }
 
 impl FlitArena {
+    #[cfg(debug_assertions)]
+    fn assert_live(&self, idx: u32) {
+        assert!(
+            self.live[idx as usize],
+            "access through a stale FlitRef: slot {idx} was freed"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn assert_live(&self, _idx: u32) {}
+
     /// Stores a flit, returning its reference.
     ///
     /// # Panics
@@ -230,12 +249,18 @@ impl FlitArena {
     pub fn insert(&mut self, flit: Flit) -> FlitRef {
         match self.free.pop() {
             Some(idx) => {
+                #[cfg(debug_assertions)]
+                {
+                    self.live[idx as usize] = true;
+                }
                 self.slots[idx as usize] = flit;
                 FlitRef(idx)
             }
             None => {
                 let idx = u32::try_from(self.slots.len()).expect("arena fits u32 indices");
                 self.slots.push(flit);
+                #[cfg(debug_assertions)]
+                self.live.push(true);
                 FlitRef(idx)
             }
         }
@@ -244,16 +269,28 @@ impl FlitArena {
     /// Reads a stored flit.
     #[must_use]
     pub fn get(&self, r: FlitRef) -> &Flit {
+        self.assert_live(r.0);
         &self.slots[r.0 as usize]
     }
 
     /// Mutably accesses a stored flit.
     pub fn get_mut(&mut self, r: FlitRef) -> &mut Flit {
+        self.assert_live(r.0);
         &mut self.slots[r.0 as usize]
     }
 
     /// Removes a flit, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slot was already freed (a double
+    /// free would alias the slot between two later inserts).
     pub fn remove(&mut self, r: FlitRef) -> Flit {
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.live[r.0 as usize], "double free of flit slot {}", r.0);
+            self.live[r.0 as usize] = false;
+        }
         self.free.push(r.0);
         self.slots[r.0 as usize]
     }
@@ -268,6 +305,14 @@ impl FlitArena {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total slots ever allocated (live + free). Because the free list
+    /// recycles slots, this is bounded by the peak live count — the
+    /// property the arena's slab design exists to provide.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -358,6 +403,46 @@ mod tests {
     #[test]
     fn flit_fits_one_cache_line() {
         assert!(std::mem::size_of::<Flit>() <= 64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free of flit slot")]
+    fn double_remove_is_caught_in_debug_builds() {
+        let mut arena = FlitArena::default();
+        let f = Flit::packet(
+            PacketId(1),
+            NodeId(0),
+            NodeId(1),
+            RouterId(0),
+            1,
+            0,
+            true,
+            false,
+        )[0];
+        let r = arena.insert(f);
+        arena.remove(r);
+        arena.remove(r); // would alias the slot between two later inserts
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale FlitRef")]
+    fn stale_access_is_caught_in_debug_builds() {
+        let mut arena = FlitArena::default();
+        let f = Flit::packet(
+            PacketId(1),
+            NodeId(0),
+            NodeId(1),
+            RouterId(0),
+            1,
+            0,
+            true,
+            false,
+        )[0];
+        let r = arena.insert(f);
+        arena.remove(r);
+        let _ = arena.get(r);
     }
 
     #[test]

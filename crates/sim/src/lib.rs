@@ -51,4 +51,4 @@ pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, Sim
 pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
 pub use network::Simulator;
 pub use routing::RoutingTable;
-pub use stats::{ActivityCounters, LatencyLoadPoint, SimReport};
+pub use stats::{ActivityCounters, Conformance, LatencyLoadPoint, SimReport, Snapshot};

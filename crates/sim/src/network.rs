@@ -271,6 +271,23 @@ impl Simulator {
         self.run_pattern(&sampler, rate, warmup, measure)
     }
 
+    /// Runs open-loop synthetic traffic with a two-state (on/off) Markov
+    /// burst model: while *on* a node injects at a rate scaled to keep
+    /// the long-run offered load equal to `rate`, while *off* it injects
+    /// nothing (see [`BurstModel`]). `BurstModel::uniform()` reduces to
+    /// [`Simulator::run_synthetic`] exactly, draw for draw.
+    pub fn run_synthetic_bursty(
+        &mut self,
+        pattern: TrafficPattern,
+        rate: f64,
+        burst: BurstModel,
+        warmup: u64,
+        measure: u64,
+    ) -> SimReport {
+        let sampler = PatternSampler::new(pattern, &self.topo);
+        self.run_pattern_bursty(&sampler, rate, burst, warmup, measure)
+    }
+
     /// Runs synthetic traffic with a pre-compiled pattern sampler.
     ///
     /// Injection is event-driven: each node carries a next-injection
@@ -286,6 +303,22 @@ impl Simulator {
         warmup: u64,
         measure: u64,
     ) -> SimReport {
+        self.run_pattern_bursty(sampler, rate, BurstModel::uniform(), warmup, measure)
+    }
+
+    /// Runs synthetic traffic with a pre-compiled sampler and a burst
+    /// model ([`Simulator::run_pattern`] with on/off phases). The
+    /// injection calendar draws per-node phase sojourns and in-phase
+    /// geometric gaps, distribution-identical to per-cycle Markov state
+    /// transitions plus Bernoulli trials.
+    pub fn run_pattern_bursty(
+        &mut self,
+        sampler: &PatternSampler,
+        rate: f64,
+        burst: BurstModel,
+        warmup: u64,
+        measure: u64,
+    ) -> SimReport {
         let mut report = SimReport::new(self.node_count);
         report.measured_cycles = measure;
         let pkt_len = self.cfg.packet_flits;
@@ -296,8 +329,7 @@ impl Simulator {
         // fire and are dropped eagerly (arrivals are strictly
         // increasing per node).
         let t0 = self.now;
-        let mut process =
-            InjectionProcess::new(self.node_count, rate, pkt_len, BurstModel::uniform());
+        let mut process = InjectionProcess::new(self.node_count, rate, pkt_len, burst);
         let mut calendar: BinaryHeap<Reverse<(u64, usize)>> =
             BinaryHeap::with_capacity(self.node_count);
         for node in 0..self.node_count {

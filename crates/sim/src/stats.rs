@@ -69,6 +69,178 @@ impl ActivityCounters {
     }
 }
 
+/// An engine-independent extract of one simulation run's metrics: the
+/// comparison interface of the differential-verification harness.
+///
+/// Both the optimized event-accelerated simulator (via
+/// [`Conformance::snapshot`] on [`SimReport`]) and the golden reference
+/// simulator (`snoc_refsim`) emit this structure, so the harness never
+/// reaches into either engine's internal state. Two engines agree on a
+/// run exactly when their snapshots are equal; the latency histogram is
+/// normalized (trailing zero bins trimmed) so engines that size their
+/// histograms differently still compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// Total cycles simulated (warmup + measurement + drain).
+    pub total_cycles: u64,
+    /// Endpoint count.
+    pub nodes: usize,
+    /// Packets created during the measurement window.
+    pub injected_packets: u64,
+    /// Measured packets fully delivered.
+    pub delivered_packets: u64,
+    /// Measured flits delivered.
+    pub delivered_flits: u64,
+    /// Sum of packet latencies over delivered measured packets.
+    pub latency_sum: u64,
+    /// Maximum packet latency observed.
+    pub latency_max: u64,
+    /// Sum of network hop counts over delivered measured packets.
+    pub hops_sum: u64,
+    /// Packets dropped at generation because the injection queue was full.
+    pub stalled_generations: u64,
+    /// Whether every measured packet drained.
+    pub drained: bool,
+    /// Hardware activity during the measurement window.
+    pub activity: ActivityCounters,
+    /// Latency histogram (1-cycle bins, trailing zeros trimmed).
+    pub latency_histogram: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Mean packet latency in cycles (0 with no deliveries).
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Mean network hops per delivered packet (0 with no deliveries).
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.hops_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Accepted throughput in flits/node/cycle.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.measured_cycles == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / (self.measured_cycles as f64 * self.nodes as f64)
+        }
+    }
+
+    /// Checks every engine-independent conservation law a correct
+    /// simulator must satisfy within one measurement window:
+    ///
+    /// - every crossbar traversal either crossed a link or ejected
+    ///   (`crossbar_traversals == link_flit_hops + ejections`);
+    /// - wires are at least one tile long
+    ///   (`wire_flit_tiles >= link_flit_hops`);
+    /// - every allocator grant moved exactly one flit
+    ///   (`alloc_grants == buffer_accesses + bypasses + cb_reads +
+    ///   cb_writes`; one side is all-zero per router architecture);
+    /// - every buffered flit popped was read once
+    ///   (`buffer_reads == buffer_accesses + bypasses + cb_writes`);
+    /// - no packet is delivered that was not injected, and a drained run
+    ///   delivered every measured packet;
+    /// - the latency histogram accounts for every delivered packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated law.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let a = &self.activity;
+        if a.crossbar_traversals != a.link_flit_hops + a.ejections {
+            return Err(format!(
+                "crossbar {} != link_hops {} + ejections {}",
+                a.crossbar_traversals, a.link_flit_hops, a.ejections
+            ));
+        }
+        if a.wire_flit_tiles < a.link_flit_hops {
+            return Err(format!(
+                "wire_flit_tiles {} < link_flit_hops {}",
+                a.wire_flit_tiles, a.link_flit_hops
+            ));
+        }
+        let moved = a.buffer_accesses + a.bypasses + a.cb_reads + a.cb_writes;
+        if a.alloc_grants != moved {
+            return Err(format!(
+                "alloc_grants {} != flits moved by grants {moved}",
+                a.alloc_grants
+            ));
+        }
+        let reads = a.buffer_accesses + a.bypasses + a.cb_writes;
+        if a.buffer_reads != reads {
+            return Err(format!(
+                "buffer_reads {} != pops + staging takes {reads}",
+                a.buffer_reads
+            ));
+        }
+        if self.delivered_packets > self.injected_packets {
+            return Err(format!(
+                "delivered {} > injected {}",
+                self.delivered_packets, self.injected_packets
+            ));
+        }
+        if self.drained && self.delivered_packets != self.injected_packets {
+            return Err(format!(
+                "drained run delivered {} of {} injected",
+                self.delivered_packets, self.injected_packets
+            ));
+        }
+        let hist: u64 = self.latency_histogram.iter().sum();
+        if hist != self.delivered_packets {
+            return Err(format!(
+                "histogram mass {hist} != delivered {}",
+                self.delivered_packets
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Metric extraction for differential verification: any simulation
+/// engine whose results can be condensed to a [`Snapshot`].
+pub trait Conformance {
+    /// Extracts the engine-independent metrics of a finished run.
+    fn snapshot(&self) -> Snapshot;
+}
+
+impl Conformance for SimReport {
+    fn snapshot(&self) -> Snapshot {
+        let mut hist = self.latency_histogram.clone();
+        while hist.last() == Some(&0) {
+            hist.pop();
+        }
+        Snapshot {
+            measured_cycles: self.measured_cycles,
+            total_cycles: self.total_cycles,
+            nodes: self.nodes,
+            injected_packets: self.injected_packets,
+            delivered_packets: self.delivered_packets,
+            delivered_flits: self.delivered_flits,
+            latency_sum: self.latency_sum,
+            latency_max: self.latency_max,
+            hops_sum: self.hops_sum,
+            stalled_generations: self.stalled_generations,
+            drained: self.drained,
+            activity: self.activity,
+            latency_histogram: hist,
+        }
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -438,6 +610,49 @@ mod tests {
         let mut c = a.clone();
         c.record_delivery(11, 2, 6);
         assert_ne!(a.to_json(), c.to_json(), "histogram divergence visible");
+    }
+
+    #[test]
+    fn snapshot_extracts_and_normalizes() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        r.record_delivery(10, 2, 6);
+        r.injected_packets = 1;
+        r.activity.crossbar_traversals = 3;
+        r.activity.link_flit_hops = 2;
+        r.activity.wire_flit_tiles = 2;
+        r.activity.ejections = 1;
+        r.activity.alloc_grants = 3;
+        r.activity.buffer_accesses = 3;
+        r.activity.buffer_reads = 3;
+        let s = r.snapshot();
+        assert_eq!(s.delivered_packets, 1);
+        assert_eq!(s.latency_histogram.len(), 11, "trailing zeros trimmed");
+        assert_eq!(s.latency_histogram[10], 1);
+        assert!((s.mean_latency() - 10.0).abs() < 1e-12);
+        assert!((s.mean_hops() - 2.0).abs() < 1e-12);
+        assert!(s.check_conservation().is_ok(), "{s:?}");
+        // Snapshots of equal reports are equal even if histogram storage
+        // sizes differ.
+        let mut grown = r.clone();
+        grown.latency_histogram.resize(5000, 0);
+        assert_eq!(r.snapshot(), grown.snapshot());
+    }
+
+    #[test]
+    fn conservation_violations_are_reported() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        r.record_delivery(10, 2, 6);
+        r.injected_packets = 1;
+        r.activity.crossbar_traversals = 5;
+        let err = r.snapshot().check_conservation().unwrap_err();
+        assert!(err.contains("crossbar"), "{err}");
+        let mut r2 = SimReport::new(4);
+        r2.injected_packets = 3;
+        r2.drained = true;
+        let err2 = r2.snapshot().check_conservation().unwrap_err();
+        assert!(err2.contains("drained"), "{err2}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use snoc_sim::{SimConfig, SimReport, Simulator};
 use snoc_topology::{NodeId, Topology};
-use snoc_traffic::{MessageKind, TraceMessage, TrafficPattern};
+use snoc_traffic::{BurstModel, MessageKind, TraceMessage, TrafficPattern};
 
 /// The fuzzed topology pool: small instances of every supported family,
 /// including a CBR + elastic-links configuration (keyed by index 3).
@@ -68,6 +68,39 @@ proptest! {
             "skip on/off diverged at topo {} rate {} seed {}",
             topo_idx,
             rate,
+            seed
+        );
+    }
+
+    /// Bursty (on/off Markov) injection drives the calendar through
+    /// phase-sojourn draws and gives the cycle-skipper highly irregular
+    /// horizons — long off phases are exactly the cycles it wants to
+    /// jump over. Skipping must stay invisible across fuzzed burst
+    /// shapes, from near-uniform to long-burst/long-gap.
+    #[test]
+    fn cycle_skipping_is_invisible_for_bursty_traffic(
+        topo_idx in 0usize..5,
+        rate in 0.0f64..0.35,
+        off_to_on in 0.02f64..0.95,
+        on_to_off in 0.02f64..0.95,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo = topology(topo_idx);
+        let cfg = config(topo_idx, seed);
+        let burst = BurstModel { off_to_on, on_to_off };
+        let run = |skip: bool| {
+            let mut sim = Simulator::build(&topo, &cfg).unwrap();
+            sim.set_cycle_skipping(skip);
+            sim.run_synthetic_bursty(TrafficPattern::Random, rate, burst, 300, 1_500)
+        };
+        prop_assert_eq!(
+            run(true).to_json(),
+            run(false).to_json(),
+            "bursty skip on/off diverged at topo {} rate {} burst {}/{} seed {}",
+            topo_idx,
+            rate,
+            off_to_on,
+            on_to_off,
             seed
         );
     }
@@ -145,5 +178,36 @@ fn cycle_skipping_is_invisible_under_ugal() {
             sim.run_synthetic(TrafficPattern::Adversarial1, 0.2, 300, 1_500)
         };
         assert_eq!(run(true).to_json(), run(false).to_json(), "{routing:?}");
+    }
+}
+
+/// The combination the skip-equivalence suite previously never saw:
+/// UGAL-G (per-packet Valiant draws plus global path-cost probes) on
+/// top of bursty injection (phase-sojourn draws), across several burst
+/// shapes and seeds. Burst gaps interleave RNG consumption between the
+/// calendar and the route selector, so any draw-order bug in the
+/// fast-forward path shows up as a byte diff here.
+#[test]
+fn cycle_skipping_is_invisible_under_bursty_ugal_g() {
+    let topo = Topology::slim_noc(3, 3).unwrap();
+    let cfg = SimConfig::default()
+        .with_vcs(4)
+        .with_routing(snoc_sim::RoutingKind::UgalG)
+        .with_seed(23);
+    for (off_to_on, on_to_off) in [(0.05, 0.2), (0.3, 0.3), (0.02, 0.5)] {
+        let burst = BurstModel {
+            off_to_on,
+            on_to_off,
+        };
+        let run = |skip: bool| {
+            let mut sim = Simulator::build(&topo, &cfg).unwrap();
+            sim.set_cycle_skipping(skip);
+            sim.run_synthetic_bursty(TrafficPattern::Adversarial1, 0.15, burst, 300, 2_000)
+        };
+        assert_eq!(
+            run(true).to_json(),
+            run(false).to_json(),
+            "burst {off_to_on}/{on_to_off}"
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! - [`layout`] — on-chip placement, wire, buffer and cost models,
 //! - [`traffic`] — synthetic traffic patterns and trace workloads,
 //! - [`sim`] — the cycle-accurate flit-level network simulator,
+//! - [`refsim`] — the golden reference simulator used to differentially
+//!   verify [`sim`] (executable specification),
 //! - [`power`] — the DSENT-style area/power/energy model,
 //! - [`core`] — experiment configurations, runners and reporting.
 //!
@@ -52,6 +54,7 @@ pub use snoc_core as core;
 pub use snoc_field as field;
 pub use snoc_layout as layout;
 pub use snoc_power as power;
+pub use snoc_refsim as refsim;
 pub use snoc_sim as sim;
 pub use snoc_topology as topology;
 pub use snoc_traffic as traffic;

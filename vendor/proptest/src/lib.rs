@@ -40,6 +40,26 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count actually run: the configured value, unless the
+    /// `PROPTEST_CASES` environment variable overrides it (matching the
+    /// real proptest crate's override, used for deep-soak runs like the
+    /// nightly `verify` CI job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PROPTEST_CASES` is set but not a positive integer — a
+    /// typo in a soak invocation must fail loudly, not silently run the
+    /// small default case count.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a positive integer, got `{v}`")),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -220,8 +240,9 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                 let inputs = format!(
                     concat!("{{", $(stringify!($arg), " = {:?}, ",)* "}}"),
@@ -234,7 +255,7 @@ macro_rules! __proptest_tests {
                         "property `{}` failed at case {}/{} with inputs {}: {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
+                        cases,
                         inputs,
                         err
                     );
@@ -281,6 +302,15 @@ mod tests {
         #[should_panic(expected = "property `always_fails` failed")]
         fn always_fails(x in 0usize..4) {
             prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_configured_value() {
+        // (When `PROPTEST_CASES` is unset — the test runner never sets
+        // it — the override must not engage.)
+        if std::env::var_os("PROPTEST_CASES").is_none() {
+            assert_eq!(ProptestConfig::with_cases(17).effective_cases(), 17);
         }
     }
 }
