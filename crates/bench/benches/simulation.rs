@@ -110,6 +110,25 @@ fn bench_simulation_events(c: &mut Criterion) {
             sim.run_synthetic(TrafficPattern::Random, 0.40, 200, 2_000)
         });
     });
+    // Saturation across router families: the CBR datapath under a
+    // saturated slim NoC, and a balanced Dragonfly (the deepest
+    // minimal-routing family) under random overload. Together with
+    // `satload_sn_s_rnd` these back the `satload_*` speedup gate.
+    group.bench_function("satload_sn54_cbr", |b| {
+        let topo = Topology::slim_noc(3, 3).unwrap();
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &SimConfig::cbr(20)).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.40, 200, 2_000)
+        });
+    });
+    group.bench_function("satload_df3_rnd", |b| {
+        let topo = Topology::dragonfly(3);
+        let cfg = SimConfig::default().with_vcs(4);
+        b.iter(|| {
+            let mut sim = Simulator::build(&topo, &cfg).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.30, 200, 2_000)
+        });
+    });
     group.finish();
 }
 

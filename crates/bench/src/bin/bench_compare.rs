@@ -31,6 +31,14 @@
 //! just before that optimization landed, so the speedup is measured
 //! against the pre-event cycle loop.
 //!
+//! `--gate 'GLOB>=N'` (repeatable) asserts a per-pattern minimum
+//! calibrated speedup: every baseline benchmark whose name matches the
+//! glob (`*` matches any substring; the glob is tried against the full
+//! name and against the part after the last `/`, so
+//! `--gate 'satload_*>=1.5'` covers `simulation/satload_sn_s_rnd`)
+//! must run at least `N`x faster than its baseline entry. A gate that
+//! matches nothing fails — a misspelled pattern must not pass silently.
+//!
 //! `--table-out FILE` additionally writes the rendered before/after
 //! ratio table to a file (pass or fail) so CI can upload it as an
 //! artifact.
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
     let mut max_ratio = 2.0f64;
     let mut min_speedup = 0.0f64;
     let mut speedup_pattern = "simulation/lowload_".to_string();
+    let mut pattern_gates: Vec<SpeedupGate> = Vec::new();
     let mut table_out = None;
     let mut notes = String::new();
     let mut args = std::env::args().skip(1);
@@ -87,6 +96,16 @@ fn main() -> ExitCode {
                 });
             }
             "--speedup-pattern" => speedup_pattern = value("--speedup-pattern"),
+            "--gate" => {
+                let spec = value("--gate");
+                match parse_gate(&spec) {
+                    Ok(g) => pattern_gates.push(g),
+                    Err(e) => {
+                        eprintln!("--gate {spec}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--table-out" => table_out = Some(value("--table-out")),
             "--notes" => notes = value("--notes"),
             "--help" | "-h" => {
@@ -94,7 +113,8 @@ fn main() -> ExitCode {
                     "usage: bench_compare --results BENCH_OUT \
                      [--baseline BENCH_baseline.json] [--pattern simulation/] \
                      [--max-ratio 2.0] [--min-speedup 5.0] \
-                     [--speedup-pattern simulation/lowload_] [--table-out FILE] \
+                     [--speedup-pattern simulation/lowload_] \
+                     [--gate 'GLOB>=N']... [--table-out FILE] \
                      [--record NEW_BASELINE.json] [--notes TEXT]"
                 );
                 return ExitCode::SUCCESS;
@@ -145,6 +165,7 @@ fn main() -> ExitCode {
         max_ratio,
         min_speedup,
         speedup_pattern: &speedup_pattern,
+        pattern_gates: &pattern_gates,
     };
     let outcome = compare(&baseline, &results, &gates);
     let report = match &outcome {
@@ -183,6 +204,83 @@ struct Gates<'a> {
     min_speedup: f64,
     /// Prefix of the benchmarks gated against `min_speedup`.
     speedup_pattern: &'a str,
+    /// Per-pattern minimum-speedup gates (`--gate 'GLOB>=N'`).
+    pattern_gates: &'a [SpeedupGate],
+}
+
+/// One `--gate 'GLOB>=N'` assertion: every baseline benchmark matching
+/// the glob must show at least this calibrated speedup.
+#[derive(Debug, Clone, PartialEq)]
+struct SpeedupGate {
+    /// Glob over benchmark names; `*` matches any substring. Tried
+    /// against the full name and against the part after the last `/`.
+    glob: String,
+    /// Minimum calibrated speedup (baseline / current).
+    min_speedup: f64,
+}
+
+/// Parses a `GLOB>=N` gate specification.
+fn parse_gate(spec: &str) -> Result<SpeedupGate, String> {
+    let (glob, threshold) = spec
+        .split_once(">=")
+        .ok_or_else(|| "expected `GLOB>=N`".to_string())?;
+    let glob = glob.trim();
+    if glob.is_empty() {
+        return Err("empty glob".to_string());
+    }
+    let min_speedup: f64 = threshold
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad threshold `{}`: {e}", threshold.trim()))?;
+    if !min_speedup.is_finite() || min_speedup <= 0.0 {
+        return Err(format!("threshold must be positive, got {min_speedup}"));
+    }
+    Ok(SpeedupGate {
+        glob: glob.to_string(),
+        min_speedup,
+    })
+}
+
+/// Whether `name` matches `glob`, where `*` matches any (possibly
+/// empty) substring and everything else is literal. Anchored at both
+/// ends: `satload_*` matches `satload_x` but not `x_satload_y`.
+fn glob_match(glob: &str, name: &str) -> bool {
+    let mut segments = glob.split('*');
+    // The first segment is anchored at the start.
+    let Some(first) = segments.next() else {
+        return glob == name; // unreachable: split always yields one
+    };
+    let Some(rest) = name.strip_prefix(first) else {
+        return false;
+    };
+    let mut rest = rest;
+    let mut last: Option<&str> = None;
+    for seg in segments {
+        // Place the previously deferred segment at the earliest match;
+        // the final segment is instead anchored at the end below.
+        if let Some(prev) = last {
+            match rest.find(prev) {
+                Some(pos) => rest = &rest[pos + prev.len()..],
+                None => return false,
+            }
+        }
+        last = Some(seg);
+    }
+    match last {
+        // No `*` in the glob at all: exact match required.
+        None => rest.is_empty(),
+        Some(tail) => rest.ends_with(tail),
+    }
+}
+
+/// Whether a gate covers a benchmark: the glob is tried against the
+/// full name and, for convenience (`satload_*` instead of
+/// `simulation/satload_*`), against the part after the last `/`.
+fn gate_matches(gate: &SpeedupGate, name: &str) -> bool {
+    glob_match(&gate.glob, name)
+        || name
+            .rsplit_once('/')
+            .is_some_and(|(_, base)| glob_match(&gate.glob, base))
 }
 
 /// Extracts `CRITERION_JSONL: {...}` lines from raw bench output.
@@ -439,6 +537,51 @@ fn compare(
             }
         }
     }
+    for gate in gates.pattern_gates {
+        let gated: Vec<&Measurement> = baseline
+            .iter()
+            .filter(|m| gate_matches(gate, &m.name))
+            .collect();
+        let _ = writeln!(
+            out,
+            "gate `{}`: asserting >= {:.2}x calibrated speedup on {} benchmarks",
+            gate.glob,
+            gate.min_speedup,
+            gated.len()
+        );
+        if gated.is_empty() {
+            return Err(format!(
+                "{out}gate `{}` matches no baseline benchmarks — misspelled glob?\n",
+                gate.glob
+            ));
+        }
+        for base in &gated {
+            match results.iter().find(|m| m.name == base.name) {
+                Some(cur) if cur.mean_ns > 0.0 => {
+                    let speedup = base.mean_ns * calibration / cur.mean_ns;
+                    let verdict = if speedup < gate.min_speedup {
+                        failed = true;
+                        "TOO SLOW"
+                    } else {
+                        "ok"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<44} {:>14.1} {:>14.1} {:>6.2}x  {verdict}",
+                        base.name, base.mean_ns, cur.mean_ns, speedup
+                    );
+                }
+                _ => {
+                    failed = true;
+                    let _ = writeln!(
+                        out,
+                        "{:<44} {:>14.1} {:>14} {:>7}  MISSING",
+                        base.name, base.mean_ns, "-", "-"
+                    );
+                }
+            }
+        }
+    }
     if failed {
         Err(out)
     } else {
@@ -473,6 +616,7 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
             max_ratio,
             min_speedup: 0.0,
             speedup_pattern: "simulation/lowload_",
+            pattern_gates: &[],
         }
     }
 
@@ -630,6 +774,136 @@ CRITERION_JSONL: {\"name\":\"other/c\",\"mean_ns\":3.0,\"iters\":50}
         let cur = vec![m("simulation/x", 1.0)];
         let report = compare(&base, &cur, &speedup_gates(5.0)).expect_err("nothing to assert");
         assert!(report.contains("nothing to assert"), "{report}");
+    }
+
+    #[test]
+    fn gate_spec_parsing() {
+        assert_eq!(
+            parse_gate("satload_*>=1.5"),
+            Ok(SpeedupGate {
+                glob: "satload_*".to_string(),
+                min_speedup: 1.5,
+            })
+        );
+        assert_eq!(
+            parse_gate(" lowload_* >= 5 "),
+            Ok(SpeedupGate {
+                glob: "lowload_*".to_string(),
+                min_speedup: 5.0,
+            })
+        );
+        assert!(parse_gate("no_threshold").is_err(), "missing >=");
+        assert!(parse_gate(">=2.0").is_err(), "empty glob");
+        assert!(parse_gate("x>=abc").is_err(), "non-numeric threshold");
+        assert!(parse_gate("x>=0").is_err(), "zero threshold");
+        assert!(parse_gate("x>=-1").is_err(), "negative threshold");
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("satload_*", "satload_sn_s_rnd"));
+        assert!(glob_match("satload_*", "satload_"), "* matches empty");
+        assert!(!glob_match("satload_*", "x_satload_y"), "start-anchored");
+        assert!(glob_match("*_cbr", "satload_sn54_cbr"));
+        assert!(!glob_match("*_cbr", "satload_cbr_rnd"), "end-anchored");
+        assert!(glob_match("sn_*_cbr*", "sn_s_cbr_elastic"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("exact", "exactly"), "no * means exact");
+        assert!(glob_match("*", "anything"));
+        let gate = SpeedupGate {
+            glob: "satload_*".to_string(),
+            min_speedup: 1.5,
+        };
+        assert!(
+            gate_matches(&gate, "simulation/satload_df3_rnd"),
+            "glob also tried against the name after the last `/`"
+        );
+        assert!(!gate_matches(&gate, "simulation/lowload_a"));
+    }
+
+    #[test]
+    fn pattern_gates_pass_and_fail() {
+        let base = vec![
+            m("simulation/satload_a", 1_500.0),
+            m("simulation/satload_b", 1_500.0),
+            m("simulation/other", 100.0),
+            m("other/c", 10.0),
+        ];
+        let gates_15 = [SpeedupGate {
+            glob: "satload_*".to_string(),
+            min_speedup: 1.5,
+        }];
+        let cfg = Gates {
+            pattern_gates: &gates_15,
+            ..regression_gates(2.0)
+        };
+        // Both gated benches 2x faster, ungated ones unchanged: passes.
+        let fast = vec![
+            m("simulation/satload_a", 750.0),
+            m("simulation/satload_b", 750.0),
+            m("simulation/other", 100.0),
+            m("other/c", 10.0),
+        ];
+        let report = compare(&base, &fast, &cfg).expect("2x beats 1.5x");
+        assert!(report.contains("gate `satload_*`"), "{report}");
+        assert!(report.contains("2.00x  ok"), "{report}");
+        // One gated bench only 1.2x faster: that gate fails.
+        let slow = vec![
+            m("simulation/satload_a", 750.0),
+            m("simulation/satload_b", 1_250.0),
+            m("simulation/other", 100.0),
+            m("other/c", 10.0),
+        ];
+        let report = compare(&base, &slow, &cfg).expect_err("1.2x misses 1.5x");
+        assert!(report.contains("TOO SLOW"), "{report}");
+        // A gated bench missing from the results fails.
+        let missing = vec![
+            m("simulation/satload_a", 750.0),
+            m("simulation/other", 100.0),
+            m("other/c", 10.0),
+        ];
+        let report = compare(&base, &missing, &cfg).expect_err("missing gated bench");
+        assert!(report.contains("MISSING"), "{report}");
+    }
+
+    #[test]
+    fn pattern_gate_is_machine_calibrated_and_rejects_empty_match() {
+        let base = vec![
+            m("simulation/satload_a", 1_500.0),
+            m("other/c", 10.0),
+            m("other/d", 20.0),
+        ];
+        let gates_15 = [SpeedupGate {
+            glob: "satload_*".to_string(),
+            min_speedup: 1.5,
+        }];
+        let cfg = Gates {
+            pattern_gates: &gates_15,
+            ..regression_gates(2.0)
+        };
+        // A 2x slower machine shows only a 1x raw speedup for a true 2x
+        // win; calibration restores it above the 1.5x bar.
+        let slower_machine = vec![
+            m("simulation/satload_a", 1_500.0),
+            m("other/c", 20.0),
+            m("other/d", 40.0),
+        ];
+        let report = compare(&base, &slower_machine, &cfg).expect("calibrated 2x");
+        assert!(report.contains("2.00x  ok"), "{report}");
+        // A glob matching nothing is a configuration error, not a pass.
+        let gates_typo = [SpeedupGate {
+            glob: "saltoad_*".to_string(),
+            min_speedup: 1.5,
+        }];
+        let cfg = Gates {
+            pattern_gates: &gates_typo,
+            ..regression_gates(2.0)
+        };
+        let report = compare(&base, &base.clone(), &cfg).expect_err("typo glob");
+        assert!(
+            report.contains("matches no baseline benchmarks"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -211,6 +211,21 @@ impl Flit {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlitRef(u32);
 
+impl FlitRef {
+    /// "Empty slot" sentinel for the flattened struct-of-arrays router
+    /// and link state: occupancy is tracked by bitmask words, and empty
+    /// slots hold this reserved index. [`FlitArena::insert`] never hands
+    /// it out.
+    pub(crate) const INVALID: FlitRef = FlitRef(u32::MAX);
+
+    /// Whether this reference is a real arena index (not the
+    /// [`FlitRef::INVALID`] sentinel).
+    #[must_use]
+    pub(crate) fn is_valid(self) -> bool {
+        self.0 != u32::MAX
+    }
+}
+
 /// Slab storage for in-flight flits: each flit lives in exactly one slot
 /// from injection to ejection, and every queue in the simulator carries
 /// [`FlitRef`] indices. A free list recycles slots, so steady-state
@@ -258,6 +273,10 @@ impl FlitArena {
             }
             None => {
                 let idx = u32::try_from(self.slots.len()).expect("arena fits u32 indices");
+                assert!(
+                    idx != u32::MAX,
+                    "arena full: u32::MAX is the reserved invalid index"
+                );
                 self.slots.push(flit);
                 #[cfg(debug_assertions)]
                 self.live.push(true);

@@ -11,6 +11,7 @@
 //! from injection to ejection.
 
 use crate::flit::FlitRef;
+use crate::router::fast_wrap;
 use std::collections::VecDeque;
 
 /// A unidirectional link channel.
@@ -31,11 +32,24 @@ pub(crate) enum Channel {
     /// Elastic-buffer link (EL-Links with ElastiStore, §4.2): `latency`
     /// pipeline stages, each with one slave latch per VC; the shared
     /// master latch lets at most one flit advance per stage per cycle.
+    ///
+    /// The latches are a flat struct-of-arrays slab indexed
+    /// `stage * vcs + vc`, with one occupancy bitmask word per stage
+    /// (bit `vc` ⇔ latch full): the advance scan is mask arithmetic
+    /// (`occ[s] & !occ[s+1]` non-zero ⇔ some VC can move) and idle
+    /// checks are one counter load.
     Elastic {
-        /// `stages[s][vc]`: the slave latch of stage `s` for `vc`.
-        stages: Vec<Vec<Option<FlitRef>>>,
+        /// VCs per stage.
+        vcs: usize,
+        /// Slave latches, `[stage * vcs + vc]`
+        /// ([`FlitRef::INVALID`] = empty).
+        slots: Vec<FlitRef>,
+        /// Occupancy word per stage (bit `vc` set ⇔ latch full).
+        occ: Vec<u64>,
         /// Round-robin pointer per stage for the shared master latch.
         rr: Vec<usize>,
+        /// Flits currently in the pipeline (idle/occupancy in O(1)).
+        live: u32,
     },
 }
 
@@ -49,10 +63,14 @@ impl Channel {
     }
 
     pub(crate) fn elastic(latency: u64, vcs: usize) -> Self {
-        let stages = (0..latency.max(1)).map(|_| vec![None; vcs]).collect();
+        assert!(vcs <= 64, "occupancy words hold at most 64 VCs");
+        let stages = latency.max(1) as usize;
         Channel::Elastic {
-            stages,
-            rr: vec![0; latency.max(1) as usize],
+            vcs,
+            slots: vec![FlitRef::INVALID; stages * vcs],
+            occ: vec![0; stages],
+            rr: vec![0; stages],
+            live: 0,
         }
     }
 
@@ -60,7 +78,7 @@ impl Channel {
     pub(crate) fn latency(&self) -> u64 {
         match self {
             Channel::Credited { latency, .. } => *latency,
-            Channel::Elastic { stages, .. } => stages.len() as u64,
+            Channel::Elastic { occ, .. } => occ.len() as u64,
         }
     }
 
@@ -72,7 +90,7 @@ impl Channel {
     pub(crate) fn can_accept(&self, vc: usize) -> bool {
         match self {
             Channel::Credited { .. } => true,
-            Channel::Elastic { stages, .. } => stages[0][vc].is_none(),
+            Channel::Elastic { occ, .. } => occ[0] >> vc & 1 == 0,
         }
     }
 
@@ -87,9 +105,13 @@ impl Channel {
             Channel::Credited {
                 latency, in_flight, ..
             } => in_flight.push_back((now + *latency, vc, flit)),
-            Channel::Elastic { stages, .. } => {
-                assert!(stages[0][vc].is_none(), "elastic stage 0 busy");
-                stages[0][vc] = Some(flit);
+            Channel::Elastic {
+                slots, occ, live, ..
+            } => {
+                assert!(occ[0] >> vc & 1 == 0, "elastic stage 0 busy");
+                slots[vc] = flit;
+                occ[0] |= 1 << vc;
+                *live += 1;
             }
         }
     }
@@ -108,18 +130,33 @@ impl Channel {
     /// stage (drained by [`Channel::pop_deliverable`]). At most one flit
     /// advances per stage (shared master latch).
     pub(crate) fn tick(&mut self) {
-        if let Channel::Elastic { stages, rr } = self {
+        if let Channel::Elastic {
+            vcs,
+            slots,
+            occ,
+            rr,
+            ..
+        } = self
+        {
+            let vcs = *vcs;
             // Advance from the tail towards the head so a slot freed this
             // cycle can be refilled next cycle only (one-stage-per-cycle).
-            for s in (0..stages.len().saturating_sub(1)).rev() {
-                let vcs = stages[s].len();
+            for s in (0..occ.len().saturating_sub(1)).rev() {
+                // A VC can advance iff its bit is set here and clear in
+                // the next stage — one mask op decides the whole stage.
+                let movable = occ[s] & !occ[s + 1];
+                if movable == 0 {
+                    continue;
+                }
                 let start = rr[s];
                 for i in 0..vcs {
-                    let vc = (start + i) % vcs;
-                    if stages[s][vc].is_some() && stages[s + 1][vc].is_none() {
-                        let flit = stages[s][vc].take();
-                        stages[s + 1][vc] = flit;
-                        rr[s] = (vc + 1) % vcs;
+                    let vc = fast_wrap(start + i, vcs);
+                    if movable >> vc & 1 == 1 {
+                        slots[(s + 1) * vcs + vc] = slots[s * vcs + vc];
+                        slots[s * vcs + vc] = FlitRef::INVALID;
+                        occ[s] &= !(1 << vc);
+                        occ[s + 1] |= 1 << vc;
+                        rr[s] = fast_wrap(vc + 1, vcs);
                         break; // shared master: one advance per stage
                     }
                 }
@@ -149,15 +186,28 @@ impl Channel {
                 }
                 None
             }
-            Channel::Elastic { stages, rr } => {
-                let last = stages.len() - 1;
-                let vcs = stages[last].len();
+            Channel::Elastic {
+                vcs,
+                slots,
+                occ,
+                rr,
+                live,
+            } => {
+                let vcs = *vcs;
+                let last = occ.len() - 1;
+                if occ[last] == 0 {
+                    return None;
+                }
                 let start = rr[last];
                 for i in 0..vcs {
-                    let vc = (start + i) % vcs;
-                    if stages[last][vc].is_some() && accept(vc) {
-                        rr[last] = (vc + 1) % vcs;
-                        return stages[last][vc].take().map(|f| (vc, f));
+                    let vc = fast_wrap(start + i, vcs);
+                    if occ[last] >> vc & 1 == 1 && accept(vc) {
+                        rr[last] = fast_wrap(vc + 1, vcs);
+                        occ[last] &= !(1 << vc);
+                        *live -= 1;
+                        let flit = slots[last * vcs + vc];
+                        slots[last * vcs + vc] = FlitRef::INVALID;
+                        return Some((vc, flit));
                     }
                 }
                 None
@@ -186,9 +236,7 @@ impl Channel {
             Channel::Credited {
                 in_flight, credits, ..
             } => in_flight.is_empty() && credits.is_empty(),
-            Channel::Elastic { stages, .. } => stages
-                .iter()
-                .all(|s| s.iter().all(std::option::Option::is_none)),
+            Channel::Elastic { live, .. } => *live == 0,
         }
     }
 
@@ -229,10 +277,7 @@ impl Channel {
     pub(crate) fn occupancy(&self) -> usize {
         match self {
             Channel::Credited { in_flight, .. } => in_flight.len(),
-            Channel::Elastic { stages, .. } => stages
-                .iter()
-                .map(|s| s.iter().filter(|x| x.is_some()).count())
-                .sum(),
+            Channel::Elastic { live, .. } => *live as usize,
         }
     }
 }

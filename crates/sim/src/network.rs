@@ -174,6 +174,9 @@ impl Simulator {
                 BufferSizing::Fixed(n) => n,
                 BufferSizing::VariableRtt => 5,
             };
+            // Minimal routing never assigns Valiant intermediates, so
+            // those routers take the monomorphized allocation loops with
+            // the intermediate checks compiled out.
             routers.push(RouterCore::new(
                 r,
                 ports,
@@ -183,6 +186,7 @@ impl Simulator {
                 cfg.link_mode,
                 &caps,
                 inj_cap,
+                cfg.routing != RoutingKind::Minimal,
             ));
         }
         // Credits mirror the downstream capacity.
@@ -714,15 +718,7 @@ impl Simulator {
                 );
             }
             if measuring {
-                report.activity.buffer_accesses += res.buffer_accesses;
-                // Edge-buffer pops and CBR staging takes (bypass and
-                // CB-write paths) all read one buffered flit; central
-                // buffer reads are accounted separately via `cb_reads`.
-                report.activity.buffer_reads += res.buffer_accesses + res.bypasses + res.cb_writes;
-                report.activity.cb_writes += res.cb_writes;
-                report.activity.cb_reads += res.cb_reads;
-                report.activity.bypasses += res.bypasses;
-                report.activity.alloc_grants += res.alloc_grants;
+                report.activity.record_alloc(&res);
             }
             for idx in 0..res.freed_inputs.len() {
                 let (port, vc) = res.freed_inputs[idx];

@@ -180,12 +180,37 @@ impl RoutingTable {
     pub fn route(&self, cur: RouterId, flit: &Flit, in_vc: usize, vcs: usize) -> RouteDecision {
         let _ = in_vc;
         let dst = Self::target(flit);
+        self.route_toward(cur, dst, flit.hops, vcs)
+    }
+
+    /// Routes a flit that is known to carry no Valiant intermediate
+    /// (minimal routing): the target is always `flit.dst_router`, so
+    /// the intermediate decode of [`RoutingTable::target`] is skipped
+    /// entirely. This is the monomorphized hot path the allocator uses
+    /// under [`crate::RoutingKind::Minimal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit is already at its destination router.
+    #[must_use]
+    pub fn route_direct(&self, cur: RouterId, flit: &Flit, vcs: usize) -> RouteDecision {
+        debug_assert!(
+            flit.intermediate().is_none(),
+            "route_direct requires a flit without a Valiant intermediate"
+        );
+        self.route_toward(cur, flit.dst_router, flit.hops, vcs)
+    }
+
+    /// Shared table lookup behind [`RoutingTable::route`] and
+    /// [`RoutingTable::route_direct`].
+    #[inline]
+    fn route_toward(&self, cur: RouterId, dst: RouterId, hops: u16, vcs: usize) -> RouteDecision {
         assert_ne!(cur, dst, "flit already at target");
         let idx = cur.index() * self.nr + dst.index();
         let port = self.next_port[idx] as usize;
         let vc = match &self.route_vc {
             Some(table) => (table[idx] as usize).min(vcs - 1),
-            None => (flit.hops as usize).min(vcs - 1),
+            None => (hops as usize).min(vcs - 1),
         };
         RouteDecision { port, vc }
     }

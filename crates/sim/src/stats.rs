@@ -53,6 +53,22 @@ pub struct ActivityCounters {
 }
 
 impl ActivityCounters {
+    /// Folds one router's allocation cycle into the window counters.
+    ///
+    /// Lives here (not at the call site) so the counter semantics stay
+    /// next to the conservation laws they feed: edge-buffer pops and
+    /// CBR staging takes (bypass and CB-write paths) each read one
+    /// buffered flit, while central-buffer reads are accounted
+    /// separately via `cb_reads`.
+    pub(crate) fn record_alloc(&mut self, res: &crate::router::AllocResult) {
+        self.buffer_accesses += res.buffer_accesses;
+        self.buffer_reads += res.buffer_accesses + res.bypasses + res.cb_writes;
+        self.cb_writes += res.cb_writes;
+        self.cb_reads += res.cb_reads;
+        self.bypasses += res.bypasses;
+        self.alloc_grants += res.alloc_grants;
+    }
+
     /// Element-wise accumulation.
     pub fn add(&mut self, other: &ActivityCounters) {
         self.buffer_accesses += other.buffer_accesses;

@@ -1,0 +1,222 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just the API surface this workspace uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a deliberately simple measurement protocol:
+//!
+//! - one untimed warmup iteration, whose duration estimates the
+//!   per-iteration cost;
+//! - up to `sample_size` timed iterations (default 50), trimmed so the
+//!   timed phase stays within a **250 ms budget per benchmark** (at
+//!   least one iteration always runs);
+//! - the *mean wall-clock nanoseconds per iteration* is reported.
+//!
+//! Every benchmark prints two lines: a human-readable `bench:` line and
+//! a machine-readable `CRITERION_JSONL: {...}` object that the
+//! `bench_compare` tool scrapes (see `BENCH_baseline.json`). Compare
+//! trends, not absolutes, across machines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Timed-phase wall-clock budget per benchmark.
+const BUDGET: Duration = Duration::from_millis(250);
+
+/// Default number of timed iterations (before the budget trim).
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+
+/// Throughput annotation (accepted for API compatibility; the stand-in
+/// reports plain ns/iter and leaves rate math to consumers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled by [`Bencher::iter`]: (mean ns/iter, timed iterations).
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Runs the closure under timing: one untimed warmup call sizes the
+    /// iteration count against the budget, then the timed phase runs and
+    /// the mean is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let est = warmup_start.elapsed();
+        let mut iters = self.sample_size.max(1);
+        if !est.is_zero() {
+            let fit = (BUDGET.as_nanos() / est.as_nanos().max(1)) as usize;
+            iters = iters.min(fit.max(1));
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.result = Some((mean_ns, iters as u64));
+    }
+}
+
+/// Runs one named benchmark and prints the two report lines.
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    let Some((mean_ns, iters)) = b.result else {
+        // The closure never called `iter` — nothing was measured.
+        println!("bench: {name:<44} (no measurement)");
+        return;
+    };
+    println!(
+        "bench: {name:<44} {:>12.3} ms/iter [{iters} iters]",
+        mean_ns / 1e6
+    );
+    println!("CRITERION_JSONL: {{\"name\":\"{name}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}");
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group; member names are prefixed
+    /// `group/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benchmarks one function without a group prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, f: F) {
+        run_benchmark(&name.to_string(), DEFAULT_SAMPLE_SIZE, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepts a throughput annotation (reporting stays ns/iter).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, f: F) {
+        let full = format!("{}/{name}", self.prefix);
+        run_benchmark(&full, self.sample_size, f);
+    }
+
+    /// Benchmarks one function over an input as `group/function/param`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{id}", self.prefix);
+        run_benchmark(&full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean_and_iters() {
+        let mut b = Bencher::new(5);
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        let (mean, iters) = b.result.expect("measured");
+        assert!(mean >= 0.0);
+        assert!((1..=5).contains(&iters));
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_param() {
+        assert_eq!(BenchmarkId::new("gf", 5).to_string(), "gf/5");
+    }
+
+    #[test]
+    fn group_names_are_prefixed() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        assert_eq!(g.prefix, "grp");
+        assert_eq!(g.sample_size, 2);
+        g.finish();
+    }
+}
