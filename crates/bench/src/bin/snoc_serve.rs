@@ -1,0 +1,62 @@
+//! Long-running campaign server: accepts `slim_noc-spec-v1` specs over
+//! HTTP and streams simulated points back as JSONL, sharing one warm
+//! content-addressed cache across all clients.
+
+use snoc_bench::serve::Server;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snoc_serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N]";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut cache_dir: Option<String> = None;
+    let mut threads = 0usize;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        let (flag, mut inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        let mut next_value = || inline.take().or_else(|| raw.next());
+        match flag.as_str() {
+            "--addr" => match next_value() {
+                Some(v) => addr = v,
+                None => return fail("--addr needs a value"),
+            },
+            "--cache-dir" => match next_value() {
+                Some(v) => cache_dir = Some(v),
+                None => return fail("--cache-dir needs a value"),
+            },
+            "--threads" => match next_value().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return fail("--threads needs a number"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let server = match Server::bind(&addr, cache_dir.as_deref(), threads) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!("snoc_serve: listening on {bound}"),
+        Err(_) => eprintln!("snoc_serve: listening on {addr}"),
+    }
+    if let Some(dir) = &cache_dir {
+        eprintln!("snoc_serve: shared cache at {dir}");
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("snoc_serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,59 @@
+//! Submits a campaign spec to a running `snoc_serve` and streams the
+//! JSONL events to stdout; prints a `snoc-cache-stats:`-style summary
+//! to stderr when the job completes.
+
+use snoc_bench::serve::submit;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snoc_submit --spec FILE [--addr HOST:PORT]";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut spec_path: Option<String> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        let (flag, mut inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        let mut next_value = || inline.take().or_else(|| raw.next());
+        match flag.as_str() {
+            "--addr" => match next_value() {
+                Some(v) => addr = v,
+                None => return fail("--addr needs a value"),
+            },
+            "--spec" => match next_value() {
+                Some(v) => spec_path = Some(v),
+                None => return fail("--spec needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(path) = spec_path else {
+        return fail("--spec is required");
+    };
+    let spec_json = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("read `{path}`: {e}")),
+    };
+    match submit(&addr, &spec_json, |line| println!("{line}")) {
+        Ok(outcome) => {
+            eprintln!(
+                "snoc-submit-stats: points={} hits={} misses={}",
+                outcome.points, outcome.cache_hits, outcome.cache_misses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("submit to {addr}: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("snoc_submit: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}

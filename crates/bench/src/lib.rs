@@ -9,7 +9,16 @@
 //!   runs and CI; the default windows match the shapes reported in
 //!   `EXPERIMENTS.md`);
 //! - `--smoke` — minimal windows (statistically meaningless numbers);
-//!   used by the `repro_smoke` test suite to exercise every binary.
+//!   used by the `repro_smoke` test suite to exercise every binary;
+//! - `--threads N` — worker threads for campaign fan-out (0 = one per
+//!   core; results are identical for every thread count);
+//! - `--cache-dir DIR` — attach the content-addressed point cache at
+//!   `DIR` to the binary's campaigns: already-simulated points replay
+//!   from disk, new ones are stored for next time;
+//! - `--spec FILE` — ignore the binary's built-in figure and instead
+//!   run the `slim_noc-spec-v1` campaign spec in `FILE`, printing its
+//!   sweep JSON to stdout and a `snoc-cache-stats:` line to stderr.
+//!   Identical across every `repro_*` binary.
 //!
 //! The latency–load figures all run through the sweep-campaign engine:
 //! a binary declares its campaign (setups × patterns × the standard
@@ -18,12 +27,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use snoc_core::{format_float, Campaign, CampaignResult, Series, Setup, TextTable};
+pub mod serve;
+
+use snoc_core::{
+    format_float, Campaign, CampaignResult, CampaignSpec, PointCache, Series, Setup, TextTable,
+};
 use snoc_power::TechNode;
 use snoc_traffic::TrafficPattern;
+use std::sync::Arc;
+
+/// The usage line shared by every reproduction binary.
+pub const USAGE: &str = "usage: repro_* [--csv] [--json] [--quick] [--smoke] \
+                         [--threads N] [--spec FILE] [--cache-dir DIR]";
 
 /// Command-line options shared by all reproduction binaries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Args {
     /// Emit CSV instead of aligned text tables.
     pub csv: bool,
@@ -34,32 +52,131 @@ pub struct Args {
     pub quick: bool,
     /// Use minimal simulation windows: every experiment still builds and
     /// runs end-to-end, but the numbers are statistically meaningless.
-    /// Exists so the test suite can smoke-run all 29 binaries cheaply.
+    /// Exists so the test suite can smoke-run all the binaries cheaply.
     pub smoke: bool,
+    /// Campaign worker threads (0 = one per core).
+    pub threads: usize,
+    /// Run this `slim_noc-spec-v1` file instead of the binary's figure.
+    pub spec: Option<String>,
+    /// Attach the content-addressed point cache at this directory.
+    pub cache_dir: Option<String>,
 }
 
 impl Args {
-    /// Parses `std::env::args`. Unknown flags abort with a usage hint.
+    /// Parses `std::env::args`. Unknown flags abort with a usage hint;
+    /// `--spec` runs the spec campaign and exits (see [`USAGE`]).
     #[must_use]
     pub fn parse() -> Self {
+        let args = match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg} (try --help)");
+                std::process::exit(2);
+            }
+        };
+        if args.spec.is_some() {
+            args.run_spec_and_exit();
+        }
+        args
+    }
+
+    /// Parses an explicit argument list. `--help` prints [`USAGE`] and
+    /// exits; everything else reports errors instead of aborting, so
+    /// tests can exercise the parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values, or
+    /// malformed numbers.
+    pub fn parse_from(raw: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut args = Args::default();
-        for a in std::env::args().skip(1) {
-            match a.as_str() {
+        let mut raw = raw;
+        while let Some(a) = raw.next() {
+            // Accept both `--flag value` and `--flag=value`.
+            let (flag, mut inline) = match a.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (a, None),
+            };
+            let mut next_value = || -> Result<String, String> {
+                inline
+                    .take()
+                    .or_else(|| raw.next())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
                 "--csv" => args.csv = true,
                 "--json" => args.json = true,
                 "--quick" => args.quick = true,
                 "--smoke" => args.smoke = true,
+                "--threads" => {
+                    args.threads = next_value()?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--spec" => args.spec = Some(next_value()?),
+                "--cache-dir" => args.cache_dir = Some(next_value()?),
                 "--help" | "-h" => {
-                    eprintln!("usage: repro_* [--csv] [--json] [--quick] [--smoke]");
+                    eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => {
-                    eprintln!("unknown flag `{other}` (try --help)");
-                    std::process::exit(2);
-                }
+                other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        args
+        Ok(args)
+    }
+
+    /// Applies the execution-environment flags (`--threads`,
+    /// `--cache-dir`) to a campaign. An unopenable cache directory
+    /// degrades to an uncached run with a warning — a figure must never
+    /// fail because a cache is unavailable.
+    #[must_use]
+    pub fn configure(&self, mut campaign: Campaign) -> Campaign {
+        if self.threads != 0 {
+            campaign = campaign.with_threads(self.threads);
+        }
+        if let Some(dir) = &self.cache_dir {
+            match PointCache::open(dir) {
+                Ok(cache) => campaign = campaign.with_cache(Arc::new(cache)),
+                Err(e) => eprintln!("warning: cache dir `{dir}`: {e}; running uncached"),
+            }
+        }
+        campaign
+    }
+
+    /// Folds the window/thread/cache overrides into a parsed spec
+    /// (`--smoke`/`--quick` replace the spec's windows; `--threads` and
+    /// `--cache-dir` replace its execution settings).
+    pub fn apply_to_spec(&self, spec: &mut CampaignSpec) {
+        if self.smoke || self.quick {
+            spec.warmup = self.warmup();
+            spec.measure = self.measure();
+        }
+        if self.threads != 0 {
+            spec.threads = self.threads;
+        }
+        if let Some(dir) = &self.cache_dir {
+            spec.cache_dir = Some(dir.clone());
+        }
+    }
+
+    /// Runs the `--spec` campaign — sweep JSON to stdout, a
+    /// [`cache_stats_line`] to stderr — then exits. Never returns.
+    fn run_spec_and_exit(&self) -> ! {
+        let path = self.spec.as_deref().expect("--spec is set");
+        let campaign = match campaign_from_spec_file(path, self) {
+            Ok(campaign) => campaign,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        let result = campaign.run();
+        print!("{}", result.to_json());
+        eprintln!(
+            "{}",
+            cache_stats_line(&result, campaign.cache().map(AsRef::as_ref))
+        );
+        std::process::exit(0);
     }
 
     /// Simulation warmup window in cycles.
@@ -99,6 +216,33 @@ impl Args {
     }
 }
 
+/// Loads a `slim_noc-spec-v1` file, folds in the CLI overrides
+/// ([`Args::apply_to_spec`]), and builds the runnable campaign.
+///
+/// # Errors
+///
+/// Returns a printable message for unreadable files, malformed specs,
+/// unknown setup recipes, or an unopenable cache directory.
+pub fn campaign_from_spec_file(path: &str, args: &Args) -> Result<Campaign, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--spec: read `{path}`: {e}"))?;
+    let mut spec = CampaignSpec::from_json(&text).map_err(|e| format!("--spec: `{path}`: {e}"))?;
+    args.apply_to_spec(&mut spec);
+    Campaign::from_spec(&spec).map_err(|e| format!("--spec: `{path}`: {e}"))
+}
+
+/// The machine-greppable cache summary every spec run prints to
+/// stderr (and CI uploads as an artifact):
+/// `snoc-cache-stats: hits=H misses=M entries=E`.
+#[must_use]
+pub fn cache_stats_line(result: &CampaignResult, cache: Option<&PointCache>) -> String {
+    format!(
+        "snoc-cache-stats: hits={} misses={} entries={}",
+        result.cache_hits,
+        result.cache_misses,
+        cache.map_or(0, PointCache::len),
+    )
+}
+
 /// The standard load grid of the paper's latency–load figures
 /// (log-spaced from 0.008 to 0.4 flits/node/cycle).
 #[must_use]
@@ -116,11 +260,13 @@ pub fn figure_campaign(
     patterns: Vec<TrafficPattern>,
     args: &Args,
 ) -> Campaign {
-    Campaign::new(name)
-        .with_setups(setups)
-        .with_patterns(patterns)
-        .with_loads(load_grid())
-        .with_windows(args.warmup(), args.measure())
+    args.configure(
+        Campaign::new(name)
+            .with_setups(setups)
+            .with_patterns(patterns)
+            .with_loads(load_grid())
+            .with_windows(args.warmup(), args.measure()),
+    )
 }
 
 /// Runs one latency–load curve for a setup and returns it as a series
@@ -221,13 +367,15 @@ pub fn energy_class_setups() -> Vec<Setup> {
 /// setup evaluated at every load).
 #[must_use]
 pub fn energy_campaign(name: &str, setups: Vec<Setup>, args: &Args) -> Campaign {
-    Campaign::new(name)
-        .with_setups(setups)
-        .with_patterns(vec![TrafficPattern::Random])
-        .with_loads(energy_load_grid())
-        .with_windows(args.warmup(), args.measure())
-        .with_power(TechNode::N45)
-        .with_stop_at_saturation(false)
+    args.configure(
+        Campaign::new(name)
+            .with_setups(setups)
+            .with_patterns(vec![TrafficPattern::Random])
+            .with_loads(energy_load_grid())
+            .with_windows(args.warmup(), args.measure())
+            .with_power(TechNode::N45)
+            .with_stop_at_saturation(false),
+    )
 }
 
 /// Formats an energy figure from a power-aware campaign result: one
@@ -366,7 +514,7 @@ mod tests {
         };
         let smoke = Args {
             smoke: true,
-            ..quick
+            ..quick.clone()
         };
         let full = Args::default();
         assert!(quick.warmup() < full.warmup());

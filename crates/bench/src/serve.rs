@@ -1,0 +1,371 @@
+//! Long-running campaign server: `snoc serve`.
+//!
+//! A std-only HTTP/JSONL server (no async runtime — the build is
+//! offline) that accepts campaign specs and streams results back as
+//! they are simulated. All jobs share one warm
+//! [`PointCache`], so concurrent clients reuse each other's points and
+//! a resubmitted spec replays entirely from cache.
+//!
+//! # Protocol
+//!
+//! Plain HTTP/1.1, one request per connection (`Connection: close`):
+//!
+//! - `POST /campaign` with a `slim_noc-spec-v1` JSON body starts a job.
+//!   The response body is JSON-lines, flushed per event:
+//!   - `{"event": "point", "point": {…}}` for every finished point
+//!     (the object is exactly a [`SweepPoint`] line of the sweep
+//!     schema), in completion order;
+//!   - `{"event": "done", "cache_hits": H, "cache_misses": M,
+//!     "result": {…}}` last, with the full `slim_noc-sweep-v1`/`-v2`
+//!     result compacted to one line.
+//! - `GET /stats` returns one JSON line of lifetime server counters.
+//! - `GET /health` returns `{"ok": true}`.
+//!
+//! Jobs execute one at a time under a FIFO queue while each job's
+//! points still fan out over the sweep engine's worker threads. That
+//! keeps cache accounting deterministic — a given point is simulated by
+//! exactly one job and every later job hits it — without giving up
+//! point-level parallelism.
+//!
+//! [`PointCache`]: snoc_core::PointCache
+//! [`SweepPoint`]: snoc_core::SweepPoint
+
+use snoc_core::json::{self, JsonValue};
+use snoc_core::{Campaign, CampaignSpec, PointCache};
+use std::io::{self, BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A bound campaign server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+struct ServerState {
+    /// The shared warm cache (`None` = in-memory-less server: every job
+    /// simulates everything).
+    cache: Option<Arc<PointCache>>,
+    /// Worker threads per job (0 = one per core).
+    threads: usize,
+    /// FIFO job queue (ticket lock): jobs run one at a time, in arrival
+    /// order.
+    queue: JobQueue,
+    jobs_done: AtomicU64,
+}
+
+/// A ticket lock: `enter` takes the next ticket and blocks until it is
+/// served, so jobs run strictly in arrival order (a plain `Mutex` may
+/// hand off unfairly).
+struct JobQueue {
+    next_ticket: AtomicU64,
+    serving: Mutex<u64>,
+    turn: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            next_ticket: AtomicU64::new(0),
+            serving: Mutex::new(0),
+            turn: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) -> JobTicket<'_> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        let mut serving = self.serving.lock().expect("job queue");
+        while *serving != ticket {
+            serving = self.turn.wait(serving).expect("job queue");
+        }
+        JobTicket { queue: self }
+    }
+}
+
+struct JobTicket<'a> {
+    queue: &'a JobQueue,
+}
+
+impl Drop for JobTicket<'_> {
+    fn drop(&mut self) {
+        let mut serving = self.queue.serving.lock().expect("job queue");
+        *serving += 1;
+        self.queue.turn.notify_all();
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and opens the
+    /// shared cache when `cache_dir` is given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and cache-open failures.
+    pub fn bind(addr: &str, cache_dir: Option<&str>, threads: usize) -> io::Result<Server> {
+        let cache = match cache_dir {
+            Some(dir) => Some(Arc::new(PointCache::open(dir)?)),
+            None => None,
+        };
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServerState {
+                cache,
+                threads,
+                queue: JobQueue::new(),
+                jobs_done: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when bound ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: accepts connections, one handler thread each.
+    /// Returns only if the listener itself fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            thread::spawn(move || {
+                // A dropped client connection only cancels that reply.
+                let _ = handle(stream, &state);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Reads one HTTP request, dispatches, writes one response.
+fn handle(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    match (method.as_str(), path.as_str()) {
+        ("POST", "/campaign") => {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            run_job(&mut stream, state, &String::from_utf8_lossy(&body))
+        }
+        ("GET", "/stats") => respond(&mut stream, 200, "OK", &stats_json(state)),
+        ("GET", "/health") => respond(&mut stream, 200, "OK", "{\"ok\": true}"),
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "{\"error\": \"unknown endpoint\"}",
+        ),
+    }
+}
+
+/// Parses a spec, queues it, streams its points, reports the result.
+fn run_job(stream: &mut TcpStream, state: &ServerState, body: &str) -> io::Result<()> {
+    let mut spec = match CampaignSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let msg = format!("{{\"error\": \"{}\"}}", json::escape(&e.to_string()));
+            return respond(stream, 400, "Bad Request", &msg);
+        }
+    };
+    // The server's cache is authoritative: every client shares it.
+    if state.cache.is_some() {
+        spec.cache_dir = None;
+    }
+    let mut campaign = match Campaign::from_spec(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            let msg = format!("{{\"error\": \"{}\"}}", json::escape(&e.to_string()));
+            return respond(stream, 400, "Bad Request", &msg);
+        }
+    };
+    if let Some(cache) = &state.cache {
+        campaign = campaign.with_cache(Arc::clone(cache));
+    }
+    if spec.threads == 0 && state.threads != 0 {
+        campaign = campaign.with_threads(state.threads);
+    }
+    write_head(stream, 200, "OK")?;
+    let out = Mutex::new(stream.try_clone()?);
+    let result = {
+        let _turn = state.queue.enter();
+        campaign.run_observed(|point| {
+            let mut w = out.lock().expect("stream lock");
+            let _ = writeln!(
+                w,
+                "{{\"event\": \"point\", \"point\": {}}}",
+                point.to_json_line()
+            );
+            let _ = w.flush();
+        })
+    };
+    state.jobs_done.fetch_add(1, Ordering::Relaxed);
+    writeln!(
+        stream,
+        "{{\"event\": \"done\", \"cache_hits\": {}, \"cache_misses\": {}, \"result\": {}}}",
+        result.cache_hits,
+        result.cache_misses,
+        json::compact(&result.to_json()),
+    )?;
+    stream.flush()
+}
+
+fn stats_json(state: &ServerState) -> String {
+    let (hits, misses, entries) = state
+        .cache
+        .as_ref()
+        .map_or((0, 0, 0), |c| (c.hits(), c.misses(), c.len()));
+    format!(
+        "{{\"jobs_done\": {}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+         \"cache_entries\": {entries}}}",
+        state.jobs_done.load(Ordering::Relaxed),
+    )
+}
+
+fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/x-ndjson\r\n\
+         Connection: close\r\n\r\n"
+    )
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
+    write_head(stream, status, reason)?;
+    writeln!(stream, "{body}")?;
+    stream.flush()
+}
+
+/// What a completed [`submit`] observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Streamed `point` events.
+    pub points: u64,
+    /// Points the server replayed from its cache.
+    pub cache_hits: u64,
+    /// Points the server simulated.
+    pub cache_misses: u64,
+}
+
+/// Submits a spec to a running server and streams the response:
+/// `on_line` sees every JSONL event line as it arrives.
+///
+/// # Errors
+///
+/// Fails on connection errors, non-200 responses (including the
+/// server's `{"error": …}` body in the message), a malformed stream, or
+/// a stream that ends without a `done` event.
+pub fn submit(
+    addr: &str,
+    spec_json: &str,
+    mut on_line: impl FnMut(&str),
+) -> io::Result<SubmitOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST /campaign HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{spec_json}",
+        spec_json.len()
+    )?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    let mut lines = reader.lines();
+    let status = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response"))??;
+    let ok = status.split_whitespace().nth(1) == Some("200");
+    // Skip response headers.
+    for line in lines.by_ref() {
+        if line?.is_empty() {
+            break;
+        }
+    }
+    let mut outcome = SubmitOutcome::default();
+    let mut done = false;
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        if !ok {
+            return Err(io::Error::other(format!("server: {status}: {line}")));
+        }
+        on_line(&line);
+        let event = json::parse(&line)
+            .map_err(|e| io::Error::other(format!("bad stream line: {e}: {line}")))?;
+        match event.get("event").and_then(JsonValue::as_str) {
+            Some("point") => outcome.points += 1,
+            Some("done") => {
+                let count = |field: &str| event.get(field).and_then(JsonValue::as_u64).unwrap_or(0);
+                outcome.cache_hits = count("cache_hits");
+                outcome.cache_misses = count("cache_misses");
+                done = true;
+            }
+            _ => {}
+        }
+    }
+    if !ok {
+        return Err(io::Error::other(format!("server: {status}")));
+    }
+    if !done {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended before the done event",
+        ));
+    }
+    Ok(outcome)
+}
+
+/// Fetches the server's lifetime `/stats` line.
+///
+/// # Errors
+///
+/// Fails on connection errors or a non-200 response.
+pub fn fetch_stats(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET /stats HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    let mut lines = reader.lines();
+    let status = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response"))??;
+    if status.split_whitespace().nth(1) != Some("200") {
+        return Err(io::Error::other(format!("server: {status}")));
+    }
+    for line in lines.by_ref() {
+        if line?.is_empty() {
+            break;
+        }
+    }
+    lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty stats body"))
+}

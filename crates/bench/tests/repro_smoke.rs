@@ -32,6 +32,82 @@ macro_rules! smoke_bins {
     };
 }
 
+/// Asserts one binary advertises the full shared flag set: `--help`
+/// must exit 0 and print the common usage line, which only happens
+/// when the binary goes through `snoc_bench::Args::parse`. A binary
+/// that grows its own parser (flag drift) fails here.
+fn accepts_common_flags(exe: &str, name: &str) {
+    let out = Command::new(exe)
+        .arg("--help")
+        .output()
+        .unwrap_or_else(|e| panic!("{name}: failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} --help exited with {:?}",
+        out.status.code()
+    );
+    let usage = String::from_utf8_lossy(&out.stderr);
+    for flag in [
+        "--csv",
+        "--json",
+        "--quick",
+        "--smoke",
+        "--threads",
+        "--spec",
+        "--cache-dir",
+    ] {
+        assert!(
+            usage.contains(flag),
+            "{name} --help does not advertise {flag}; all repro_* \
+             binaries must share snoc_bench::Args (got: {usage})"
+        );
+    }
+}
+
+macro_rules! audit_bins {
+    ($($bin:ident),+ $(,)?) => {
+        $(accepts_common_flags(
+            env!(concat!("CARGO_BIN_EXE_", stringify!($bin))),
+            stringify!($bin),
+        );)+
+    };
+}
+
+#[test]
+fn every_repro_binary_accepts_the_common_flags() {
+    audit_bins!(
+        repro_fig1,
+        repro_fig3,
+        repro_fig5,
+        repro_fig6,
+        repro_fig10,
+        repro_fig11,
+        repro_fig12,
+        repro_fig13,
+        repro_fig14,
+        repro_fig15,
+        repro_fig16,
+        repro_fig17,
+        repro_fig18,
+        repro_fig19,
+        repro_fig20,
+        repro_table2,
+        repro_table3,
+        repro_table4,
+        repro_table5,
+        repro_table6,
+        repro_ablation,
+        repro_resilience,
+        repro_sensitivity,
+        repro_verify,
+        repro_energy_mesh,
+        repro_energy_torus,
+        repro_energy_df,
+        repro_energy_sn,
+        repro_fig_energy,
+    );
+}
+
 #[test]
 fn construction_figures_smoke() {
     // Fig. 1/3/5/6: structural comparisons, layouts, and cost models —

@@ -1,0 +1,133 @@
+//! Integration test for `snoc serve`: ephemeral port, two concurrent
+//! clients with overlapping specs, JSONL streaming, and the shared
+//! warm cache.
+
+use snoc_bench::serve::{fetch_stats, submit, Server, SubmitOutcome};
+use snoc_core::json::{self, JsonValue};
+use snoc_core::{CampaignSpec, SetupSpec};
+use snoc_traffic::TrafficPattern;
+use std::path::PathBuf;
+use std::thread;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snoc_serve_test_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny spec over `loads`; all client specs share every other
+/// coordinate, so equal loads mean equal cache keys.
+fn spec(name: &str, loads: &[f64]) -> CampaignSpec {
+    let mut s = CampaignSpec::new(name);
+    s.setups = vec![SetupSpec::new("sn54")];
+    s.patterns = vec![TrafficPattern::Random];
+    s.loads = loads.to_vec();
+    s.warmup = 150;
+    s.measure = 500;
+    s
+}
+
+/// Submits a spec and returns the outcome plus every streamed line.
+fn run_client(addr: &str, spec: &CampaignSpec) -> (SubmitOutcome, Vec<String>) {
+    let mut lines = Vec::new();
+    let outcome = submit(addr, &spec.to_json(), |line| lines.push(line.to_string()))
+        .expect("submit succeeds");
+    (outcome, lines)
+}
+
+#[test]
+fn concurrent_clients_share_one_warm_cache() {
+    let dir = tmp("overlap");
+    let server =
+        Server::bind("127.0.0.1:0", Some(dir.to_str().expect("utf-8 path")), 2).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    // Overlap: both specs share loads 0.02 and 0.05; spec B adds 0.08.
+    // Whichever job the FIFO queue runs first simulates its own points;
+    // the other replays the overlap — so across both jobs exactly the
+    // 3-point union is simulated and exactly the 2-point overlap hits,
+    // regardless of arrival order.
+    let spec_a = spec("client-a", &[0.02, 0.05]);
+    let spec_b = spec("client-b", &[0.02, 0.05, 0.08]);
+    let (addr_a, addr_b) = (addr.clone(), addr.clone());
+    let a = thread::spawn(move || run_client(&addr_a, &spec_a));
+    let b = thread::spawn(move || run_client(&addr_b, &spec_b));
+    let (outcome_a, lines_a) = a.join().expect("client a");
+    let (outcome_b, lines_b) = b.join().expect("client b");
+
+    assert_eq!(outcome_a.points, 2, "spec A streams one event per point");
+    assert_eq!(outcome_b.points, 3, "spec B streams one event per point");
+    assert_eq!(
+        outcome_a.cache_hits + outcome_b.cache_hits,
+        2,
+        "the overlap is computed once and replayed once"
+    );
+    assert_eq!(
+        outcome_a.cache_misses + outcome_b.cache_misses,
+        3,
+        "exactly the union of loads is simulated"
+    );
+
+    // Every streamed line is well-formed single-line JSON with the
+    // protocol's event shape, ending in exactly one done event.
+    for lines in [&lines_a, &lines_b] {
+        for line in lines {
+            let v =
+                json::parse(line.as_str()).unwrap_or_else(|e| panic!("bad JSONL `{line}`: {e}"));
+            match v.get("event").and_then(JsonValue::as_str) {
+                Some("point") => {
+                    let p = v.get("point").expect("point payload");
+                    assert!(p.get("load").is_some() && p.get("latency").is_some());
+                }
+                Some("done") => {
+                    assert!(v.get("result").is_some());
+                }
+                other => panic!("unknown event {other:?} in `{line}`"),
+            }
+        }
+        let done_count = lines.iter().filter(|l| l.contains("\"done\"")).count();
+        assert_eq!(done_count, 1);
+        assert!(lines
+            .last()
+            .expect("nonempty")
+            .contains("\"event\": \"done\""));
+    }
+
+    // A resubmission of spec A replays fully from the warm cache.
+    let (again, _) = run_client(&addr, &spec("client-a-again", &[0.02, 0.05]));
+    assert_eq!(again.cache_misses, 0, "identical rerun simulates nothing");
+    assert_eq!(again.cache_hits, 2);
+
+    // Lifetime server stats aggregate across all three jobs.
+    let stats = fetch_stats(&addr).expect("stats");
+    let v = json::parse(&stats).expect("stats is JSON");
+    assert_eq!(v.get("jobs_done").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(v.get("cache_entries").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(v.get("cache_hits").and_then(JsonValue::as_u64), Some(4));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_specs_get_a_400_not_a_hang() {
+    let server = Server::bind("127.0.0.1:0", None, 1).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    let err = submit(&addr, "{\"schema\": \"nope\"}", |_| {}).expect_err("must fail");
+    assert!(
+        err.to_string().contains("schema"),
+        "server error is forwarded: {err}"
+    );
+}
+
+#[test]
+fn server_without_cache_still_serves() {
+    let server = Server::bind("127.0.0.1:0", None, 1).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    let (outcome, _) = run_client(&addr, &spec("uncached", &[0.02]));
+    assert_eq!(outcome.points, 1);
+    assert_eq!((outcome.cache_hits, outcome.cache_misses), (0, 0));
+}

@@ -1,0 +1,155 @@
+//! Integration test for the spec-driven CLI path: any repro binary
+//! given `--spec FILE` runs that spec instead of its built-in figure,
+//! prints the sweep JSON on stdout, and reports cache statistics on
+//! stderr. Because the spec fully determines the campaign, two
+//! different binaries fed the same spec must emit identical bytes.
+
+use snoc_core::{CampaignSpec, SetupSpec};
+use snoc_traffic::TrafficPattern;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snoc_spec_cli_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// A tiny two-point spec: 1 setup × 1 pattern × 2 loads.
+fn tiny_spec() -> CampaignSpec {
+    let mut s = CampaignSpec::new("spec-cli");
+    s.setups = vec![SetupSpec::new("sn54")];
+    s.patterns = vec![TrafficPattern::Random];
+    s.loads = vec![0.02, 0.05];
+    s.warmup = 150;
+    s.measure = 500;
+    s
+}
+
+fn run(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"))
+}
+
+fn stats_line(out: &Output) -> String {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    stderr
+        .lines()
+        .find(|l| l.starts_with("snoc-cache-stats:"))
+        .unwrap_or_else(|| panic!("no snoc-cache-stats line in stderr: {stderr}"))
+        .to_string()
+}
+
+#[test]
+fn spec_flag_runs_the_spec_and_warms_the_cache() {
+    let dir = tmp("warm");
+    let spec_path = dir.join("campaign.json");
+    std::fs::write(&spec_path, tiny_spec().to_json()).expect("write spec");
+    let cache_dir = dir.join("cache");
+    let args = [
+        "--spec",
+        spec_path.to_str().expect("utf-8"),
+        "--cache-dir",
+        cache_dir.to_str().expect("utf-8"),
+    ];
+
+    // Cold run: every point simulates, stdout is the sweep JSON.
+    let cold = run(env!("CARGO_BIN_EXE_repro_fig1"), &args);
+    assert!(
+        cold.status.success(),
+        "cold run failed: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let json = String::from_utf8_lossy(&cold.stdout);
+    assert!(
+        json.starts_with('{') && json.contains("\"points\""),
+        "stdout is the campaign JSON, got: {json}"
+    );
+    assert_eq!(
+        stats_line(&cold),
+        "snoc-cache-stats: hits=0 misses=2 entries=2"
+    );
+
+    // Warm run: zero simulations, byte-identical output.
+    let warm = run(env!("CARGO_BIN_EXE_repro_fig1"), &args);
+    assert!(warm.status.success());
+    assert_eq!(
+        stats_line(&warm),
+        "snoc-cache-stats: hits=2 misses=0 entries=2"
+    );
+    assert_eq!(warm.stdout, cold.stdout, "warm replay is byte-identical");
+
+    // The spec — not the binary — determines the campaign: a different
+    // repro binary fed the same spec emits the same bytes (and shares
+    // the same cache entries).
+    let other = run(env!("CARGO_BIN_EXE_repro_table5"), &args);
+    assert!(other.status.success());
+    assert_eq!(
+        other.stdout, cold.stdout,
+        "spec output is binary-independent"
+    );
+    assert_eq!(
+        stats_line(&other),
+        "snoc-cache-stats: hits=2 misses=0 entries=2"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shipped_example_spec_parses_and_runs() {
+    // `examples/campaign_quick.json` is what the README and the CI
+    // serve/cache smoke step feed to the server; keep it parseable.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/campaign_quick.json"
+    );
+    let text = std::fs::read_to_string(path).expect("example spec exists");
+    let spec = CampaignSpec::from_json(&text).expect("example spec parses");
+    assert_eq!(spec.name, "campaign-quick");
+    assert_eq!(spec.setups.len(), 2);
+    assert!(!spec.loads.is_empty());
+
+    // `--smoke` shrinks the windows, so actually running it is cheap.
+    let out = run(
+        env!("CARGO_BIN_EXE_repro_fig1"),
+        &["--spec", path, "--smoke"],
+    );
+    assert!(
+        out.status.success(),
+        "example spec failed to run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"points\""));
+}
+
+#[test]
+fn invalid_specs_exit_nonzero_with_a_diagnostic() {
+    let dir = tmp("invalid");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"nope\"}").expect("write spec");
+
+    let out = run(
+        env!("CARGO_BIN_EXE_repro_fig1"),
+        &["--spec", bad.to_str().expect("utf-8")],
+    );
+    assert_eq!(out.status.code(), Some(2), "bad spec is a usage error");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("schema"),
+        "diagnostic names the problem: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let missing = run(
+        env!("CARGO_BIN_EXE_repro_fig1"),
+        &["--spec", dir.join("nope.json").to_str().expect("utf-8")],
+    );
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "missing file is a usage error"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

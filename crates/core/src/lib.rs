@@ -23,14 +23,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+pub mod json;
 mod parallel;
 mod report;
 mod setup;
+mod spec;
 mod sweep;
 
+pub use cache::{CachedPoint, PointCache, PointCoord, ENGINE_VERSION};
 pub use parallel::{parallel_map, parallel_map_with_threads};
 pub use report::{format_float, Series, TextTable};
 pub use setup::{BufferPreset, Setup, SetupError};
+pub use spec::{CampaignSpec, SetupSpec, SpecError};
 pub use sweep::{Campaign, CampaignResult, PowerPoint, SweepPoint};
 
 /// Convenient glob-import surface.

@@ -37,6 +37,33 @@ impl fmt::Display for BufferPreset {
     }
 }
 
+impl BufferPreset {
+    /// The stable lowercase name used by the `snoc` CLI and the
+    /// campaign-spec wire format (`eb-small`, `cbr20`, …).
+    #[must_use]
+    pub fn spec_name(&self) -> String {
+        match self {
+            BufferPreset::EbSmall => "eb-small".to_string(),
+            BufferPreset::EbLarge => "eb-large".to_string(),
+            BufferPreset::EbVar => "eb-var".to_string(),
+            BufferPreset::ElLinks => "el-links".to_string(),
+            BufferPreset::Cbr(x) => format!("cbr{x}"),
+        }
+    }
+
+    /// The inverse of [`BufferPreset::spec_name`].
+    #[must_use]
+    pub fn from_spec_name(name: &str) -> Option<BufferPreset> {
+        Some(match name {
+            "eb-small" => BufferPreset::EbSmall,
+            "eb-large" => BufferPreset::EbLarge,
+            "eb-var" => BufferPreset::EbVar,
+            "el-links" => BufferPreset::ElLinks,
+            other => BufferPreset::Cbr(other.strip_prefix("cbr")?.parse().ok()?),
+        })
+    }
+}
+
 /// Errors from setup construction.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -92,6 +119,16 @@ pub struct Setup {
     pub cycle_time_ns: f64,
     /// Buffer preset used (drives the power model's buffer term).
     pub buffers: BufferPreset,
+    /// The paper-configuration name this setup was built from, when it
+    /// was ([`Setup::paper`] records it; [`Setup::from_topology`] does
+    /// not). Together with the builder state below it lets
+    /// [`Setup::to_spec`](crate::spec::SetupSpec) reconstruct the
+    /// serializable recipe of the setup; custom topologies have no
+    /// recipe and are not spec-representable.
+    pub paper_config: Option<String>,
+    /// The Slim NoC layout applied via [`Setup::with_sn_layout`]
+    /// (`None` for the natural layout or non-SN topologies).
+    pub sn_layout: Option<SnLayout>,
 }
 
 impl Setup {
@@ -106,7 +143,9 @@ impl Setup {
     /// Returns [`SetupError`] for unknown names.
     pub fn paper(name: &str) -> Result<Self, SetupError> {
         let desc = paper_config(name)?;
-        Setup::from_topology(name, desc.topology, desc.cycle_time_ns)
+        let mut setup = Setup::from_topology(name, desc.topology, desc.cycle_time_ns)?;
+        setup.paper_config = Some(name.to_string());
+        Ok(setup)
     }
 
     /// Builds a setup from an arbitrary topology with natural layout.
@@ -134,6 +173,8 @@ impl Setup {
             sim,
             cycle_time_ns,
             buffers: BufferPreset::EbSmall,
+            paper_config: None,
+            sn_layout: None,
         })
     }
 
@@ -146,6 +187,7 @@ impl Setup {
     pub fn with_sn_layout(mut self, which: SnLayout) -> Result<Self, SetupError> {
         if matches!(self.topology.kind(), TopologyKind::SlimNoc { .. }) {
             self.layout = Layout::slim_noc(&self.topology, which)?;
+            self.sn_layout = Some(which);
         }
         Ok(self)
     }

@@ -1,0 +1,711 @@
+//! Serializable campaign specifications: the `slim_noc-spec-v1` wire
+//! format.
+//!
+//! A [`Campaign`](crate::Campaign) built through the in-code builder
+//! cannot be keyed, cached, or submitted to a server — the spec types
+//! here are its value-type twin. [`CampaignSpec`] captures **every**
+//! builder option (setups × patterns × loads × windows × seed ×
+//! refinement × power × threads × cache) as plain data with a
+//! byte-stable JSON round trip:
+//!
+//! - [`CampaignSpec::to_json`] / [`CampaignSpec::from_json`] define the
+//!   wire format (`slim_noc-spec-v1`, golden-pinned; serialize → parse
+//!   → serialize is byte-identical);
+//! - [`Campaign::from_spec`](crate::Campaign::from_spec) /
+//!   [`Campaign::to_spec`](crate::Campaign::to_spec) convert to and
+//!   from the runnable form;
+//! - [`SetupSpec::canonical_json`] is the canonical per-setup string
+//!   that feeds the content-addressed point cache
+//!   (see [`crate::cache`]).
+//!
+//! Floats are serialized in Rust's shortest-round-trip `Display` form,
+//! so a spec that travels through JSON reproduces the exact same
+//! `f64` bits — and therefore the exact same derived point seeds and
+//! cache keys — as the original.
+//!
+//! Setups are specified as *recipes*: a paper-configuration name plus
+//! the builder modifiers (`layout`, `buffers`, `routing`, `smart`).
+//! Setups built from arbitrary topologies
+//! ([`Setup::from_topology`](crate::Setup::from_topology)) have no
+//! recipe and are not spec-representable.
+
+use crate::json::{self, JsonValue};
+use crate::setup::{BufferPreset, Setup, SetupError};
+use crate::sweep::Campaign;
+use snoc_layout::SnLayout;
+use snoc_power::TechNode;
+use snoc_sim::RoutingKind;
+use snoc_traffic::TrafficPattern;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from spec parsing, conversion, or cache attachment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// Malformed JSON or a missing/ill-typed field.
+    Parse(String),
+    /// A setup recipe failed to build (unknown config name, …).
+    Setup(SetupError),
+    /// A campaign contains a setup with no serializable recipe.
+    Unrepresentable(String),
+    /// The spec's cache directory could not be opened.
+    Cache(std::io::Error),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(msg) => write!(f, "spec parse: {msg}"),
+            SpecError::Setup(e) => write!(f, "spec setup: {e}"),
+            SpecError::Unrepresentable(name) => write!(
+                f,
+                "setup `{name}` was built from a custom topology and has no \
+                 serializable recipe; use Setup::paper-based setups in \
+                 spec-bound campaigns"
+            ),
+            SpecError::Cache(e) => write!(f, "spec cache: {e}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+impl From<SetupError> for SpecError {
+    fn from(e: SetupError) -> Self {
+        SpecError::Setup(e)
+    }
+}
+
+/// The serializable recipe of one [`Setup`]: a paper-configuration
+/// name plus builder modifiers, applied in a fixed canonical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupSpec {
+    /// Paper-configuration name ([`Setup::paper`] vocabulary).
+    pub config: String,
+    /// Display name (defaults to `config`; repro binaries override it
+    /// to label variants, and it feeds the per-point seed derivation).
+    pub name: String,
+    /// Slim NoC layout override (`None` = natural layout; ignored for
+    /// non-SN topologies, mirroring [`Setup::with_sn_layout`]).
+    pub sn_layout: Option<SnLayout>,
+    /// SMART links enabled (`H = 9` vs `H = 1`).
+    pub smart: bool,
+    /// Buffering preset.
+    pub buffers: BufferPreset,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+}
+
+impl SetupSpec {
+    /// A recipe with the §5.1 defaults for the named configuration.
+    #[must_use]
+    pub fn new(config: impl Into<String>) -> Self {
+        let config = config.into();
+        SetupSpec {
+            name: config.clone(),
+            config,
+            sn_layout: None,
+            smart: false,
+            buffers: BufferPreset::EbSmall,
+            routing: RoutingKind::Minimal,
+        }
+    }
+
+    /// Builds the runnable [`Setup`]. Modifiers apply in canonical
+    /// order (layout, buffers, routing, smart); the builder methods are
+    /// order-independent, so any builder chain and its recipe build
+    /// identical setups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError`] for unknown configuration names.
+    pub fn build(&self) -> Result<Setup, SetupError> {
+        let mut setup = Setup::paper(&self.config)?;
+        if let Some(layout) = self.sn_layout {
+            setup = setup.with_sn_layout(layout)?;
+        }
+        setup = setup
+            .with_buffers(self.buffers)
+            .with_routing(self.routing)
+            .with_smart(self.smart);
+        setup.name = self.name.clone();
+        Ok(setup)
+    }
+
+    /// The recipe as a compact one-line JSON object — both the wire
+    /// form inside [`CampaignSpec::to_json`] and the canonical string
+    /// hashed into content-addressed cache keys. Field order is fixed;
+    /// `layout` is omitted when `None`.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"config\": \"{}\", \"name\": \"{}\"",
+            json::escape(&self.config),
+            json::escape(&self.name),
+        );
+        if let Some(layout) = self.sn_layout {
+            let _ = write!(out, ", \"layout\": \"{}\"", layout.spec_name());
+        }
+        let _ = write!(
+            out,
+            ", \"smart\": {}, \"buffers\": \"{}\", \"routing\": \"{}\"}}",
+            self.smart,
+            self.buffers.spec_name(),
+            self.routing.spec_name(),
+        );
+        out
+    }
+
+    /// Parses one setup object of the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on missing or ill-typed fields.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, SpecError> {
+        let config = v
+            .get("config")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| SpecError::Parse("setup missing string `config`".into()))?
+            .to_string();
+        let name = match v.get("name") {
+            None => config.clone(),
+            Some(n) => n
+                .as_str()
+                .ok_or_else(|| SpecError::Parse("setup `name` must be a string".into()))?
+                .to_string(),
+        };
+        let sn_layout = match v.get("layout") {
+            None | Some(JsonValue::Null) => None,
+            Some(l) => {
+                let raw = l
+                    .as_str()
+                    .ok_or_else(|| SpecError::Parse("setup `layout` must be a string".into()))?;
+                Some(SnLayout::from_spec_name(raw).ok_or_else(|| {
+                    SpecError::Parse(format!(
+                        "unknown layout `{raw}` (basic|subgr|gr|rand:<seed>)"
+                    ))
+                })?)
+            }
+        };
+        let smart = match v.get("smart") {
+            None => false,
+            Some(s) => s
+                .as_bool()
+                .ok_or_else(|| SpecError::Parse("setup `smart` must be a bool".into()))?,
+        };
+        let buffers = match v.get("buffers") {
+            None => BufferPreset::EbSmall,
+            Some(b) => {
+                let raw = b
+                    .as_str()
+                    .ok_or_else(|| SpecError::Parse("setup `buffers` must be a string".into()))?;
+                BufferPreset::from_spec_name(raw).ok_or_else(|| {
+                    SpecError::Parse(format!(
+                        "unknown buffers `{raw}` (eb-small|eb-large|eb-var|el-links|cbr<N>)"
+                    ))
+                })?
+            }
+        };
+        let routing = match v.get("routing") {
+            None => RoutingKind::Minimal,
+            Some(r) => {
+                let raw = r
+                    .as_str()
+                    .ok_or_else(|| SpecError::Parse("setup `routing` must be a string".into()))?;
+                RoutingKind::from_spec_name(raw).ok_or_else(|| {
+                    SpecError::Parse(format!("unknown routing `{raw}` (min|ugal-l|ugal-g|xy)"))
+                })?
+            }
+        };
+        Ok(SetupSpec {
+            config,
+            name,
+            sn_layout,
+            smart,
+            buffers,
+            routing,
+        })
+    }
+}
+
+impl Setup {
+    /// The serializable recipe of this setup, or `None` when it was
+    /// built from an arbitrary topology ([`Setup::from_topology`]) and
+    /// has none. The recipe reflects the *current* builder state
+    /// (including direct `name` overrides), so
+    /// `setup.to_spec().unwrap().build()` reproduces the setup.
+    #[must_use]
+    pub fn to_spec(&self) -> Option<SetupSpec> {
+        Some(SetupSpec {
+            config: self.paper_config.clone()?,
+            name: self.name.clone(),
+            sn_layout: self.sn_layout,
+            smart: self.sim.smart_hops > 1,
+            buffers: self.buffers,
+            routing: self.sim.routing,
+        })
+    }
+}
+
+/// A complete, serializable campaign description — the wire format,
+/// the cache-key source, and the CLI input (`--spec file.json`).
+///
+/// Every [`Campaign`] builder option is representable; see the module
+/// docs for the JSON schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name.
+    pub name: String,
+    /// Setup recipes.
+    pub setups: Vec<SetupSpec>,
+    /// Traffic patterns.
+    pub patterns: Vec<TrafficPattern>,
+    /// Injection-rate grid in flits/node/cycle.
+    pub loads: Vec<f64>,
+    /// Warmup cycles per point.
+    pub warmup: u64,
+    /// Measured cycles per point.
+    pub measure: u64,
+    /// Base seed for per-point seed derivation.
+    pub base_seed: u64,
+    /// Bisection rounds around the saturation knee.
+    pub refine_rounds: usize,
+    /// Stop each curve after its first saturated grid point.
+    pub stop_at_saturation: bool,
+    /// Worker threads (0 = one per core). Execution detail — not part
+    /// of any cache key.
+    pub threads: usize,
+    /// Power-aware mode technology node.
+    pub power_tech: Option<TechNode>,
+    /// Content-addressed point cache directory. Execution detail — not
+    /// part of any cache key.
+    pub cache_dir: Option<String>,
+}
+
+impl CampaignSpec {
+    /// An empty spec with the same defaults as
+    /// [`Campaign::new`](crate::Campaign::new).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            setups: Vec::new(),
+            patterns: Vec::new(),
+            loads: Vec::new(),
+            warmup: 2_000,
+            measure: 10_000,
+            base_seed: 0xC0FFEE,
+            refine_rounds: 0,
+            stop_at_saturation: true,
+            threads: 0,
+            power_tech: None,
+            cache_dir: None,
+        }
+    }
+
+    /// Serializes as `slim_noc-spec-v1` JSON (golden-pinned; field
+    /// names and order are a schema contract, and serialize → parse →
+    /// serialize is byte-identical).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"slim_noc-spec-v1\",");
+        let _ = writeln!(out, "  \"name\": \"{}\",", json::escape(&self.name));
+        if self.setups.is_empty() {
+            out.push_str("  \"setups\": [],\n");
+        } else {
+            out.push_str("  \"setups\": [\n");
+            for (i, s) in self.setups.iter().enumerate() {
+                let sep = if i + 1 < self.setups.len() { "," } else { "" };
+                let _ = writeln!(out, "    {}{sep}", s.canonical_json());
+            }
+            out.push_str("  ],\n");
+        }
+        let patterns = self
+            .patterns
+            .iter()
+            .map(|p| format!("\"{}\"", p.short_name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  \"patterns\": [{patterns}],");
+        let loads = self
+            .loads
+            .iter()
+            .map(|l| format_load(*l))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  \"loads\": [{loads}],");
+        let _ = writeln!(out, "  \"warmup\": {},", self.warmup);
+        let _ = writeln!(out, "  \"measure\": {},", self.measure);
+        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        let _ = writeln!(out, "  \"refine_rounds\": {},", self.refine_rounds);
+        let _ = writeln!(
+            out,
+            "  \"stop_at_saturation\": {},",
+            self.stop_at_saturation
+        );
+        let _ = write!(out, "  \"threads\": {}", self.threads);
+        if let Some(tech) = self.power_tech {
+            let _ = write!(out, ",\n  \"tech\": \"{tech}\"");
+        }
+        if let Some(dir) = &self.cache_dir {
+            let _ = write!(out, ",\n  \"cache_dir\": \"{}\"", json::escape(dir));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses the wire format. `schema`, `name`, `setups`, `patterns`,
+    /// and `loads` are required; everything else falls back to the
+    /// [`CampaignSpec::new`] defaults so hand-written specs stay short.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed JSON, an unknown
+    /// schema, missing required fields, or invalid values (non-finite
+    /// or non-positive loads, unknown pattern/layout/buffer/routing
+    /// names).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let root = json::parse(text).map_err(SpecError::Parse)?;
+        let schema = root
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| SpecError::Parse("missing string `schema`".into()))?;
+        if schema != "slim_noc-spec-v1" {
+            return Err(SpecError::Parse(format!(
+                "unsupported schema `{schema}` (expected slim_noc-spec-v1)"
+            )));
+        }
+        let name = root
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| SpecError::Parse("missing string `name`".into()))?
+            .to_string();
+        let setups = root
+            .get("setups")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| SpecError::Parse("missing array `setups`".into()))?
+            .iter()
+            .map(SetupSpec::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let patterns = root
+            .get("patterns")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| SpecError::Parse("missing array `patterns`".into()))?
+            .iter()
+            .map(|p| {
+                let raw = p
+                    .as_str()
+                    .ok_or_else(|| SpecError::Parse("patterns must be strings".into()))?;
+                TrafficPattern::from_short_name(raw).ok_or_else(|| {
+                    SpecError::Parse(format!(
+                        "unknown pattern `{raw}` (RND|SHF|REV|ADV1|ADV2|ASYM|TRN)"
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let loads = root
+            .get("loads")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| SpecError::Parse("missing array `loads`".into()))?
+            .iter()
+            .map(|l| {
+                let x = l
+                    .as_f64()
+                    .ok_or_else(|| SpecError::Parse("loads must be numbers".into()))?;
+                if x.is_finite() && x > 0.0 {
+                    Ok(x)
+                } else {
+                    Err(SpecError::Parse(format!(
+                        "load {x} must be finite and positive"
+                    )))
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let defaults = CampaignSpec::new("");
+        let u64_field = |field: &str, default: u64| -> Result<u64, SpecError> {
+            match root.get(field) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| SpecError::Parse(format!("`{field}` must be a u64"))),
+            }
+        };
+        let warmup = u64_field("warmup", defaults.warmup)?;
+        let measure = u64_field("measure", defaults.measure)?;
+        let base_seed = u64_field("base_seed", defaults.base_seed)?;
+        let refine_rounds = match root.get("refine_rounds") {
+            None => defaults.refine_rounds,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| SpecError::Parse("`refine_rounds` must be a usize".into()))?,
+        };
+        let stop_at_saturation = match root.get("stop_at_saturation") {
+            None => defaults.stop_at_saturation,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| SpecError::Parse("`stop_at_saturation` must be a bool".into()))?,
+        };
+        let threads = match root.get("threads") {
+            None => defaults.threads,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| SpecError::Parse("`threads` must be a usize".into()))?,
+        };
+        let power_tech = match root.get("tech") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| SpecError::Parse("`tech` must be a string".into()))?;
+                Some(TechNode::from_name(raw).ok_or_else(|| {
+                    SpecError::Parse(format!("unknown tech `{raw}` (45nm|22nm|11nm)"))
+                })?)
+            }
+        };
+        let cache_dir = match root.get("cache_dir") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| SpecError::Parse("`cache_dir` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
+        Ok(CampaignSpec {
+            name,
+            setups,
+            patterns,
+            loads,
+            warmup,
+            measure,
+            base_seed,
+            refine_rounds,
+            stop_at_saturation,
+            threads,
+            power_tech,
+            cache_dir,
+        })
+    }
+}
+
+/// A load value in shortest-round-trip form: Rust's `f64` `Display`
+/// prints the shortest decimal that parses back to the identical bits,
+/// so specs reproduce exact seeds and cache keys after a JSON trip.
+fn format_load(x: f64) -> String {
+    debug_assert!(x.is_finite(), "loads are validated finite");
+    format!("{x}")
+}
+
+impl Campaign {
+    /// Builds the runnable campaign a spec describes, including its
+    /// point cache when `cache_dir` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when a setup recipe fails to build or the
+    /// cache directory cannot be opened.
+    pub fn from_spec(spec: &CampaignSpec) -> Result<Campaign, SpecError> {
+        let setups = spec
+            .setups
+            .iter()
+            .map(SetupSpec::build)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut campaign = Campaign::new(spec.name.clone())
+            .with_setups(setups)
+            .with_patterns(spec.patterns.clone())
+            .with_loads(spec.loads.clone())
+            .with_windows(spec.warmup, spec.measure)
+            .with_seed(spec.base_seed)
+            .with_refinement(spec.refine_rounds)
+            .with_stop_at_saturation(spec.stop_at_saturation)
+            .with_threads(spec.threads);
+        if let Some(tech) = spec.power_tech {
+            campaign = campaign.with_power(tech);
+        }
+        if let Some(dir) = &spec.cache_dir {
+            campaign = campaign.with_cache_dir(dir).map_err(SpecError::Cache)?;
+        }
+        Ok(campaign)
+    }
+
+    /// The serializable spec of this campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Unrepresentable`] when any setup was built
+    /// from a custom topology (no recipe).
+    pub fn to_spec(&self) -> Result<CampaignSpec, SpecError> {
+        let setups = self
+            .setups
+            .iter()
+            .map(|s| {
+                s.to_spec()
+                    .ok_or_else(|| SpecError::Unrepresentable(s.name.clone()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignSpec {
+            name: self.name.clone(),
+            setups,
+            patterns: self.patterns.clone(),
+            loads: self.loads.clone(),
+            warmup: self.warmup,
+            measure: self.measure,
+            base_seed: self.base_seed,
+            refine_rounds: self.refine_rounds,
+            stop_at_saturation: self.stop_at_saturation,
+            threads: self.threads,
+            power_tech: self.power_tech,
+            cache_dir: self.cache().map(|c| c.dir().display().to_string()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("unit \"spec\"");
+        spec.setups = vec![SetupSpec::new("sn54"), {
+            let mut s = SetupSpec::new("sn_s");
+            s.name = "sn_s+smart".into();
+            s.sn_layout = Some(SnLayout::Random(7));
+            s.smart = true;
+            s.buffers = BufferPreset::Cbr(20);
+            s.routing = RoutingKind::UgalG;
+            s
+        }];
+        spec.patterns = vec![TrafficPattern::Random, TrafficPattern::Adversarial1];
+        spec.loads = vec![0.008, 0.1, 1.0 / 3.0];
+        spec.warmup = 123;
+        spec.measure = 456;
+        spec.base_seed = u64::MAX - 3;
+        spec.refine_rounds = 2;
+        spec.stop_at_saturation = false;
+        spec.threads = 3;
+        spec.power_tech = Some(TechNode::N22);
+        spec.cache_dir = Some("/tmp/cache dir".into());
+        spec
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable_and_lossless() {
+        let spec = full_spec();
+        let json1 = spec.to_json();
+        let parsed = CampaignSpec::from_json(&json1).expect("parse own output");
+        assert_eq!(parsed, spec, "value round trip");
+        assert_eq!(parsed.to_json(), json1, "byte round trip");
+    }
+
+    #[test]
+    fn defaults_fill_omitted_fields() {
+        let spec = CampaignSpec::from_json(
+            r#"{"schema": "slim_noc-spec-v1", "name": "mini",
+                "setups": [{"config": "sn54"}],
+                "patterns": ["RND"], "loads": [0.05]}"#,
+        )
+        .expect("minimal spec");
+        let defaults = CampaignSpec::new("mini");
+        assert_eq!(spec.warmup, defaults.warmup);
+        assert_eq!(spec.measure, defaults.measure);
+        assert_eq!(spec.base_seed, defaults.base_seed);
+        assert!(spec.stop_at_saturation);
+        assert_eq!(spec.power_tech, None);
+        assert_eq!(spec.setups[0].name, "sn54", "name defaults to config");
+        assert_eq!(spec.setups[0].buffers, BufferPreset::EbSmall);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let cases = [
+            ("not json", "json"),
+            (
+                r#"{"schema": "slim_noc-spec-v2", "name": "x", "setups": [], "patterns": [], "loads": []}"#,
+                "schema",
+            ),
+            (
+                r#"{"schema": "slim_noc-spec-v1", "setups": [], "patterns": [], "loads": []}"#,
+                "name",
+            ),
+            (
+                r#"{"schema": "slim_noc-spec-v1", "name": "x", "setups": [], "patterns": ["HOT"], "loads": []}"#,
+                "pattern",
+            ),
+            (
+                r#"{"schema": "slim_noc-spec-v1", "name": "x", "setups": [], "patterns": [], "loads": [-0.1]}"#,
+                "load",
+            ),
+            (
+                r#"{"schema": "slim_noc-spec-v1", "name": "x", "setups": [{"config": "sn54", "routing": "warp"}], "patterns": [], "loads": []}"#,
+                "routing",
+            ),
+        ];
+        for (text, what) in cases {
+            assert!(
+                CampaignSpec::from_json(text).is_err(),
+                "accepted bad {what}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn setup_recipe_round_trips_through_build() {
+        for spec in full_spec().setups {
+            let built = spec.build().expect("recipe builds");
+            let back = built.to_spec().expect("paper setups have recipes");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn built_setup_matches_builder_chain() {
+        // A recipe must reproduce the exact setup of the equivalent
+        // builder chain, regardless of the order modifiers were
+        // applied in.
+        let chain = Setup::paper("sn_s")
+            .unwrap()
+            .with_smart(true)
+            .with_routing(RoutingKind::UgalL)
+            .with_buffers(BufferPreset::Cbr(20));
+        let rebuilt = chain.to_spec().expect("recipe").build().expect("builds");
+        assert_eq!(format!("{chain:?}"), format!("{rebuilt:?}"));
+    }
+
+    #[test]
+    fn custom_topologies_are_unrepresentable() {
+        let topo = snoc_topology::Topology::mesh(4, 4, 1);
+        let setup = Setup::from_topology("custom", topo, 0.5).unwrap();
+        assert!(setup.to_spec().is_none());
+        let campaign = Campaign::new("c").with_setups(vec![setup]);
+        assert!(matches!(
+            campaign.to_spec(),
+            Err(SpecError::Unrepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_round_trips_through_spec() {
+        let spec = {
+            let mut s = full_spec();
+            s.cache_dir = None; // no filesystem in this test
+            s
+        };
+        let campaign = Campaign::from_spec(&spec).expect("buildable");
+        assert_eq!(campaign.to_spec().expect("representable"), spec);
+    }
+
+    #[test]
+    fn loads_keep_exact_bits_through_json() {
+        let mut spec = CampaignSpec::new("bits");
+        spec.loads = vec![0.1, 1.0 / 3.0, 0.30000000000000004, 5e-324_f64.max(0.007)];
+        let parsed = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        for (a, b) in spec.loads.iter().zip(&parsed.loads) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} lost bits");
+        }
+    }
+}

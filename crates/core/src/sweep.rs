@@ -35,12 +35,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::cache::{CachedPoint, PointCache, PointCoord};
 use crate::parallel::parallel_map_with_threads;
 use crate::report::{format_float, Series};
 use crate::setup::Setup;
 use snoc_power::TechNode;
+use snoc_sim::saturation_heuristic;
 use snoc_traffic::TrafficPattern;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
 
 /// A declarative sweep specification: every combination of setup ×
 /// pattern is one latency–load curve, swept over `loads` (plus optional
@@ -76,6 +81,10 @@ pub struct Campaign {
     /// [`SweepPoint::power`] columns and [`CampaignResult::to_json`]
     /// emits the `slim_noc-sweep-v2` schema (a superset of v1).
     pub power_tech: Option<TechNode>,
+    /// Content-addressed point cache ([`Campaign::with_cache_dir`]).
+    /// Shared (`Arc`) so concurrent campaigns — e.g. server clients —
+    /// reuse each other's warm points.
+    cache: Option<Arc<PointCache>>,
 }
 
 impl Campaign {
@@ -95,6 +104,7 @@ impl Campaign {
             stop_at_saturation: true,
             threads: 0,
             power_tech: None,
+            cache: None,
         }
     }
 
@@ -156,6 +166,33 @@ impl Campaign {
         self
     }
 
+    /// Attaches a shared content-addressed point cache: points whose
+    /// coordinate (setup recipe × pattern × load bits × windows × base
+    /// seed × tech) is already stored are reconstructed instead of
+    /// simulated, bit-identically to a cold run. Setups without a
+    /// serializable recipe ([`Setup::from_topology`]) always simulate.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PointCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Opens (creating if needed) a [`PointCache`] at `dir` and
+    /// attaches it; see [`Campaign::with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from [`PointCache::open`].
+    pub fn with_cache_dir(self, dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(self.with_cache(Arc::new(PointCache::open(dir)?)))
+    }
+
+    /// The attached point cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<PointCache>> {
+        self.cache.as_ref()
+    }
+
     /// Controls whether curves stop after their first saturated grid
     /// point (the figure convention; on by default). Power campaigns
     /// comparing networks *at matched load* disable this so every
@@ -200,6 +237,21 @@ impl Campaign {
     /// names (`setup.name = "sn_s+smart".into()`) before adding them.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
+        self.run_observed(|_| {})
+    }
+
+    /// Runs the campaign, invoking `observe` on every finished point
+    /// (from worker threads, in completion order — *not* result order).
+    /// The campaign server streams progress through this; [`run`] is
+    /// this with a no-op observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate setup names; see [`Campaign::run`].
+    ///
+    /// [`run`]: Campaign::run
+    #[must_use]
+    pub fn run_observed<F: Fn(&SweepPoint) + Sync>(&self, observe: F) -> CampaignResult {
         for (i, a) in self.setups.iter().enumerate() {
             assert!(
                 !self.setups[..i].iter().any(|b| b.name == a.name),
@@ -213,8 +265,15 @@ impl Campaign {
             .flat_map(|s| (0..self.patterns.len()).map(move |p| (s, p)))
             .collect();
         let curves = parallel_map_with_threads(pairs, self.threads, |(s, p)| {
-            self.run_curve(&self.setups[s], self.patterns[p])
+            self.run_curve(&self.setups[s], self.patterns[p], &observe)
         });
+        let mut points = Vec::new();
+        let (mut cache_hits, mut cache_misses) = (0, 0);
+        for (curve, hits, misses) in curves {
+            points.extend(curve);
+            cache_hits += hits;
+            cache_misses += misses;
+        }
         CampaignResult {
             name: self.name.clone(),
             setups: self.setups.iter().map(|s| s.name.clone()).collect(),
@@ -227,18 +286,36 @@ impl Campaign {
             measure: self.measure,
             base_seed: self.base_seed,
             tech: self.power_tech,
-            points: curves.into_iter().flatten().collect(),
+            cache_hits,
+            cache_misses,
+            points,
         }
     }
 
-    /// Runs one latency–load curve (grid sweep + knee refinement).
-    fn run_curve(&self, setup: &Setup, pattern: TrafficPattern) -> Vec<SweepPoint> {
+    /// Runs one latency–load curve (grid sweep + knee refinement);
+    /// returns the points plus this curve's cache hit/miss counts.
+    fn run_curve<F: Fn(&SweepPoint) + Sync>(
+        &self,
+        setup: &Setup,
+        pattern: TrafficPattern,
+        observe: &F,
+    ) -> (Vec<SweepPoint>, u64, u64) {
         let mut points = Vec::new();
         let mut zero_load = 0.0;
+        let (mut hits, mut misses) = (0, 0);
         let mut last_ok: Option<f64> = None;
         let mut first_sat: Option<f64> = None;
         for &load in &self.loads {
-            let point = self.run_point(setup, pattern, load, &mut zero_load, false);
+            let point = self.run_point(
+                setup,
+                pattern,
+                load,
+                &mut zero_load,
+                false,
+                &mut hits,
+                &mut misses,
+            );
+            observe(&point);
             let saturated = point.saturated;
             points.push(point);
             if saturated {
@@ -256,7 +333,16 @@ impl Campaign {
         if let (Some(mut lo), Some(mut hi)) = (last_ok, first_sat) {
             for _ in 0..self.refine_rounds {
                 let mid = 0.5 * (lo + hi);
-                let point = self.run_point(setup, pattern, mid, &mut zero_load, true);
+                let point = self.run_point(
+                    setup,
+                    pattern,
+                    mid,
+                    &mut zero_load,
+                    true,
+                    &mut hits,
+                    &mut misses,
+                );
+                observe(&point);
                 if point.saturated {
                     hi = mid;
                 } else {
@@ -266,11 +352,31 @@ impl Campaign {
             }
         }
         points.sort_by(|a, b| a.load.total_cmp(&b.load));
-        points
+        (points, hits, misses)
     }
 
-    /// Runs one simulated point. `zero_load` is the curve's reference
-    /// latency for saturation detection (set by the first point run).
+    /// The cache key of one point, when the campaign has a cache and
+    /// the setup has a serializable recipe.
+    fn cache_key(&self, setup: &Setup, pattern: TrafficPattern, load: f64) -> Option<String> {
+        let cache = self.cache.as_ref()?;
+        let setup_spec = setup.to_spec()?.canonical_json();
+        let tech = self.power_tech.map(|t| t.to_string());
+        Some(cache.key(&PointCoord {
+            setup_spec: &setup_spec,
+            pattern: pattern.short_name(),
+            load,
+            warmup: self.warmup,
+            measure: self.measure,
+            base_seed: self.base_seed,
+            tech: tech.as_deref(),
+        }))
+    }
+
+    /// Runs (or replays from cache) one point. `zero_load` is the
+    /// curve's reference latency for saturation detection, set by the
+    /// curve's first point — cached points reproduce it bit-exactly, so
+    /// warm and cold curves agree on every derived flag.
+    #[allow(clippy::too_many_arguments)] // internal; counters travel with the curve
     fn run_point(
         &self,
         setup: &Setup,
@@ -278,8 +384,43 @@ impl Campaign {
         load: f64,
         zero_load: &mut f64,
         refined: bool,
+        hits: &mut u64,
+        misses: &mut u64,
     ) -> SweepPoint {
         let seed = self.point_seed(&setup.name, pattern, load);
+        let key = self.cache_key(setup, pattern, load);
+        if let Some(key) = &key {
+            let cache = self.cache.as_ref().expect("key implies cache");
+            if let Some(hit) = cache.get(key) {
+                *hits += 1;
+                if *zero_load == 0.0 {
+                    *zero_load = hit.latency;
+                }
+                return SweepPoint {
+                    setup: setup.name.clone(),
+                    pattern: pattern.short_name().to_string(),
+                    load,
+                    seed,
+                    latency: hit.latency,
+                    p99_latency: hit.p99_latency,
+                    throughput: hit.throughput,
+                    avg_hops: hit.avg_hops,
+                    acceptance: hit.acceptance,
+                    delivered_packets: hit.delivered_packets,
+                    saturated: saturation_heuristic(
+                        hit.latency,
+                        hit.acceptance,
+                        hit.drained,
+                        hit.delivered_packets,
+                        hit.injected_packets,
+                        *zero_load,
+                    ),
+                    drained: hit.drained,
+                    refined,
+                    power: hit.power,
+                };
+            }
+        }
         let seeded = setup.clone().with_seed(seed);
         let report = seeded.run_load(pattern, load, self.warmup, self.measure);
         if *zero_load == 0.0 {
@@ -288,6 +429,25 @@ impl Campaign {
         let power = self
             .power_tech
             .map(|tech| PowerPoint::from_report(&seeded.power_report(tech, &report)));
+        if let Some(key) = &key {
+            *misses += 1;
+            let cache = self.cache.as_ref().expect("key implies cache");
+            // A failed append only loses future reuse, never this run.
+            let _ = cache.put(
+                key,
+                &CachedPoint {
+                    latency: report.avg_packet_latency(),
+                    p99_latency: report.latency_percentile(0.99),
+                    throughput: report.throughput(),
+                    avg_hops: report.avg_hops(),
+                    acceptance: report.acceptance(),
+                    delivered_packets: report.delivered_packets,
+                    injected_packets: report.injected_packets,
+                    drained: report.drained,
+                    power,
+                },
+            );
+        }
         SweepPoint {
             setup: setup.name.clone(),
             pattern: pattern.short_name().to_string(),
@@ -377,6 +537,53 @@ pub struct SweepPoint {
     pub power: Option<PowerPoint>,
 }
 
+impl SweepPoint {
+    /// The point as one compact JSON object — exactly the form embedded
+    /// in [`CampaignResult::to_json`] point lines, and the form the
+    /// campaign server streams per finished point.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"setup\": \"{}\", \"pattern\": \"{}\", \"load\": {}, \"seed\": {}, \
+             \"latency\": {}, \"p99_latency\": {}, \"throughput\": {}, \"avg_hops\": {}, \
+             \"acceptance\": {}, \"delivered_packets\": {}, \"saturated\": {}, \
+             \"drained\": {}, \"refined\": {}",
+            escape_json(&self.setup),
+            escape_json(&self.pattern),
+            json_f64(self.load),
+            self.seed,
+            json_f64(self.latency),
+            self.p99_latency,
+            json_f64(self.throughput),
+            json_f64(self.avg_hops),
+            json_f64(self.acceptance),
+            self.delivered_packets,
+            self.saturated,
+            self.drained,
+            self.refined,
+        );
+        if let Some(pw) = &self.power {
+            let _ = write!(
+                out,
+                ", \"power_w\": {}, \"static_w\": {}, \"dynamic_w\": {}, \
+                 \"area_mm2\": {}, \"throughput_per_watt\": {}, \
+                 \"energy_per_flit_j\": {}, \"edp_js\": {}",
+                json_f64(pw.power_w),
+                json_f64(pw.static_w),
+                json_f64(pw.dynamic_w),
+                json_f64(pw.area_mm2),
+                json_f64(pw.throughput_per_watt),
+                json_f64(pw.energy_per_flit_j),
+                json_f64(pw.edp_js),
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// The structured result of a campaign run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
@@ -395,6 +602,17 @@ pub struct CampaignResult {
     /// The technology node of power-aware campaigns (`None` for plain
     /// latency sweeps; selects the v1 vs v2 JSON schema).
     pub tech: Option<TechNode>,
+    /// Points of this run served from the content-addressed cache.
+    /// Zero when no cache is attached. Deliberately *excluded* from
+    /// [`CampaignResult::to_json`]: warm and cold runs of the same spec
+    /// must serialize byte-identically.
+    pub cache_hits: u64,
+    /// Points of this run actually simulated while a cache was
+    /// attached (and stored for future reuse). Zero when no cache is
+    /// attached. Excluded from the JSON like [`cache_hits`].
+    ///
+    /// [`cache_hits`]: CampaignResult::cache_hits
+    pub cache_misses: u64,
     /// All simulated points, grouped by curve, sorted by load within
     /// each curve.
     pub points: Vec<SweepPoint>,
@@ -486,42 +704,7 @@ impl CampaignResult {
         }
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{\"setup\": \"{}\", \"pattern\": \"{}\", \"load\": {}, \"seed\": {}, \
-                 \"latency\": {}, \"p99_latency\": {}, \"throughput\": {}, \"avg_hops\": {}, \
-                 \"acceptance\": {}, \"delivered_packets\": {}, \"saturated\": {}, \
-                 \"drained\": {}, \"refined\": {}",
-                escape_json(&p.setup),
-                escape_json(&p.pattern),
-                json_f64(p.load),
-                p.seed,
-                json_f64(p.latency),
-                p.p99_latency,
-                json_f64(p.throughput),
-                json_f64(p.avg_hops),
-                json_f64(p.acceptance),
-                p.delivered_packets,
-                p.saturated,
-                p.drained,
-                p.refined,
-            );
-            if let Some(pw) = &p.power {
-                let _ = write!(
-                    out,
-                    ", \"power_w\": {}, \"static_w\": {}, \"dynamic_w\": {}, \
-                     \"area_mm2\": {}, \"throughput_per_watt\": {}, \
-                     \"energy_per_flit_j\": {}, \"edp_js\": {}",
-                    json_f64(pw.power_w),
-                    json_f64(pw.static_w),
-                    json_f64(pw.dynamic_w),
-                    json_f64(pw.area_mm2),
-                    json_f64(pw.throughput_per_watt),
-                    json_f64(pw.energy_per_flit_j),
-                    json_f64(pw.edp_js),
-                );
-            }
-            out.push('}');
+            let _ = write!(out, "    {}", p.to_json_line());
             out.push_str(if i + 1 < self.points.len() {
                 ",\n"
             } else {

@@ -1,0 +1,190 @@
+//! Cache-correctness contract of the content-addressed campaign cache.
+//!
+//! Cold run → widen the load grid → warm re-run, asserting:
+//! (a) only the genuinely new points are simulated (hit/miss counters
+//!     on [`CampaignResult`]);
+//! (b) the merged warm result serializes **byte-identically** to a
+//!     cold run of the widened spec — cached points reproduce exact
+//!     f64 bits, and curve-level state (zero-load reference,
+//!     saturation flags) is re-derived identically;
+//! (c) an engine-version salt change makes every stored entry
+//!     unreachable, forcing a full re-simulation.
+
+use snoc_core::{Campaign, CampaignResult, PointCache, Setup};
+use snoc_power::TechNode;
+use snoc_traffic::TrafficPattern;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("snoc_campaign_cache_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign(loads: &[f64]) -> Campaign {
+    Campaign::new("cache-contract")
+        .with_setups(vec![
+            Setup::paper("sn54").expect("paper config"),
+            Setup::paper("cm3").expect("paper config"),
+        ])
+        .with_patterns(vec![TrafficPattern::Random])
+        .with_loads(loads.to_vec())
+        .with_windows(150, 500)
+}
+
+const NARROW: [f64; 2] = [0.02, 0.05];
+/// The widened grid inserts a point mid-grid and appends one, so the
+/// warm run must interleave cached and fresh points within one curve.
+const WIDE: [f64; 4] = [0.02, 0.035, 0.05, 0.08];
+
+fn points_per_run(loads: &[f64]) -> u64 {
+    // 2 setups × 1 pattern × |loads| (nothing saturates at these tiny
+    // loads, so no curve stops early — asserted in the tests).
+    2 * loads.len() as u64
+}
+
+#[test]
+fn warm_rerun_simulates_nothing_and_matches_cold_bytes() {
+    let dir = tmp("identical");
+    let cold = campaign(&NARROW)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(cold.cache_hits, 0, "cold run: nothing to hit");
+    assert_eq!(cold.cache_misses, points_per_run(&NARROW));
+    assert_eq!(cold.points.len() as u64, points_per_run(&NARROW));
+
+    // Same spec again, fresh cache handle from disk: zero simulations.
+    let warm = campaign(&NARROW)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(
+        warm.cache_misses, 0,
+        "identical rerun must simulate nothing"
+    );
+    assert_eq!(warm.cache_hits, points_per_run(&NARROW));
+    assert_eq!(warm.to_json(), cold.to_json(), "byte-identical replay");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn widened_sweep_simulates_only_the_new_points() {
+    let dir = tmp("widen");
+    let narrow = campaign(&NARROW)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(narrow.cache_misses, points_per_run(&NARROW));
+
+    // Reference: a cold run of the widened grid, no cache anywhere.
+    let cold_wide: CampaignResult = campaign(&WIDE).run();
+    assert_eq!(cold_wide.cache_hits + cold_wide.cache_misses, 0, "uncached");
+    assert!(
+        cold_wide.points.iter().all(|p| !p.saturated),
+        "precondition: no curve may stop early or the counter \
+         arithmetic below is wrong"
+    );
+
+    // Warm run of the widened grid: old points replay, new points run.
+    let warm_wide = campaign(&WIDE)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(warm_wide.cache_hits, points_per_run(&NARROW));
+    assert_eq!(
+        warm_wide.cache_misses,
+        points_per_run(&WIDE) - points_per_run(&NARROW),
+        "only the delta is simulated"
+    );
+    assert_eq!(
+        warm_wide.to_json(),
+        cold_wide.to_json(),
+        "the merged cached+fresh result must be byte-identical to a \
+         cold run of the widened spec"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_version_salt_invalidates_stale_entries() {
+    let dir = tmp("salt");
+    let first = campaign(&NARROW)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(first.cache_misses, points_per_run(&NARROW));
+
+    // Same directory, different engine version: everything is stale.
+    let stale = Arc::new(
+        PointCache::open_with_version(&dir, "slim_noc-engine-v0-test").expect("open cache"),
+    );
+    assert_eq!(
+        stale.len(),
+        usize::try_from(points_per_run(&NARROW)).unwrap()
+    );
+    let rerun = campaign(&NARROW).with_cache(stale).run();
+    assert_eq!(rerun.cache_hits, 0, "stale entries must never hit");
+    assert_eq!(rerun.cache_misses, points_per_run(&NARROW));
+    assert_eq!(rerun.to_json(), first.to_json(), "results still agree");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn power_campaigns_cache_their_power_columns() {
+    let dir = tmp("power");
+    let with_power = |loads: &[f64]| {
+        campaign(loads)
+            .with_power(TechNode::N45)
+            .with_cache_dir(&dir)
+            .expect("open cache")
+    };
+    let cold = with_power(&NARROW).run();
+    assert!(cold.points.iter().all(|p| p.power.is_some()));
+    let warm = with_power(&NARROW).run();
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        warm.to_json(),
+        cold.to_json(),
+        "v2 JSON replays bit-exactly"
+    );
+
+    // Power and plain campaigns must not share cache keys: the same
+    // coordinates without a tech node re-simulate.
+    let plain = campaign(&NARROW)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(plain.cache_hits, 0, "tech is part of the cache key");
+    assert_eq!(plain.cache_misses, points_per_run(&NARROW));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn refined_points_are_cached_too() {
+    // Refinement bisections carry deterministic loads, so they hit the
+    // cache on replay exactly like grid points.
+    let dir = tmp("refine");
+    let c = |dir: &PathBuf| {
+        Campaign::new("refine-cache")
+            .with_setups(vec![Setup::paper("sn54").expect("paper config")])
+            .with_patterns(vec![TrafficPattern::Random])
+            // High tail load so the curve saturates and refinement has
+            // a bracket to bisect.
+            .with_loads(vec![0.05, 0.6])
+            .with_windows(150, 500)
+            .with_refinement(2)
+            .with_cache_dir(dir)
+            .expect("open cache")
+    };
+    let cold = c(&dir).run();
+    let refined = cold.points.iter().filter(|p| p.refined).count();
+    assert_eq!(refined, 2, "two bisection rounds");
+    let warm = c(&dir).run();
+    assert_eq!(warm.cache_misses, 0, "refined points replay from cache");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}

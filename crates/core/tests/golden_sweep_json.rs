@@ -23,6 +23,8 @@ fn fixed_result() -> CampaignResult {
         measure: 800,
         base_seed: 0xC0FFEE,
         tech: None,
+        cache_hits: 0,
+        cache_misses: 0,
         points: vec![
             SweepPoint {
                 setup: "sn54".to_string(),

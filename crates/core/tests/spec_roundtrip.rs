@@ -1,0 +1,124 @@
+//! Property test: the `slim_noc-spec-v1` JSON round trip is lossless
+//! and byte-stable for every representable campaign spec.
+//!
+//! Byte stability matters beyond aesthetics here — the serialized
+//! setup recipes feed the content-addressed cache keys, so any
+//! serialize → parse → serialize drift would re-key (cold-start)
+//! existing caches.
+
+use proptest::prelude::*;
+use snoc_core::{BufferPreset, CampaignSpec, SetupSpec};
+use snoc_layout::SnLayout;
+use snoc_power::TechNode;
+use snoc_sim::RoutingKind;
+use snoc_traffic::TrafficPattern;
+
+const CONFIGS: [&str; 6] = ["sn54", "sn_s", "cm4", "t2d3", "df3", "fbf3"];
+const PATTERNS: [TrafficPattern; 7] = [
+    TrafficPattern::Random,
+    TrafficPattern::BitShuffle,
+    TrafficPattern::BitReversal,
+    TrafficPattern::Adversarial1,
+    TrafficPattern::Adversarial2,
+    TrafficPattern::Asymmetric,
+    TrafficPattern::Transpose,
+];
+
+/// Derives one arbitrary-but-deterministic setup recipe from an
+/// integer seed (the vendored proptest only has range strategies, so
+/// structured values are expanded from integers by hand).
+fn setup_from(bits: u64) -> SetupSpec {
+    let mut s = SetupSpec::new(CONFIGS[(bits % 6) as usize]);
+    if bits & 0x40 != 0 {
+        s.name = format!("{}+v{}", s.config, bits % 97);
+    }
+    s.sn_layout = match (bits >> 8) % 5 {
+        0 => None,
+        1 => Some(SnLayout::Basic),
+        2 => Some(SnLayout::Subgroup),
+        3 => Some(SnLayout::Group),
+        _ => Some(SnLayout::Random(bits >> 16)),
+    };
+    s.smart = bits & 0x80 != 0;
+    s.buffers = match (bits >> 3) % 5 {
+        0 => BufferPreset::EbSmall,
+        1 => BufferPreset::EbLarge,
+        2 => BufferPreset::EbVar,
+        3 => BufferPreset::ElLinks,
+        _ => BufferPreset::Cbr(1 + usize::try_from((bits >> 24) % 64).expect("small")),
+    };
+    s.routing = match bits % 4 {
+        0 => RoutingKind::Minimal,
+        1 => RoutingKind::UgalL,
+        2 => RoutingKind::UgalG,
+        _ => RoutingKind::XyAdaptive,
+    };
+    s
+}
+
+/// A positive, finite, decimal-awkward load from an integer seed
+/// (values like 1/3 exercise shortest-round-trip float printing).
+fn load_from(bits: u64) -> f64 {
+    (1 + bits % 99_991) as f64 / 99_989.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_json_round_trip_is_lossless_and_byte_stable(
+        setup_bits in 1u64..u64::MAX,
+        n_setups in 0usize..4,
+        pattern_mask in 0u64..128,
+        load_bits in 1u64..u64::MAX,
+        n_loads in 1usize..6,
+        warmup in 0u64..100_000,
+        measure in 1u64..1_000_000,
+        base_seed in 0u64..u64::MAX,
+        refine in 0usize..5,
+        options in 0u64..64,
+    ) {
+        let mut spec = CampaignSpec::new(format!("prop \"c{options}\""));
+        spec.setups = (0..n_setups)
+            .map(|i| setup_from(setup_bits.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64)))
+            .collect();
+        spec.patterns = PATTERNS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pattern_mask & (1 << i) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        spec.loads = (0..n_loads)
+            .map(|i| load_from(load_bits.wrapping_add(0x1234_5678 * i as u64)))
+            .collect();
+        spec.warmup = warmup;
+        spec.measure = measure;
+        spec.base_seed = base_seed;
+        spec.refine_rounds = refine;
+        spec.stop_at_saturation = options & 1 != 0;
+        spec.threads = usize::try_from(options >> 1).expect("small") % 9;
+        spec.power_tech = match options % 4 {
+            0 => None,
+            1 => Some(TechNode::N45),
+            2 => Some(TechNode::N22),
+            _ => Some(TechNode::N11),
+        };
+        spec.cache_dir = if options & 8 != 0 {
+            Some(format!("/tmp/cache \"{}\"", options))
+        } else {
+            None
+        };
+
+        let json1 = spec.to_json();
+        let parsed = CampaignSpec::from_json(&json1)
+            .map_err(|e| TestCaseError(format!("own output must parse: {e}\n{json1}")))?;
+        // Lossless: every field (including f64 bits) survives.
+        prop_assert_eq!(&parsed, &spec);
+        for (a, b) in spec.loads.iter().zip(&parsed.loads) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Byte-stable: serialize → parse → serialize is the identity.
+        let json2 = parsed.to_json();
+        prop_assert_eq!(json1, json2);
+    }
+}

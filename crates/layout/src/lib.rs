@@ -73,6 +73,34 @@ impl fmt::Display for SnLayout {
     }
 }
 
+impl SnLayout {
+    /// The stable name used by the `snoc` CLI and the campaign-spec
+    /// wire format: `basic`, `subgr`, `gr`, or `rand:<seed>` (the
+    /// randomized baseline carries its shuffle seed).
+    #[must_use]
+    pub fn spec_name(&self) -> String {
+        match self {
+            SnLayout::Basic => "basic".to_string(),
+            SnLayout::Subgroup => "subgr".to_string(),
+            SnLayout::Group => "gr".to_string(),
+            SnLayout::Random(seed) => format!("rand:{seed}"),
+        }
+    }
+
+    /// The inverse of [`SnLayout::spec_name`]. Bare `rand` defaults to
+    /// seed 1 (the CLI's historical default).
+    #[must_use]
+    pub fn from_spec_name(name: &str) -> Option<SnLayout> {
+        Some(match name {
+            "basic" => SnLayout::Basic,
+            "subgr" => SnLayout::Subgroup,
+            "gr" => SnLayout::Group,
+            "rand" => SnLayout::Random(1),
+            other => SnLayout::Random(other.strip_prefix("rand:")?.parse().ok()?),
+        })
+    }
+}
+
 /// Describes which concrete layout a [`Layout`] instance uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]

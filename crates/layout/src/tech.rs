@@ -72,6 +72,21 @@ impl fmt::Display for TechNode {
     }
 }
 
+impl TechNode {
+    /// Parses the [`fmt::Display`] form (`45nm`), as used by the
+    /// campaign-spec wire format; the bare number is accepted too for
+    /// CLI convenience.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TechNode> {
+        Some(match name {
+            "45nm" | "45" => TechNode::N45,
+            "22nm" | "22" => TechNode::N22,
+            "11nm" | "11" => TechNode::N11,
+            _ => return None,
+        })
+    }
+}
+
 /// The maximum number of wires `W` that may be routed over one tile
 /// (a router plus its `concentration` attached cores) in a single metal
 /// layer — the right-hand side of Eq. (3).

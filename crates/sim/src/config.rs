@@ -64,6 +64,32 @@ pub enum RoutingKind {
     XyAdaptive,
 }
 
+impl RoutingKind {
+    /// The stable name used by the `snoc` CLI and the campaign-spec
+    /// wire format.
+    #[must_use]
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            RoutingKind::Minimal => "min",
+            RoutingKind::UgalL => "ugal-l",
+            RoutingKind::UgalG => "ugal-g",
+            RoutingKind::XyAdaptive => "xy",
+        }
+    }
+
+    /// The inverse of [`RoutingKind::spec_name`].
+    #[must_use]
+    pub fn from_spec_name(name: &str) -> Option<RoutingKind> {
+        Some(match name {
+            "min" => RoutingKind::Minimal,
+            "ugal-l" => RoutingKind::UgalL,
+            "ugal-g" => RoutingKind::UgalG,
+            "xy" => RoutingKind::XyAdaptive,
+            _ => return None,
+        })
+    }
+}
+
 /// Full simulator configuration.
 ///
 /// Defaults follow §5.1: 2 VCs, edge routers with 5-flit input buffers,

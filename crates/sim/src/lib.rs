@@ -53,4 +53,6 @@ pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, Sim
 pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
 pub use network::Simulator;
 pub use routing::RoutingTable;
-pub use stats::{ActivityCounters, Conformance, LatencyLoadPoint, SimReport, Snapshot};
+pub use stats::{
+    saturation_heuristic, ActivityCounters, Conformance, LatencyLoadPoint, SimReport, Snapshot,
+};

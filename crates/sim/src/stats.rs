@@ -460,14 +460,40 @@ impl SimReport {
     /// the comparison.
     #[must_use]
     pub fn is_saturated(&self, zero_load_latency: f64) -> bool {
-        let latency_blowup = zero_load_latency.is_finite()
-            && zero_load_latency > 0.0
-            && self.avg_packet_latency() > 6.0 * zero_load_latency;
-        self.acceptance() < 0.95
-            || latency_blowup
-            || !self.drained
-            || (self.delivered_packets == 0 && self.injected_packets > 0)
+        saturation_heuristic(
+            self.avg_packet_latency(),
+            self.acceptance(),
+            self.drained,
+            self.delivered_packets,
+            self.injected_packets,
+            zero_load_latency,
+        )
     }
+}
+
+/// The saturation heuristic behind [`SimReport::is_saturated`], in
+/// terms of the condensed scalars a report yields. Exposed so the
+/// sweep engine's content-addressed point cache can re-evaluate
+/// saturation for a *cached* point against the current curve's
+/// zero-load reference without rehydrating a full report — the cache
+/// stores these five scalars, and using the same function here is what
+/// keeps a warm rerun's saturation flags bit-identical to a cold run's.
+#[must_use]
+pub fn saturation_heuristic(
+    avg_latency: f64,
+    acceptance: f64,
+    drained: bool,
+    delivered_packets: u64,
+    injected_packets: u64,
+    zero_load_latency: f64,
+) -> bool {
+    let latency_blowup = zero_load_latency.is_finite()
+        && zero_load_latency > 0.0
+        && avg_latency > 6.0 * zero_load_latency;
+    acceptance < 0.95
+        || latency_blowup
+        || !drained
+        || (delivered_packets == 0 && injected_packets > 0)
 }
 
 impl fmt::Display for SimReport {

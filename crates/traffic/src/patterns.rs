@@ -64,6 +64,23 @@ impl TrafficPattern {
             TrafficPattern::Transpose => "TRN",
         }
     }
+
+    /// The inverse of [`TrafficPattern::short_name`] (case-sensitive):
+    /// the campaign-spec wire format names patterns by their figure
+    /// abbreviations.
+    #[must_use]
+    pub fn from_short_name(name: &str) -> Option<TrafficPattern> {
+        Some(match name {
+            "RND" => TrafficPattern::Random,
+            "SHF" => TrafficPattern::BitShuffle,
+            "REV" => TrafficPattern::BitReversal,
+            "ADV1" => TrafficPattern::Adversarial1,
+            "ADV2" => TrafficPattern::Adversarial2,
+            "ASYM" => TrafficPattern::Asymmetric,
+            "TRN" => TrafficPattern::Transpose,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for TrafficPattern {
@@ -364,5 +381,22 @@ mod tests {
         assert_eq!(set.len(), 4);
         assert_eq!(TrafficPattern::Random.to_string(), "RND");
         assert_eq!(TrafficPattern::Adversarial1.to_string(), "ADV1");
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for p in [
+            TrafficPattern::Random,
+            TrafficPattern::BitShuffle,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Adversarial1,
+            TrafficPattern::Adversarial2,
+            TrafficPattern::Asymmetric,
+            TrafficPattern::Transpose,
+        ] {
+            assert_eq!(TrafficPattern::from_short_name(p.short_name()), Some(p));
+        }
+        assert_eq!(TrafficPattern::from_short_name("rnd"), None);
+        assert_eq!(TrafficPattern::from_short_name("HOT"), None);
     }
 }

@@ -8,6 +8,8 @@
 //! snoc sim --topology sn --q 9 --p 8 --buffers cbr20 --pattern adv1
 //! snoc analyze --config sn_l
 //! snoc list
+//! snoc serve --cache-dir .snoc-cache
+//! snoc submit --spec campaign.json
 //! ```
 
 use slim_noc::core::{format_float, BufferPreset, Setup, TextTable};
@@ -22,6 +24,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("sim") => cmd_sim(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("list") => {
             cmd_list();
             Ok(())
@@ -49,6 +53,15 @@ USAGE:
   snoc sim [OPTIONS]       run one simulation
   snoc analyze [OPTIONS]   print topology/layout/cost analysis
   snoc list                list named paper configurations
+  snoc serve [OPTIONS]     run the campaign server (see README:
+                           \"Campaign server & cache\")
+  snoc submit [OPTIONS]    submit a spec file to a running server
+
+SERVE / SUBMIT OPTIONS:
+  --addr <host:port>  server address (default 127.0.0.1:7077)
+  --cache-dir <dir>   serve: shared content-addressed point cache
+  --threads <n>       serve: worker threads per job (0 = per core)
+  --spec <file>       submit: slim_noc-spec-v1 campaign file
 
 SIM / ANALYZE OPTIONS:
   --config <name>     a paper configuration (see `snoc list`)
@@ -316,4 +329,65 @@ fn cmd_list() {
         }
     }
     t.print(false);
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7077");
+    let mut cache_dir: Option<String> = None;
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let server = snoc_bench::serve::Server::bind(&addr, cache_dir.as_deref(), threads)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    match server.local_addr() {
+        Ok(bound) => eprintln!("snoc serve: listening on {bound}"),
+        Err(_) => eprintln!("snoc serve: listening on {addr}"),
+    }
+    if let Some(dir) = &cache_dir {
+        eprintln!("snoc serve: shared cache at {dir}");
+    }
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7077");
+    let mut spec_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--spec" => spec_path = Some(value("--spec")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let path = spec_path.ok_or("submit needs --spec <file>")?;
+    let spec_json = std::fs::read_to_string(&path).map_err(|e| format!("read `{path}`: {e}"))?;
+    let outcome = snoc_bench::serve::submit(&addr, &spec_json, |line| println!("{line}"))
+        .map_err(|e| format!("submit to {addr}: {e}"))?;
+    eprintln!(
+        "snoc-submit-stats: points={} hits={} misses={}",
+        outcome.points, outcome.cache_hits, outcome.cache_misses
+    );
+    Ok(())
 }
