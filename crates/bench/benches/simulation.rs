@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use snoc_core::{BufferPreset, Setup};
-use snoc_sim::{RoutingTable, SimConfig, Simulator};
+use snoc_sim::{RoutingTable, ShardedSimulator, SimConfig, Simulator};
 use snoc_topology::{NodeId, Topology};
 use snoc_traffic::{MessageKind, TraceMessage, TrafficPattern};
 use std::hint::black_box;
@@ -132,6 +132,28 @@ fn bench_simulation_events(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded-engine benchmarks on the 1296-endpoint class. `shard1_*`
+/// pins the monolithic path through the sharded front door; the
+/// multi-shard entries track the thread/barrier machinery. All three
+/// are regression-gated (`bench_compare --max-ratio`) rather than
+/// speedup-gated: parallel speedup depends on idle cores, which CI
+/// runners do not promise.
+fn bench_shard_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let topo = Topology::slim_noc(9, 8).unwrap();
+    let cfg = SimConfig::default();
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("shard{shards}_sn_l_rnd"), |b| {
+            b.iter(|| {
+                let mut sim = ShardedSimulator::build(&topo, &cfg, shards).unwrap();
+                sim.run_synthetic(TrafficPattern::Random, 0.05, 200, 2_000)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_figure_smoke(c: &mut Criterion) {
     // Smoke versions of the figure sweeps: one low-load point per class.
     let mut group = c.benchmark_group("figure_smoke");
@@ -156,6 +178,7 @@ criterion_group!(
     bench_routing_tables,
     bench_simulation,
     bench_simulation_events,
+    bench_shard_scale,
     bench_figure_smoke
 );
 criterion_main!(benches);

@@ -15,6 +15,11 @@
 //! - `exact` — workload-driven minimal-routing cases must produce
 //!   byte-identical snapshots.
 //!
+//! A shard-equivalence block then holds the sharded parallel engine to
+//! the monolithic engine over the same matrix: exact byte identity for
+//! deterministic routing at 2 and 4 shards, the statistical tier for
+//! UGAL-L (whose shards re-seed independently).
+//!
 //! `--smoke` shrinks windows to prove the pipeline end-to-end; `--json`
 //! emits one JSON object per case instead of the table.
 
@@ -22,7 +27,7 @@ use snoc_bench::Args;
 use snoc_core::{format_float, TextTable};
 use snoc_refsim::check::{compare_statistics, workload};
 use snoc_refsim::{RefConfig, RefSimulator};
-use snoc_sim::{Conformance, RoutingKind, SimConfig, Simulator, Snapshot};
+use snoc_sim::{Conformance, RoutingKind, ShardedSimulator, SimConfig, Simulator, Snapshot};
 use snoc_topology::Topology;
 use snoc_traffic::TrafficPattern;
 
@@ -157,6 +162,80 @@ fn run_case(case: &Case, args: &Args) -> Outcome {
     }
 }
 
+/// Shard-equivalence rows: the sharded parallel engine against the
+/// monolithic engine on the same seed, across the full topology pool.
+/// Deterministic routing is the exact tier — byte identity at any
+/// shard count; UGAL-L derives per-shard seeds, so it is held to the
+/// same statistical contract as the reference model instead.
+fn shard_outcomes(args: &Args) -> Vec<Outcome> {
+    let rate = 0.05;
+    let mut outcomes = Vec::new();
+    for (topo, vcs) in topologies() {
+        let cfg = SimConfig::default().with_vcs(vcs).with_seed(0xBEEF);
+        let mut mono = Simulator::build(&topo, &cfg).expect("sim builds");
+        let reference = mono
+            .run_synthetic(TrafficPattern::Random, rate, args.warmup(), args.measure())
+            .snapshot();
+        for shards in [2usize, 4] {
+            let mut sim = ShardedSimulator::build(&topo, &cfg, shards).expect("sharded builds");
+            let optimized = sim
+                .run_synthetic(TrafficPattern::Random, rate, args.warmup(), args.measure())
+                .snapshot();
+            let label = format!(
+                "{} Random Minimal {} [{}sh exact]",
+                topo.name(),
+                format_float(rate, 2),
+                sim.shard_count(),
+            );
+            let verdict = evaluate(&optimized, &reference, "exact");
+            outcomes.push(Outcome {
+                label,
+                optimized,
+                reference: reference.clone(),
+                verdict,
+            });
+        }
+    }
+    // Locally-adaptive routing: stall-history gating makes lockstep RNG
+    // replication impossible, so shards re-seed independently and the
+    // agreement tier is statistical.
+    let topo = Topology::slim_noc(3, 3).unwrap();
+    let cfg = SimConfig::default()
+        .with_vcs(4)
+        .with_routing(RoutingKind::UgalL)
+        .with_seed(0xBEEF);
+    let mut mono = Simulator::build(&topo, &cfg).expect("sim builds");
+    let reference = mono
+        .run_synthetic(
+            TrafficPattern::Adversarial1,
+            rate,
+            args.warmup(),
+            args.measure(),
+        )
+        .snapshot();
+    let mut sim = ShardedSimulator::build(&topo, &cfg, 4).expect("sharded builds");
+    let optimized = sim
+        .run_synthetic(
+            TrafficPattern::Adversarial1,
+            rate,
+            args.warmup(),
+            args.measure(),
+        )
+        .snapshot();
+    let verdict = evaluate(&optimized, &reference, "stats");
+    outcomes.push(Outcome {
+        label: format!(
+            "{} ADV1 UgalL {} [4sh stats]",
+            topo.name(),
+            format_float(rate, 2)
+        ),
+        optimized,
+        reference,
+        verdict,
+    });
+    outcomes
+}
+
 fn evaluate(
     optimized: &Snapshot,
     reference: &Snapshot,
@@ -182,7 +261,8 @@ fn evaluate(
 fn main() {
     let args = Args::parse();
     let cases = matrix(&args);
-    let outcomes: Vec<Outcome> = cases.iter().map(|c| run_case(c, &args)).collect();
+    let mut outcomes: Vec<Outcome> = cases.iter().map(|c| run_case(c, &args)).collect();
+    outcomes.extend(shard_outcomes(&args));
     let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.verdict.is_err()).collect();
 
     if args.json {

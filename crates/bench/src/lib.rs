@@ -12,6 +12,9 @@
 //!   used by the `repro_smoke` test suite to exercise every binary;
 //! - `--threads N` — worker threads for campaign fan-out (0 = one per
 //!   core; results are identical for every thread count);
+//! - `--shards N` — simulation-engine shards per point (sharded runs of
+//!   deterministic-routing configs are bit-identical to `--shards 1`;
+//!   see the README's "Sharded engine" section);
 //! - `--cache-dir DIR` — attach the content-addressed point cache at
 //!   `DIR` to the binary's campaigns: already-simulated points replay
 //!   from disk, new ones are stored for next time;
@@ -38,7 +41,7 @@ use std::sync::Arc;
 
 /// The usage line shared by every reproduction binary.
 pub const USAGE: &str = "usage: repro_* [--csv] [--json] [--quick] [--smoke] \
-                         [--threads N] [--spec FILE] [--cache-dir DIR]";
+                         [--threads N] [--shards N] [--spec FILE] [--cache-dir DIR]";
 
 /// Command-line options shared by all reproduction binaries.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +59,9 @@ pub struct Args {
     pub smoke: bool,
     /// Campaign worker threads (0 = one per core).
     pub threads: usize,
+    /// Simulation-engine shards per point (0 = leave the campaign or
+    /// spec default in place).
+    pub shards: usize,
     /// Run this `slim_noc-spec-v1` file instead of the binary's figure.
     pub spec: Option<String>,
     /// Attach the content-addressed point cache at this directory.
@@ -113,6 +119,11 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
                 }
+                "--shards" => {
+                    args.shards = next_value()?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                }
                 "--spec" => args.spec = Some(next_value()?),
                 "--cache-dir" => args.cache_dir = Some(next_value()?),
                 "--help" | "-h" => {
@@ -134,6 +145,9 @@ impl Args {
         if self.threads != 0 {
             campaign = campaign.with_threads(self.threads);
         }
+        if self.shards != 0 {
+            campaign = campaign.with_shards(self.shards);
+        }
         if let Some(dir) = &self.cache_dir {
             match PointCache::open(dir) {
                 Ok(cache) => campaign = campaign.with_cache(Arc::new(cache)),
@@ -153,6 +167,9 @@ impl Args {
         }
         if self.threads != 0 {
             spec.threads = self.threads;
+        }
+        if self.shards != 0 {
+            spec.shards = self.shards;
         }
         if let Some(dir) = &self.cache_dir {
             spec.cache_dir = Some(dir.clone());

@@ -147,19 +147,60 @@ impl Server {
     }
 }
 
+/// Largest accepted `POST /campaign` body. The `Content-Length` header
+/// is client-controlled, so it is checked against this cap *before* any
+/// buffer is sized from it.
+const MAX_BODY: u64 = 4 << 20;
+
+/// Largest accepted request/header line. Reads go through
+/// [`read_line_bounded`] so a client that never sends a newline cannot
+/// grow a `String` without bound.
+const MAX_LINE: u64 = 8 << 10;
+
+/// Reads one HTTP line into `buf`. Returns the byte count, or `None`
+/// when the client sent [`MAX_LINE`] bytes without a newline.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+) -> io::Result<Option<usize>> {
+    let n = reader.by_ref().take(MAX_LINE).read_line(buf)?;
+    if n as u64 == MAX_LINE && !buf.ends_with('\n') {
+        return Ok(None);
+    }
+    Ok(Some(n))
+}
+
 /// Reads one HTTP request, dispatches, writes one response.
 fn handle(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
+    let too_long = "{\"error\": \"header line too long\"}";
     let mut request = String::new();
-    reader.read_line(&mut request)?;
+    if read_line_bounded(&mut reader, &mut request)?.is_none() {
+        return respond(
+            &mut stream,
+            431,
+            "Request Header Fields Too Large",
+            too_long,
+        );
+    }
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
-    let mut content_length = 0usize;
+    let mut content_length = 0u64;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
+        match read_line_bounded(&mut reader, &mut header)? {
+            None => {
+                return respond(
+                    &mut stream,
+                    431,
+                    "Request Header Fields Too Large",
+                    too_long,
+                )
+            }
+            Some(0) => break,
+            Some(_) if header.trim().is_empty() => break,
+            Some(_) => {}
         }
         if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
             content_length = v.trim().parse().unwrap_or(0);
@@ -167,7 +208,15 @@ fn handle(mut stream: TcpStream, state: &ServerState) -> io::Result<()> {
     }
     match (method.as_str(), path.as_str()) {
         ("POST", "/campaign") => {
-            let mut body = vec![0u8; content_length];
+            if content_length > MAX_BODY {
+                return respond(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "{\"error\": \"body exceeds the 4 MiB limit\"}",
+                );
+            }
+            let mut body = vec![0u8; content_length as usize];
             reader.read_exact(&mut body)?;
             run_job(&mut stream, state, &String::from_utf8_lossy(&body))
         }
@@ -234,13 +283,12 @@ fn run_job(stream: &mut TcpStream, state: &ServerState, body: &str) -> io::Resul
 }
 
 fn stats_json(state: &ServerState) -> String {
-    let (hits, misses, entries) = state
-        .cache
-        .as_ref()
-        .map_or((0, 0, 0), |c| (c.hits(), c.misses(), c.len()));
+    let (hits, misses, entries, corrupt) = state.cache.as_ref().map_or((0, 0, 0, 0), |c| {
+        (c.hits(), c.misses(), c.len() as u64, c.corrupt_lines())
+    });
     format!(
         "{{\"jobs_done\": {}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
-         \"cache_entries\": {entries}}}",
+         \"cache_entries\": {entries}, \"corrupt_lines\": {corrupt}}}",
         state.jobs_done.load(Ordering::Relaxed),
     )
 }

@@ -53,6 +53,7 @@ fn accepts_common_flags(exe: &str, name: &str) {
         "--quick",
         "--smoke",
         "--threads",
+        "--shards",
         "--spec",
         "--cache-dir",
     ] {

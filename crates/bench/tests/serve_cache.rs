@@ -6,6 +6,8 @@ use snoc_bench::serve::{fetch_stats, submit, Server, SubmitOutcome};
 use snoc_core::json::{self, JsonValue};
 use snoc_core::{CampaignSpec, SetupSpec};
 use snoc_traffic::TrafficPattern;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::thread;
 
@@ -119,6 +121,62 @@ fn bad_specs_get_a_400_not_a_hang() {
         err.to_string().contains("schema"),
         "server error is forwarded: {err}"
     );
+}
+
+#[test]
+fn huge_content_length_gets_a_413_without_allocation() {
+    let server = Server::bind("127.0.0.1:0", None, 1).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    // An unauthenticated client claiming a terabyte body must get a
+    // clean 413 — the server sizes no buffer from the header.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write!(
+        stream,
+        "POST /campaign HTTP/1.1\r\nHost: {addr}\r\n\
+         Content-Length: 1000000000000\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(response.contains("4 MiB limit"), "{response}");
+}
+
+#[test]
+fn endless_header_line_gets_a_431_not_unbounded_memory() {
+    let server = Server::bind("127.0.0.1:0", None, 1).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    // Exactly the line cap with no newline: the server must stop
+    // buffering there and reject, instead of growing a String forever.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write!(stream, "GET /stats HTTP/1.1\r\n").unwrap();
+    stream.write_all(&vec![b'a'; 8 << 10]).unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+}
+
+#[test]
+fn stats_surface_corrupt_cache_lines() {
+    let dir = tmp("corrupt_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("points.jsonl"), b"{\"key\": \"to\xffrn").unwrap();
+    let server =
+        Server::bind("127.0.0.1:0", Some(dir.to_str().expect("utf-8 path")), 1).expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    thread::spawn(move || server.run());
+
+    let stats = fetch_stats(&addr).expect("stats");
+    let v = json::parse(&stats).expect("stats is JSON");
+    assert_eq!(v.get("corrupt_lines").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(v.get("cache_entries").and_then(JsonValue::as_u64), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -67,6 +67,9 @@ pub struct PointCoord<'a> {
     pub measure: u64,
     /// Campaign base seed.
     pub base_seed: u64,
+    /// Simulation-engine shard count. Only part of the canonical form
+    /// when above 1, so keys minted before sharding existed stay valid.
+    pub shards: usize,
     /// Power technology node (`45nm`, …) for power-aware campaigns;
     /// `None` for plain latency sweeps.
     pub tech: Option<&'a str>,
@@ -88,6 +91,9 @@ impl PointCoord<'_> {
             self.measure,
             self.base_seed,
         );
+        if self.shards > 1 {
+            let _ = write!(out, ", \"shards\": {}", self.shards);
+        }
         if let Some(tech) = self.tech {
             let _ = write!(out, ", \"tech\": \"{tech}\"");
         }
@@ -218,6 +224,8 @@ pub struct PointCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Store lines skipped as unparseable at open time.
+    corrupt_lines: u64,
 }
 
 struct Inner {
@@ -260,10 +268,25 @@ impl PointCache {
         fs::create_dir_all(&dir)?;
         let path = dir.join(STORE_FILE);
         let mut map = HashMap::new();
+        let mut corrupt_lines = 0u64;
         if path.exists() {
-            for line in BufReader::new(File::open(&path)?).lines() {
-                if let Some((key, point)) = CachedPoint::from_line(&line?) {
-                    map.insert(key, point); // last write wins
+            // Split raw bytes rather than iterating `lines()`: a torn
+            // final line from an interrupted append may hold arbitrary
+            // bytes, and an invalid-UTF-8 read error must degrade to a
+            // skipped line, not abort the whole open.
+            let bytes = fs::read(&path)?;
+            for raw in bytes.split(|&b| b == b'\n') {
+                if raw.is_empty() {
+                    continue;
+                }
+                match std::str::from_utf8(raw)
+                    .ok()
+                    .and_then(CachedPoint::from_line)
+                {
+                    Some((key, point)) => {
+                        map.insert(key, point); // last write wins
+                    }
+                    None => corrupt_lines += 1,
                 }
             }
         }
@@ -274,6 +297,7 @@ impl PointCache {
             inner: Mutex::new(Inner { map, store }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt_lines,
         })
     }
 
@@ -342,6 +366,15 @@ impl PointCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Store lines skipped as unparseable when this cache was opened
+    /// (a torn final line from an interrupted append, a manual edit, a
+    /// partial disk write — anything the stored-line parser or
+    /// UTF-8 validation rejects).
+    #[must_use]
+    pub fn corrupt_lines(&self) -> u64 {
+        self.corrupt_lines
+    }
 }
 
 /// FNV-1a with a caller-chosen basis, finished with the splitmix64
@@ -376,6 +409,7 @@ mod tests {
             warmup: 100,
             measure: 400,
             base_seed: 7,
+            shards: 1,
             tech: None,
         }
     }
@@ -418,6 +452,9 @@ mod tests {
         assert_ne!(base, cache.key(&c));
         let mut c = coord(0.05);
         c.tech = Some("45nm");
+        assert_ne!(base, cache.key(&c));
+        let mut c = coord(0.05);
+        c.shards = 4;
         assert_ne!(base, cache.key(&c));
         let salted = PointCache::open_with_version(&dir, "other-engine").unwrap();
         assert_ne!(base, salted.key(&coord(0.05)), "salt changes keys");
@@ -489,7 +526,31 @@ mod tests {
         drop(f);
         let cache = PointCache::open(&dir).unwrap();
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.corrupt_lines(), 1);
         assert_eq!(cache.get(&key).unwrap().delivered_packets, 9_999);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_binary_tail_does_not_brick_the_cache() {
+        let dir = tmp("torn_tail");
+        let cache = PointCache::open(&dir).unwrap();
+        let key = cache.key(&coord(0.05));
+        cache.put(&key, &sample()).unwrap();
+        drop(cache);
+        // A crash mid-append can leave arbitrary (non-UTF-8) bytes as
+        // the final line; the reopen must skip it, not error out.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(STORE_FILE))
+            .unwrap();
+        f.write_all(b"{\"key\": \"to\xffrn\x80\xfe").unwrap();
+        drop(f);
+        let cache = PointCache::open(&dir).expect("torn tail must not abort the open");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.corrupt_lines(), 1);
+        let back = cache.get(&key).expect("intact entry still served");
+        assert_eq!(back.delivered_packets, sample().delivered_packets);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -501,5 +562,13 @@ mod tests {
         assert!(json::parse(&text).is_ok(), "{text}");
         assert!(text.contains("\"load_bits\""));
         assert!(text.contains("\"tech\": \"22nm\""));
+        assert!(
+            !text.contains("shards"),
+            "single-shard coordinates keep their pre-sharding form"
+        );
+        c.shards = 2;
+        let text = c.canonical();
+        assert!(json::parse(&text).is_ok(), "{text}");
+        assert!(text.contains("\"shards\": 2"));
     }
 }

@@ -3,7 +3,9 @@
 
 use snoc_layout::{per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout};
 use snoc_power::{PowerModel, TechNode};
-use snoc_sim::{LatencyLoadPoint, RoutingKind, SimConfig, SimError, SimReport, Simulator};
+use snoc_sim::{
+    LatencyLoadPoint, RoutingKind, ShardedSimulator, SimConfig, SimError, SimReport, Simulator,
+};
 use snoc_topology::{paper_config, Topology, TopologyError, TopologyKind};
 use snoc_traffic::{TraceWorkload, TrafficPattern};
 use std::error::Error;
@@ -267,6 +269,35 @@ impl Setup {
     ) -> SimReport {
         let mut sim = self.simulator().expect("valid setup");
         sim.run_synthetic(pattern, rate, warmup, measure)
+    }
+
+    /// Runs one synthetic-traffic point on the sharded parallel engine.
+    /// `shards <= 1` uses the monolithic simulator, as do configurations
+    /// the sharded engine rejects (globally-adaptive routing, elastic
+    /// links) — those fall back rather than fail so mixed campaigns keep
+    /// running. Exact-mode configurations produce reports bit-identical
+    /// to [`Setup::run_load`] at any shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setup cannot construct a simulator (all presets in
+    /// this crate can).
+    pub fn run_load_sharded(
+        &self,
+        pattern: TrafficPattern,
+        rate: f64,
+        warmup: u64,
+        measure: u64,
+        shards: usize,
+    ) -> SimReport {
+        if shards > 1 {
+            if let Ok(mut sim) =
+                ShardedSimulator::build_with_layout(&self.topology, &self.layout, &self.sim, shards)
+            {
+                return sim.run_synthetic(pattern, rate, warmup, measure);
+            }
+        }
+        self.run_load(pattern, rate, warmup, measure)
     }
 
     /// Sweeps a latency–load curve, stopping after the first saturated

@@ -279,6 +279,11 @@ pub struct CampaignSpec {
     /// Worker threads (0 = one per core). Execution detail — not part
     /// of any cache key.
     pub threads: usize,
+    /// Simulation-engine shards per point (1 = the monolithic engine).
+    /// Part of the cache key: only minimal/XY-adaptive credited
+    /// configurations are bit-identical across shard counts, so points
+    /// computed under different sharding never alias in the cache.
+    pub shards: usize,
     /// Power-aware mode technology node.
     pub power_tech: Option<TechNode>,
     /// Content-addressed point cache directory. Execution detail — not
@@ -302,6 +307,7 @@ impl CampaignSpec {
             refine_rounds: 0,
             stop_at_saturation: true,
             threads: 0,
+            shards: 1,
             power_tech: None,
             cache_dir: None,
         }
@@ -350,6 +356,11 @@ impl CampaignSpec {
             self.stop_at_saturation
         );
         let _ = write!(out, "  \"threads\": {}", self.threads);
+        if self.shards != 1 {
+            // Emitted only when sharded, keeping pre-shards specs (and
+            // the golden file) byte-stable.
+            let _ = write!(out, ",\n  \"shards\": {}", self.shards);
+        }
         if let Some(tech) = self.power_tech {
             let _ = write!(out, ",\n  \"tech\": \"{tech}\"");
         }
@@ -457,6 +468,18 @@ impl CampaignSpec {
                 .as_usize()
                 .ok_or_else(|| SpecError::Parse("`threads` must be a usize".into()))?,
         };
+        let shards = match root.get("shards") {
+            None => defaults.shards,
+            Some(v) => {
+                let n = v
+                    .as_usize()
+                    .ok_or_else(|| SpecError::Parse("`shards` must be a usize".into()))?;
+                if n == 0 {
+                    return Err(SpecError::Parse("`shards` must be at least 1".into()));
+                }
+                n
+            }
+        };
         let power_tech = match root.get("tech") {
             None | Some(JsonValue::Null) => None,
             Some(v) => {
@@ -487,6 +510,7 @@ impl CampaignSpec {
             refine_rounds,
             stop_at_saturation,
             threads,
+            shards,
             power_tech,
             cache_dir,
         })
@@ -523,7 +547,8 @@ impl Campaign {
             .with_seed(spec.base_seed)
             .with_refinement(spec.refine_rounds)
             .with_stop_at_saturation(spec.stop_at_saturation)
-            .with_threads(spec.threads);
+            .with_threads(spec.threads)
+            .with_shards(spec.shards);
         if let Some(tech) = spec.power_tech {
             campaign = campaign.with_power(tech);
         }
@@ -559,6 +584,7 @@ impl Campaign {
             refine_rounds: self.refine_rounds,
             stop_at_saturation: self.stop_at_saturation,
             threads: self.threads,
+            shards: self.shards,
             power_tech: self.power_tech,
             cache_dir: self.cache().map(|c| c.dir().display().to_string()),
         })
@@ -588,6 +614,7 @@ mod tests {
         spec.refine_rounds = 2;
         spec.stop_at_saturation = false;
         spec.threads = 3;
+        spec.shards = 4;
         spec.power_tech = Some(TechNode::N22);
         spec.cache_dir = Some("/tmp/cache dir".into());
         spec
@@ -615,6 +642,7 @@ mod tests {
         assert_eq!(spec.measure, defaults.measure);
         assert_eq!(spec.base_seed, defaults.base_seed);
         assert!(spec.stop_at_saturation);
+        assert_eq!(spec.shards, 1);
         assert_eq!(spec.power_tech, None);
         assert_eq!(spec.setups[0].name, "sn54", "name defaults to config");
         assert_eq!(spec.setups[0].buffers, BufferPreset::EbSmall);
@@ -643,6 +671,10 @@ mod tests {
             (
                 r#"{"schema": "slim_noc-spec-v1", "name": "x", "setups": [{"config": "sn54", "routing": "warp"}], "patterns": [], "loads": []}"#,
                 "routing",
+            ),
+            (
+                r#"{"schema": "slim_noc-spec-v1", "name": "x", "setups": [], "patterns": [], "loads": [], "shards": 0}"#,
+                "shards",
             ),
         ];
         for (text, what) in cases {

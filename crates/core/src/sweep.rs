@@ -75,6 +75,9 @@ pub struct Campaign {
     pub stop_at_saturation: bool,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Simulation-engine shards per point (1 = monolithic engine; see
+    /// [`snoc_sim::ShardedSimulator`] for the determinism contract).
+    pub shards: usize,
     /// Power-aware campaign mode: evaluate the power/area model at this
     /// technology node for every point, feeding it the activity factors
     /// the simulation *measured*. Points then carry
@@ -103,6 +106,7 @@ impl Campaign {
             refine_rounds: 0,
             stop_at_saturation: true,
             threads: 0,
+            shards: 1,
             power_tech: None,
             cache: None,
         }
@@ -155,6 +159,15 @@ impl Campaign {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the number of simulation-engine shards each point runs on
+    /// (clamped to at least 1). Sharding pays off for large instances;
+    /// small campaign points are usually faster monolithic.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -368,6 +381,7 @@ impl Campaign {
             warmup: self.warmup,
             measure: self.measure,
             base_seed: self.base_seed,
+            shards: self.shards,
             tech: tech.as_deref(),
         }))
     }
@@ -422,7 +436,7 @@ impl Campaign {
             }
         }
         let seeded = setup.clone().with_seed(seed);
-        let report = seeded.run_load(pattern, load, self.warmup, self.measure);
+        let report = seeded.run_load_sharded(pattern, load, self.warmup, self.measure, self.shards);
         if *zero_load == 0.0 {
             *zero_load = report.avg_packet_latency();
         }

@@ -26,7 +26,7 @@
 use proptest::prelude::*;
 use snoc_refsim::check::{compare_statistics, workload};
 use snoc_refsim::{RefConfig, RefSimulator};
-use snoc_sim::{Conformance, RoutingKind, SimConfig, Simulator};
+use snoc_sim::{Conformance, RoutingKind, ShardedSimulator, SimConfig, Simulator};
 use snoc_topology::{NodeId, Topology};
 use snoc_traffic::{BurstModel, TrafficPattern};
 
@@ -143,6 +143,71 @@ fn check_exact_case(
         .map_err(|e| format!("conservation in exact mode: {e}"))
 }
 
+/// One sharded-equivalence case: the sharded parallel engine at 2 and
+/// 4 shards against the monolithic engine on identical synthetic
+/// traffic. Deterministic routing replicates the global injection
+/// calendar and RNG stream on every shard, so the merged report must be
+/// byte-for-byte identical — struct equality *and* serialized JSON.
+fn check_shard_exact_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<(), String> {
+    let (topo, vcs) = topology(topo_idx);
+    let (sim_cfg, _) = configs(vcs, RoutingKind::Minimal, seed);
+    let pat = pattern(pat_idx);
+    let mut mono = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+    let baseline = mono.run_synthetic(pat, rate, 400, 1_600);
+    for shards in [2usize, 4] {
+        let mut sim = ShardedSimulator::build(&topo, &sim_cfg, shards).expect("sharded builds");
+        let report = sim.run_synthetic(pat, rate, 400, 1_600);
+        if report != baseline || report.to_json() != baseline.to_json() {
+            return Err(format!(
+                "topo {} pattern {pat} rate {rate:.4} seed {seed}: {shards}-shard \
+                 report diverged from monolithic\nsharded:    {report}\nmonolithic: {baseline}",
+                topo.name()
+            ));
+        }
+    }
+    baseline
+        .snapshot()
+        .check_conservation()
+        .map_err(|e| format!("conservation: {e}"))
+}
+
+/// One sharded UGAL-L case: per-shard seed derivation rules out byte
+/// identity, so the sharded engine is held to the same statistical
+/// agreement contract as the reference model — and is compared against
+/// the reference model itself, closing the loop sharded ⇄ refsim.
+fn check_shard_ugal_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<(), String> {
+    let (topo, _) = topology(topo_idx);
+    let (sim_cfg, ref_cfg) = configs(4, RoutingKind::UgalL, seed);
+    let pat = pattern(pat_idx);
+    let mut sim = ShardedSimulator::build(&topo, &sim_cfg, 4).expect("sharded builds");
+    let optimized = sim.run_synthetic(pat, rate, 400, 2_400).snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+    let reference = rsim.run_synthetic(pat, rate, 400, 2_400);
+    let ctx = format!(
+        "topo {} pattern {pat} rate {rate:.4} seed {seed} [4 shards]",
+        topo.name()
+    );
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: sharded conservation: {e}"))?;
+    reference
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: reference conservation: {e}"))?;
+    compare_statistics(&optimized, &reference, 50)
+        .map(|_| ())
+        .map_err(|e| format!("{ctx}: {e}"))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -209,6 +274,34 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let r = check_exact_case(topo_idx, pat_idx, rate, seed, 1_200);
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed shard-equivalence: 2- and 4-shard runs of the parallel
+    /// engine must be byte-identical to the monolithic engine under
+    /// deterministic routing, for every topology family and pattern.
+    #[test]
+    fn sharded_engine_is_byte_identical_under_deterministic_routing(
+        topo_idx in 0usize..6,
+        pat_idx in 0usize..6,
+        rate in 0.01f64..0.16,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = check_shard_exact_case(topo_idx, pat_idx, rate, seed);
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed sharded UGAL-L: re-seeded shards pass the statistical
+    /// agreement tier against the golden reference model.
+    #[test]
+    fn sharded_ugal_matches_reference_statistically(
+        topo_sel in 0usize..3,
+        pat_idx in 0usize..2,
+        rate in 0.01f64..0.12,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo_idx = [0, 4, 5][topo_sel]; // sn 3x3, FBF, sn 3x2
+        let r = check_shard_ugal_case(topo_idx, pat_idx, rate, seed);
         prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
     }
 }

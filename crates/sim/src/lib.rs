@@ -51,6 +51,7 @@ mod stats;
 
 pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
 pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
+pub use network::shard::ShardedSimulator;
 pub use network::Simulator;
 pub use routing::RoutingTable;
 pub use stats::{

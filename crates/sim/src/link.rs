@@ -126,6 +126,29 @@ impl Channel {
         }
     }
 
+    /// Pushes a flit with an absolute arrival cycle (credited mode
+    /// only). The sharded engine uses this to materialize boundary
+    /// flits on the receiving shard: the sender already stamped the
+    /// arrival as `push_cycle + latency`, so no further delay applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on elastic channels — the sharded engine never cuts them.
+    pub(crate) fn push_at(&mut self, when: u64, vc: usize, flit: FlitRef) {
+        match self {
+            Channel::Credited { in_flight, .. } => in_flight.push_back((when, vc, flit)),
+            Channel::Elastic { .. } => panic!("push_at is credited-only"),
+        }
+    }
+
+    /// Pushes a credit with an absolute arrival cycle (credited mode
+    /// only) — the boundary-credit counterpart of [`Channel::push_at`].
+    pub(crate) fn push_credit_at(&mut self, when: u64, vc: usize) {
+        if let Channel::Credited { credits, .. } = self {
+            credits.push_back((when, vc));
+        }
+    }
+
     /// Advances the elastic pipeline by one cycle, except the final
     /// stage (drained by [`Channel::pop_deliverable`]). At most one flit
     /// advances per stage (shared master latch).

@@ -1,6 +1,8 @@
 //! The simulator: network assembly, the event-accelerated cycle loop,
 //! injection/ejection, traffic drivers and adaptive route selection.
 
+pub(crate) mod shard;
+
 use crate::config::{BufferSizing, LinkMode, RoutingKind, SimConfig, SimError};
 use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
 use crate::link::Channel;
@@ -14,6 +16,7 @@ use snoc_topology::{NodeId, RouterId, Topology, TopologyKind};
 use snoc_traffic::{BurstModel, InjectionProcess, PatternSampler, TraceMessage, TrafficPattern};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// A ready-to-run network simulator bound to one topology (and optionally
 /// one layout, which determines link latencies and RTT-sized buffers).
@@ -31,7 +34,10 @@ use std::collections::{BinaryHeap, VecDeque};
 pub struct Simulator {
     cfg: SimConfig,
     topo: Topology,
-    table: RoutingTable,
+    /// Shared with sibling shard replicas in sharded runs — the table
+    /// is immutable after construction and O(N_r²), so one copy serves
+    /// every shard.
+    table: Arc<RoutingTable>,
     concentration: usize,
     node_count: usize,
     routers: Vec<RouterCore>,
@@ -116,13 +122,24 @@ impl Simulator {
         layout: Option<&Layout>,
         cfg: &SimConfig,
     ) -> Result<Self, SimError> {
+        let table = Arc::new(RoutingTable::minimal(topo));
+        Self::build_with_table(topo, layout, cfg, table)
+    }
+
+    /// Builds a simulator around a pre-built routing table. The sharded
+    /// engine uses this to share one table across all shard replicas.
+    pub(crate) fn build_with_table(
+        topo: &Topology,
+        layout: Option<&Layout>,
+        cfg: &SimConfig,
+        table: Arc<RoutingTable>,
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
         if cfg.buffer_sizing == BufferSizing::VariableRtt && layout.is_none() {
             return Err(SimError::InvalidConfig {
                 reason: "VariableRtt buffer sizing requires a layout".to_string(),
             });
         }
-        let table = RoutingTable::minimal(topo);
         let nr = topo.router_count();
         let concentration = topo.concentration();
 

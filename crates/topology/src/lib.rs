@@ -39,6 +39,7 @@ mod configs;
 mod dragonfly;
 mod error;
 mod grids;
+mod partition;
 mod resilience;
 mod slimnoc;
 

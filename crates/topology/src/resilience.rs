@@ -36,10 +36,10 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if `fraction` is not within `[0, 1)`.
+    /// Panics if `fraction` is not within `[0, 1]`.
     #[must_use]
     pub fn link_failure_report(&self, fraction: f64, seed: u64) -> ResilienceReport {
-        assert!((0.0..1.0).contains(&fraction), "fraction in [0, 1)");
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
         let mut links: Vec<(RouterId, RouterId)> = self.links().collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         links.shuffle(&mut rng);
@@ -193,5 +193,46 @@ mod tests {
             t.link_failure_report(0.15, 3),
             t.link_failure_report(0.15, 3)
         );
+    }
+
+    #[test]
+    fn total_failure_yields_singleton_components() {
+        // fraction = 1.0 is a legitimate point: every link fails and
+        // every router becomes its own component.
+        let t = Topology::mesh(3, 3, 1);
+        let r = t.link_failure_report(1.0, 9);
+        assert_eq!(r.failed_links, t.links().count());
+        assert!(!r.connected);
+        assert_eq!(r.largest_component, 1);
+        assert_eq!(r.diameter, 0);
+        assert_eq!(r.average_path, 0.0);
+    }
+
+    #[test]
+    fn full_failure_is_deterministic_across_seeds() {
+        // At the boundary the seed only permutes which links fail —
+        // and all of them do — so every seed reports the same thing.
+        let t = Topology::slim_noc(5, 1).unwrap();
+        let reports: Vec<_> = (0..4).map(|s| t.link_failure_report(1.0, s)).collect();
+        for r in &reports[1..] {
+            assert_eq!(*r, reports[0]);
+        }
+        assert_eq!(reports[0].largest_component, 1);
+    }
+
+    #[test]
+    fn disconnection_threshold_on_a_small_mesh() {
+        // A 2x2 mesh has exactly 4 links. A fraction that floors to
+        // zero removals keeps it intact; removing 3 of 4 leaves a
+        // single surviving link, so the largest component is a pair.
+        let t = Topology::mesh(2, 2, 1);
+        let intact = t.link_failure_report(0.2, 0);
+        assert_eq!(intact.failed_links, 0);
+        assert!(intact.connected);
+        let degraded = t.link_failure_report(0.75, 0);
+        assert_eq!(degraded.failed_links, 3);
+        assert!(!degraded.connected);
+        assert_eq!(degraded.largest_component, 2);
+        assert_eq!(degraded.diameter, 1);
     }
 }
