@@ -1,0 +1,47 @@
+//! Extension study: delivered-throughput retention under live
+//! link-failure storms.
+//!
+//! The dynamic half of §2.1's resilience claim: each network of the
+//! N ∈ {192, 200} class runs with a seeded storm severing 0/5/10/20%
+//! of its links mid-run — routing self-heals around the failures,
+//! severed pairs quiesce, in-flight casualties are dropped — and the
+//! figure reports delivered throughput relative to each network's own
+//! fault-free run. Slim NoC (an expander) should retain strictly more
+//! than the mesh once ≥ 10% of links are gone; the e2e test in
+//! `tests/fault_retention.rs` pins exactly that.
+//!
+//! Shared flags per `snoc_bench::Args`; `--json` emits the raw sweep
+//! campaign JSON (degraded points carry a `dropped_packets` column).
+
+use snoc_bench::fault_storm::{retention_rows, storm_campaign, LOAD};
+use snoc_bench::Args;
+use snoc_core::{format_float, TextTable};
+
+fn main() {
+    let args = Args::parse();
+    let result = storm_campaign(&args).run();
+    if args.json {
+        print!("{}", result.to_json());
+        return;
+    }
+    let mut table = TextTable::new(
+        format!("Delivered-throughput retention under live link storms (load {LOAD})"),
+        &[
+            "network",
+            "failed links",
+            "thpt",
+            "dropped pkts",
+            "retention",
+        ],
+    );
+    for row in retention_rows(&result) {
+        table.push_row(vec![
+            format!("{}@{:.0}%", row.network, row.fraction * 100.0),
+            row.links_failed.to_string(),
+            format_float(row.throughput, 4),
+            row.dropped.to_string(),
+            format!("{:.0}%", row.retention * 100.0),
+        ]);
+    }
+    table.print(args.csv);
+}

@@ -1,58 +1,151 @@
-//! Extension study: link-failure resilience.
+//! Extension study: link-failure resilience (static graph metrics).
 //!
 //! §2.1 credits MMS graphs with "high resilience to link failures
 //! because the considered graphs are good expanders". This binary
-//! quantifies that claim: random link failures vs. connectivity,
-//! diameter and average path length, for Slim NoC against the paper's
-//! baselines at the 200-node scale.
+//! quantifies the static half of that claim: random link failures vs.
+//! connectivity, diameter and average path length, for Slim NoC against
+//! the paper's baselines at the 200-node scale — reporting mean ± std
+//! across seeds per failure fraction, so a lucky draw can't masquerade
+//! as robustness. (The dynamic half — delivered throughput under live
+//! storms — is `repro_fault_storm`.)
+//!
+//! `--json` emits the same study as one structured object instead of
+//! tables; `--csv` renders the tables as CSV.
 
 use snoc_bench::Args;
 use snoc_core::{format_float, TextTable};
 use snoc_topology::Topology;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    let nets: Vec<(&str, Topology)> = vec![
+/// Mean and population standard deviation of a sample.
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// One aggregated (network, fraction) cell.
+struct Cell {
+    network: &'static str,
+    fraction: f64,
+    connected: usize,
+    diameter: (f64, f64),
+    path: (f64, f64),
+    component: (f64, f64),
+}
+
+const FRACTIONS: [f64; 4] = [0.05, 0.10, 0.20, 0.30];
+
+fn study(seeds: &[u64]) -> Vec<Cell> {
+    let nets: Vec<(&'static str, Topology)> = vec![
         ("sn_s", Topology::slim_noc(5, 4).expect("sn")),
         ("fbf4", Topology::flattened_butterfly(10, 5, 4)),
         ("pfbf4", Topology::partitioned_fbf(2, 1, 5, 5, 4)),
         ("t2d4", Topology::torus(10, 5, 4)),
         ("cm4", Topology::mesh(10, 5, 4)),
     ];
-    let seeds: Vec<u64> = (0..8).collect();
-    for fraction in [0.05, 0.10, 0.20, 0.30] {
+    let mut cells = Vec::new();
+    for fraction in FRACTIONS {
+        for (name, topo) in &nets {
+            let mut connected = 0usize;
+            let (mut diam, mut path, mut comp) = (Vec::new(), Vec::new(), Vec::new());
+            for &seed in seeds {
+                let r = topo.link_failure_report(fraction, seed);
+                connected += usize::from(r.connected);
+                diam.push(r.diameter as f64);
+                path.push(r.average_path);
+                comp.push(r.largest_component as f64);
+            }
+            cells.push(Cell {
+                network: name,
+                fraction,
+                connected,
+                diameter: mean_std(&diam),
+                path: mean_std(&path),
+                component: mean_std(&comp),
+            });
+        }
+    }
+    cells
+}
+
+fn json_report(cells: &[Cell], seeds: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\n  \"schema\": \"slim_noc-resilience-v1\",\n  \"seeds\": {seeds},\n  \"rows\": ["
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"network\": \"{}\", \"fraction\": {}, \"connected\": {}, \
+             \"diameter_mean\": {}, \"diameter_std\": {}, \
+             \"path_mean\": {}, \"path_std\": {}, \
+             \"component_mean\": {}, \"component_std\": {}}}{}",
+            c.network,
+            c.fraction,
+            c.connected,
+            format_float(c.diameter.0, 4),
+            format_float(c.diameter.1, 4),
+            format_float(c.path.0, 4),
+            format_float(c.path.1, 4),
+            format_float(c.component.0, 4),
+            format_float(c.component.1, 4),
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    // Smoke runs keep the study end-to-end but shrink the seed pool.
+    let seeds: Vec<u64> = if args.smoke {
+        (0..2).collect()
+    } else {
+        (0..8).collect()
+    };
+    let cells = study(&seeds);
+    if args.json {
+        print!("{}", json_report(&cells, seeds.len()));
+        return;
+    }
+    for fraction in FRACTIONS {
         let mut table = TextTable::new(
             format!(
-                "Resilience under {:.0}% random link failures (8 seeds)",
-                fraction * 100.0
+                "Resilience under {:.0}% random link failures ({} seeds, mean±std)",
+                fraction * 100.0,
+                seeds.len()
             ),
             &[
                 "network",
                 "connected runs",
-                "avg diameter",
+                "diameter",
                 "avg path",
-                "avg largest component",
+                "largest component",
             ],
         );
-        for (name, topo) in &nets {
-            let mut connected = 0usize;
-            let mut diam = 0.0;
-            let mut path = 0.0;
-            let mut comp = 0.0;
-            for &seed in &seeds {
-                let r = topo.link_failure_report(fraction, seed);
-                connected += usize::from(r.connected);
-                diam += r.diameter as f64;
-                path += r.average_path;
-                comp += r.largest_component as f64;
-            }
-            let n = seeds.len() as f64;
+        for c in cells.iter().filter(|c| c.fraction == fraction) {
             table.push_row(vec![
-                name.to_string(),
-                format!("{connected}/{}", seeds.len()),
-                format_float(diam / n, 2),
-                format_float(path / n, 3),
-                format_float(comp / n, 1),
+                c.network.to_string(),
+                format!("{}/{}", c.connected, seeds.len()),
+                format!(
+                    "{}±{}",
+                    format_float(c.diameter.0, 2),
+                    format_float(c.diameter.1, 2)
+                ),
+                format!(
+                    "{}±{}",
+                    format_float(c.path.0, 3),
+                    format_float(c.path.1, 3)
+                ),
+                format!(
+                    "{}±{}",
+                    format_float(c.component.0, 1),
+                    format_float(c.component.1, 1)
+                ),
             ]);
         }
         table.print(args.csv);

@@ -20,6 +20,10 @@
 //! deterministic routing at 2 and 4 shards, the statistical tier for
 //! UGAL-L (whose shards re-seed independently).
 //!
+//! A degraded-mode block reruns each topology's workload under a seeded
+//! mid-run link storm, holding both engines to byte-exact agreement —
+//! including the dropped-packet accounting and self-healed routing.
+//!
 //! `--smoke` shrinks windows to prove the pipeline end-to-end; `--json`
 //! emits one JSON object per case instead of the table.
 
@@ -27,7 +31,9 @@ use snoc_bench::Args;
 use snoc_core::{format_float, TextTable};
 use snoc_refsim::check::{compare_statistics, workload};
 use snoc_refsim::{RefConfig, RefSimulator};
-use snoc_sim::{Conformance, RoutingKind, ShardedSimulator, SimConfig, Simulator, Snapshot};
+use snoc_sim::{
+    Conformance, FaultPlan, RoutingKind, ShardedSimulator, SimConfig, Simulator, Snapshot,
+};
 use snoc_topology::Topology;
 use snoc_traffic::TrafficPattern;
 
@@ -236,6 +242,40 @@ fn shard_outcomes(args: &Args) -> Vec<Outcome> {
     outcomes
 }
 
+/// Degraded-mode rows: both engines run the same workload under the
+/// same seeded mid-run link storm, per topology. The verdict tier is
+/// exact — byte-identical snapshots including drop accounting — so a
+/// divergence in fault repair (doomed-packet selection, credit
+/// recounts, degraded routing) fails loudly here, not just in the
+/// fuzzed differential suite.
+fn fault_outcomes(args: &Args) -> Vec<Outcome> {
+    let cycles = args.trace_cycles();
+    let mut outcomes = Vec::new();
+    for (topo, vcs) in topologies() {
+        let plan = FaultPlan::storm(&topo, 4, cycles / 3, cycles / 3, 0xFA17);
+        let sim_cfg = SimConfig::default().with_vcs(vcs).with_seed(0xBEEF);
+        let ref_cfg = RefConfig::try_from_sim(&sim_cfg)
+            .expect("matrix uses edge/credited configs")
+            .with_seed(0xBEEF ^ 0x5EED_5EED);
+        let mut sim = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+        sim.set_fault_plan(&plan).expect("minimal routing");
+        let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+        rsim.set_fault_plan(&plan).expect("minimal routing");
+        let trace = workload(&topo, TrafficPattern::Random, 0.05, cycles, 0xD1FF);
+        let warmup = cycles / 4;
+        let optimized = sim.run_trace(&trace, warmup).snapshot();
+        let reference = rsim.run_workload(&trace, warmup);
+        let verdict = evaluate(&optimized, &reference, "exact");
+        outcomes.push(Outcome {
+            label: format!("{} Random Minimal 0.05 [storm exact]", topo.name()),
+            optimized,
+            reference,
+            verdict,
+        });
+    }
+    outcomes
+}
+
 fn evaluate(
     optimized: &Snapshot,
     reference: &Snapshot,
@@ -263,6 +303,7 @@ fn main() {
     let cases = matrix(&args);
     let mut outcomes: Vec<Outcome> = cases.iter().map(|c| run_case(c, &args)).collect();
     outcomes.extend(shard_outcomes(&args));
+    outcomes.extend(fault_outcomes(&args));
     let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.verdict.is_err()).collect();
 
     if args.json {

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_storm;
 pub mod serve;
 
 use snoc_core::{

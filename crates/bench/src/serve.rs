@@ -37,11 +37,22 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
+
+/// Default per-operation socket timeout on accepted client
+/// connections. A client that connects and then goes silent (or stops
+/// reading its response) holds a handler thread; the timeout fails the
+/// pending read/write and releases the thread instead of pinning it
+/// forever. Applies per blocking operation, not per connection — a
+/// long job streaming points for minutes is fine as long as the client
+/// keeps consuming them.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A bound campaign server, ready to [`run`](Server::run).
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    client_timeout: Duration,
 }
 
 struct ServerState {
@@ -116,7 +127,16 @@ impl Server {
                 queue: JobQueue::new(),
                 jobs_done: AtomicU64::new(0),
             }),
+            client_timeout: CLIENT_IO_TIMEOUT,
         })
+    }
+
+    /// Overrides the per-operation client socket timeout (default 10 s;
+    /// tests shrink it to exercise the stalled-client path quickly).
+    #[must_use]
+    pub fn with_client_timeout(mut self, timeout: Duration) -> Self {
+        self.client_timeout = timeout;
+        self
     }
 
     /// The bound address (the actual port when bound ephemeral).
@@ -137,9 +157,14 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         for stream in self.listener.incoming() {
             let stream = stream?;
+            // Best-effort: a socket that rejects timeouts still gets
+            // served, it just keeps the old pin-forever behavior.
+            let _ = stream.set_read_timeout(Some(self.client_timeout));
+            let _ = stream.set_write_timeout(Some(self.client_timeout));
             let state = Arc::clone(&self.state);
             thread::spawn(move || {
-                // A dropped client connection only cancels that reply.
+                // A dropped (or timed-out) client connection only
+                // cancels that reply.
                 let _ = handle(stream, &state);
             });
         }

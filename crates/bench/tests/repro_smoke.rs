@@ -1,7 +1,7 @@
 //! Smoke-runs every figure/table reproduction binary with `--smoke`
 //! (minimal simulation windows), asserting each constructs its
 //! experiment configuration and runs end-to-end without panicking.
-//! This keeps the 29 `repro_*` binaries from silently rotting: a binary
+//! This keeps the 30 `repro_*` binaries from silently rotting: a binary
 //! that stops building fails `cargo build`, and one that starts
 //! panicking on its own configs fails here.
 
@@ -99,6 +99,7 @@ fn every_repro_binary_accepts_the_common_flags() {
         repro_table6,
         repro_ablation,
         repro_resilience,
+        repro_fault_storm,
         repro_sensitivity,
         repro_verify,
         repro_energy_mesh,
@@ -154,8 +155,14 @@ fn tables_smoke() {
 
 #[test]
 fn supplementary_studies_smoke() {
-    // Ablation, resilience, and sensitivity sweeps.
-    smoke_bins!(repro_ablation, repro_resilience, repro_sensitivity);
+    // Ablation, resilience (static + live fault storms), and
+    // sensitivity sweeps.
+    smoke_bins!(
+        repro_ablation,
+        repro_resilience,
+        repro_fault_storm,
+        repro_sensitivity
+    );
 }
 
 #[test]

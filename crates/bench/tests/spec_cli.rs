@@ -126,6 +126,46 @@ fn shipped_example_spec_parses_and_runs() {
 }
 
 #[test]
+fn shipped_fault_example_spec_parses_and_runs() {
+    // `examples/campaign_faults.json` is the README's degraded-mode
+    // recipe and feeds the CI faulted-determinism step; keep it
+    // parseable and runnable. It exercises both recipe forms: a
+    // seeded storm and explicit link_down/link_up/router_down events.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/campaign_faults.json"
+    );
+    let text = std::fs::read_to_string(path).expect("example spec exists");
+    let spec = CampaignSpec::from_json(&text).expect("example spec parses");
+    assert_eq!(spec.name, "campaign-faults");
+    assert_eq!(spec.setups.len(), 3);
+    assert!(
+        spec.setups.iter().all(|s| s.faults.is_some()),
+        "every setup in the fault example carries a fault recipe"
+    );
+
+    // Run it twice at the spec's own windows (the faults land inside
+    // them) with different worker counts: faulted setups pin the
+    // monolithic engine, so the sweep JSON must be byte-identical.
+    let one = run(env!("CARGO_BIN_EXE_repro_fig1"), &["--spec", path]);
+    assert!(
+        one.status.success(),
+        "fault example spec failed to run: {}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    assert!(String::from_utf8_lossy(&one.stdout).contains("\"points\""));
+    let two = run(
+        env!("CARGO_BIN_EXE_repro_fig1"),
+        &["--spec", path, "--threads", "2"],
+    );
+    assert!(two.status.success());
+    assert_eq!(
+        one.stdout, two.stdout,
+        "faulted campaign is byte-deterministic across thread counts"
+    );
+}
+
+#[test]
 fn invalid_specs_exit_nonzero_with_a_diagnostic() {
     let dir = tmp("invalid");
     let bad = dir.join("bad.json");

@@ -121,6 +121,10 @@ pub struct CachedPoint {
     pub acceptance: f64,
     /// Measured packets delivered.
     pub delivered_packets: u64,
+    /// Packets dropped by live fault injection. Absent from stored
+    /// lines when zero, so fault-free entries keep their pre-fault
+    /// wire form.
+    pub dropped_packets: u64,
     /// Measured packets injected (saturation-heuristic input).
     pub injected_packets: u64,
     /// Whether the network fully drained.
@@ -148,6 +152,9 @@ impl CachedPoint {
             self.injected_packets,
             self.drained,
         );
+        if self.dropped_packets > 0 {
+            let _ = write!(out, ", \"dropped\": {}", self.dropped_packets);
+        }
         if let Some(p) = &self.power {
             let bits = [
                 p.power_w,
@@ -202,6 +209,10 @@ impl CachedPoint {
                 avg_hops: f("avg_hops")?,
                 acceptance: f("acceptance")?,
                 delivered_packets: v.get("delivered")?.as_u64()?,
+                dropped_packets: match v.get("dropped") {
+                    None => 0,
+                    Some(d) => d.as_u64()?,
+                },
                 injected_packets: v.get("injected")?.as_u64()?,
                 drained: v.get("drained")?.as_bool()?,
                 power,
@@ -422,6 +433,7 @@ mod tests {
             avg_hops: 1.5,
             acceptance: f64::NAN, // bit-exactness must survive NaN
             delivered_packets: 1234,
+            dropped_packets: 21,
             injected_packets: 1300,
             drained: true,
             power: Some(PowerPoint {

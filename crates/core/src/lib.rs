@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod faults;
 pub mod json;
 mod parallel;
 mod report;
@@ -32,6 +33,7 @@ mod spec;
 mod sweep;
 
 pub use cache::{CachedPoint, PointCache, PointCoord, ENGINE_VERSION};
+pub use faults::{FaultsSpec, StormSpec};
 pub use parallel::{parallel_map, parallel_map_with_threads};
 pub use report::{format_float, Series, TextTable};
 pub use setup::{BufferPreset, Setup, SetupError};

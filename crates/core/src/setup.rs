@@ -1,6 +1,7 @@
 //! Named experiment setups: topology + layout + simulator configuration
 //! as the paper specifies them (§5.1, Table 4).
 
+use crate::faults::FaultsSpec;
 use snoc_layout::{per_router_central_buffers, BufferModel, BufferSpec, Layout, SnLayout};
 use snoc_power::{PowerModel, TechNode};
 use snoc_sim::{
@@ -131,6 +132,11 @@ pub struct Setup {
     /// The Slim NoC layout applied via [`Setup::with_sn_layout`]
     /// (`None` for the natural layout or non-SN topologies).
     pub sn_layout: Option<SnLayout>,
+    /// Fault recipe applied to every simulator this setup builds
+    /// (`None` = fault-free). Resolved against the topology in
+    /// [`Setup::simulator`]; forces the monolithic engine in
+    /// [`Setup::run_load_sharded`].
+    pub faults: Option<FaultsSpec>,
 }
 
 impl Setup {
@@ -177,6 +183,7 @@ impl Setup {
             buffers: BufferPreset::EbSmall,
             paper_config: None,
             sn_layout: None,
+            faults: None,
         })
     }
 
@@ -241,17 +248,34 @@ impl Setup {
         self
     }
 
-    /// Builds the simulator for this setup.
+    /// Attaches a fault recipe: every simulator this setup builds runs
+    /// it live (link/router failures mid-run, dropped packets counted,
+    /// routing self-healed). Fault injection is supported on the
+    /// edge-buffer + credited-link + minimal-routing envelope; other
+    /// configurations fail at [`Setup::simulator`] time.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultsSpec) -> Self {
+        self.faults = if faults.is_empty() {
+            None
+        } else {
+            Some(faults)
+        };
+        self
+    }
+
+    /// Builds the simulator for this setup, with the fault recipe (if
+    /// any) resolved against the topology and scheduled.
     ///
     /// # Errors
     ///
-    /// Returns [`SetupError::Sim`] when the configuration is invalid.
+    /// Returns [`SetupError::Sim`] when the configuration is invalid or
+    /// the fault recipe is outside the supported envelope.
     pub fn simulator(&self) -> Result<Simulator, SetupError> {
-        Ok(Simulator::build_with_layout(
-            &self.topology,
-            &self.layout,
-            &self.sim,
-        )?)
+        let mut sim = Simulator::build_with_layout(&self.topology, &self.layout, &self.sim)?;
+        if let Some(faults) = &self.faults {
+            sim.set_fault_plan(&faults.resolve(&self.topology))?;
+        }
+        Ok(sim)
     }
 
     /// Runs one synthetic-traffic point.
@@ -274,9 +298,10 @@ impl Setup {
     /// Runs one synthetic-traffic point on the sharded parallel engine.
     /// `shards <= 1` uses the monolithic simulator, as do configurations
     /// the sharded engine rejects (globally-adaptive routing, elastic
-    /// links) — those fall back rather than fail so mixed campaigns keep
-    /// running. Exact-mode configurations produce reports bit-identical
-    /// to [`Setup::run_load`] at any shard count.
+    /// links) and setups with a fault recipe (replicated shards never
+    /// see fault plans) — those fall back rather than fail so mixed
+    /// campaigns keep running. Exact-mode configurations produce reports
+    /// bit-identical to [`Setup::run_load`] at any shard count.
     ///
     /// # Panics
     ///
@@ -290,7 +315,7 @@ impl Setup {
         measure: u64,
         shards: usize,
     ) -> SimReport {
-        if shards > 1 {
+        if shards > 1 && self.faults.is_none() {
             if let Ok(mut sim) =
                 ShardedSimulator::build_with_layout(&self.topology, &self.layout, &self.sim, shards)
             {

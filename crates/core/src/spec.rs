@@ -29,6 +29,7 @@
 //! ([`Setup::from_topology`](crate::Setup::from_topology)) have no
 //! recipe and are not spec-representable.
 
+use crate::faults::FaultsSpec;
 use crate::json::{self, JsonValue};
 use crate::setup::{BufferPreset, Setup, SetupError};
 use crate::sweep::Campaign;
@@ -96,6 +97,11 @@ pub struct SetupSpec {
     pub buffers: BufferPreset,
     /// Routing algorithm.
     pub routing: RoutingKind,
+    /// Fault recipe for degraded-mode runs (`None` = fault-free;
+    /// resolved against the setup's topology at simulator-build time,
+    /// and part of the canonical string — and therefore the cache key —
+    /// only when present, keeping fault-free specs byte-stable).
+    pub faults: Option<FaultsSpec>,
 }
 
 impl SetupSpec {
@@ -110,11 +116,12 @@ impl SetupSpec {
             smart: false,
             buffers: BufferPreset::EbSmall,
             routing: RoutingKind::Minimal,
+            faults: None,
         }
     }
 
     /// Builds the runnable [`Setup`]. Modifiers apply in canonical
-    /// order (layout, buffers, routing, smart); the builder methods are
+    /// order (layout, buffers, routing, smart, faults); the builder methods are
     /// order-independent, so any builder chain and its recipe build
     /// identical setups.
     ///
@@ -130,6 +137,9 @@ impl SetupSpec {
             .with_buffers(self.buffers)
             .with_routing(self.routing)
             .with_smart(self.smart);
+        if let Some(faults) = &self.faults {
+            setup = setup.with_faults(faults.clone());
+        }
         setup.name = self.name.clone();
         Ok(setup)
     }
@@ -137,7 +147,9 @@ impl SetupSpec {
     /// The recipe as a compact one-line JSON object — both the wire
     /// form inside [`CampaignSpec::to_json`] and the canonical string
     /// hashed into content-addressed cache keys. Field order is fixed;
-    /// `layout` is omitted when `None`.
+    /// `layout` and `faults` are omitted when `None`, so fault-free
+    /// recipes (and their cache keys) are byte-identical to pre-fault
+    /// ones.
     #[must_use]
     pub fn canonical_json(&self) -> String {
         let mut out = String::new();
@@ -152,11 +164,15 @@ impl SetupSpec {
         }
         let _ = write!(
             out,
-            ", \"smart\": {}, \"buffers\": \"{}\", \"routing\": \"{}\"}}",
+            ", \"smart\": {}, \"buffers\": \"{}\", \"routing\": \"{}\"",
             self.smart,
             self.buffers.spec_name(),
             self.routing.spec_name(),
         );
+        if let Some(faults) = &self.faults {
+            let _ = write!(out, ", \"faults\": {}", faults.canonical_json());
+        }
+        out.push('}');
         out
     }
 
@@ -221,6 +237,10 @@ impl SetupSpec {
                 })?
             }
         };
+        let faults = match v.get("faults") {
+            None | Some(JsonValue::Null) => None,
+            Some(f) => Some(FaultsSpec::from_json_value(f).map_err(SpecError::Parse)?),
+        };
         Ok(SetupSpec {
             config,
             name,
@@ -228,6 +248,7 @@ impl SetupSpec {
             smart,
             buffers,
             routing,
+            faults,
         })
     }
 }
@@ -247,6 +268,7 @@ impl Setup {
             smart: self.sim.smart_hops > 1,
             buffers: self.buffers,
             routing: self.sim.routing,
+            faults: self.faults.clone(),
         })
     }
 }
@@ -594,18 +616,34 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::StormSpec;
 
     fn full_spec() -> CampaignSpec {
         let mut spec = CampaignSpec::new("unit \"spec\"");
-        spec.setups = vec![SetupSpec::new("sn54"), {
-            let mut s = SetupSpec::new("sn_s");
-            s.name = "sn_s+smart".into();
-            s.sn_layout = Some(SnLayout::Random(7));
-            s.smart = true;
-            s.buffers = BufferPreset::Cbr(20);
-            s.routing = RoutingKind::UgalG;
-            s
-        }];
+        spec.setups = vec![
+            {
+                let mut s = SetupSpec::new("sn54");
+                s.faults = Some(FaultsSpec {
+                    events: Vec::new(),
+                    storm: Some(StormSpec {
+                        links: 3,
+                        start: 200,
+                        window: 400,
+                        seed: 11,
+                    }),
+                });
+                s
+            },
+            {
+                let mut s = SetupSpec::new("sn_s");
+                s.name = "sn_s+smart".into();
+                s.sn_layout = Some(SnLayout::Random(7));
+                s.smart = true;
+                s.buffers = BufferPreset::Cbr(20);
+                s.routing = RoutingKind::UgalG;
+                s
+            },
+        ];
         spec.patterns = vec![TrafficPattern::Random, TrafficPattern::Adversarial1];
         spec.loads = vec![0.008, 0.1, 1.0 / 3.0];
         spec.warmup = 123;
@@ -683,6 +721,32 @@ mod tests {
                 "accepted bad {what}: {text}"
             );
         }
+    }
+
+    #[test]
+    fn fault_recipe_changes_canonical_string_only_when_present() {
+        let plain = SetupSpec::new("sn54");
+        assert!(
+            !plain.canonical_json().contains("faults"),
+            "fault-free recipes keep the pre-fault wire format byte-identical"
+        );
+        let faulted = &full_spec().setups[0];
+        assert_ne!(
+            faulted.canonical_json(),
+            plain.canonical_json(),
+            "fault recipe must be part of the canonical string (and cache key)"
+        );
+        // An explicitly-null faults field parses the same as an absent one.
+        let nulled = SetupSpec::from_json_value(
+            &crate::json::parse(r#"{"config": "sn54", "faults": null}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(nulled, plain);
+        // An empty recipe is rejected rather than silently treated as none.
+        assert!(SetupSpec::from_json_value(
+            &crate::json::parse(r#"{"config": "sn54", "faults": {}}"#).unwrap(),
+        )
+        .is_err());
     }
 
     #[test]

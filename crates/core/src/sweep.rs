@@ -421,6 +421,7 @@ impl Campaign {
                     avg_hops: hit.avg_hops,
                     acceptance: hit.acceptance,
                     delivered_packets: hit.delivered_packets,
+                    dropped_packets: hit.dropped_packets,
                     saturated: saturation_heuristic(
                         hit.latency,
                         hit.acceptance,
@@ -456,6 +457,7 @@ impl Campaign {
                     avg_hops: report.avg_hops(),
                     acceptance: report.acceptance(),
                     delivered_packets: report.delivered_packets,
+                    dropped_packets: report.dropped_packets,
                     injected_packets: report.injected_packets,
                     drained: report.drained,
                     power,
@@ -473,6 +475,7 @@ impl Campaign {
             avg_hops: report.avg_hops(),
             acceptance: report.acceptance(),
             delivered_packets: report.delivered_packets,
+            dropped_packets: report.dropped_packets,
             saturated: report.is_saturated(*zero_load),
             drained: report.drained,
             refined,
@@ -540,6 +543,9 @@ pub struct SweepPoint {
     pub acceptance: f64,
     /// Measured packets delivered.
     pub delivered_packets: u64,
+    /// Packets dropped by live fault injection (`0` — and absent from
+    /// the JSON line — on fault-free setups).
+    pub dropped_packets: u64,
     /// Whether the point is past the saturation knee.
     pub saturated: bool,
     /// Whether the network fully drained.
@@ -578,6 +584,9 @@ impl SweepPoint {
             self.drained,
             self.refined,
         );
+        if self.dropped_packets > 0 {
+            let _ = write!(out, ", \"dropped_packets\": {}", self.dropped_packets);
+        }
         if let Some(pw) = &self.power {
             let _ = write!(
                 out,

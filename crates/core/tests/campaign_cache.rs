@@ -10,7 +10,7 @@
 //! (c) an engine-version salt change makes every stored entry
 //!     unreachable, forcing a full re-simulation.
 
-use snoc_core::{Campaign, CampaignResult, PointCache, Setup};
+use snoc_core::{Campaign, CampaignResult, FaultsSpec, PointCache, Setup, StormSpec};
 use snoc_power::TechNode;
 use snoc_traffic::TrafficPattern;
 use std::path::PathBuf;
@@ -159,6 +159,64 @@ fn power_campaigns_cache_their_power_columns() {
         .run();
     assert_eq!(plain.cache_hits, 0, "tech is part of the cache key");
     assert_eq!(plain.cache_misses, points_per_run(&NARROW));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_points_round_trip_the_cache_under_their_own_keys() {
+    // The fault recipe is part of the canonical setup string, hence of
+    // the cache key: degraded-mode points replay byte-exactly, and a
+    // fault-free campaign over the same coordinates never aliases them.
+    let dir = tmp("faults");
+    let storm = FaultsSpec {
+        events: Vec::new(),
+        storm: Some(StormSpec {
+            links: 4,
+            start: 200,
+            window: 200,
+            seed: 3,
+        }),
+    };
+    let faulted = |dir: &PathBuf| {
+        Campaign::new("fault-cache")
+            .with_setups(vec![Setup::paper("sn54")
+                .expect("paper config")
+                .with_faults(storm.clone())])
+            .with_patterns(vec![TrafficPattern::Random])
+            .with_loads(vec![0.02, 0.05])
+            .with_windows(150, 800)
+            .with_cache_dir(dir)
+            .expect("open cache")
+    };
+    let cold = faulted(&dir).run();
+    assert_eq!(cold.cache_misses, 2);
+    assert!(
+        cold.points.iter().any(|p| p.dropped_packets > 0),
+        "the storm must actually bite for this test to mean anything"
+    );
+
+    let warm = faulted(&dir).run();
+    assert_eq!(warm.cache_misses, 0, "faulted points replay from cache");
+    assert_eq!(warm.cache_hits, 2);
+    assert_eq!(warm.to_json(), cold.to_json(), "byte-identical replay");
+
+    // Faulted runs are deterministic across worker-thread counts, so
+    // parallel campaigns hit the sequential run's cache entries.
+    let threaded = faulted(&dir).with_threads(2).run();
+    assert_eq!(threaded.cache_misses, 0, "thread count must not leak in");
+    assert_eq!(threaded.to_json(), cold.to_json());
+
+    // Same coordinates without the fault recipe: different keys.
+    let plain = Campaign::new("fault-cache")
+        .with_setups(vec![Setup::paper("sn54").expect("paper config")])
+        .with_patterns(vec![TrafficPattern::Random])
+        .with_loads(vec![0.02, 0.05])
+        .with_windows(150, 800)
+        .with_cache_dir(&dir)
+        .expect("open cache")
+        .run();
+    assert_eq!(plain.cache_hits, 0, "faults are part of the cache key");
+    assert_eq!(plain.cache_misses, 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -37,6 +37,7 @@ fn fixed_result() -> CampaignResult {
                 avg_hops: 1.625,
                 acceptance: 1.0,
                 delivered_packets: 420,
+                dropped_packets: 0,
                 saturated: false,
                 drained: true,
                 refined: false,
@@ -53,6 +54,7 @@ fn fixed_result() -> CampaignResult {
                 avg_hops: 5.0,
                 acceptance: 0.25,
                 delivered_packets: 9000,
+                dropped_packets: 0,
                 saturated: true,
                 drained: false,
                 refined: true,
@@ -145,6 +147,25 @@ fn v1_field_names_and_order_are_pinned() {
             last = idx;
         }
     }
+}
+
+#[test]
+fn dropped_packets_column_appears_only_on_degraded_points() {
+    // Fault-free points keep the exact v1/v2 wire form (pinned by the
+    // golden files above); degraded-mode points append the drop count
+    // after `refined` and before any power columns.
+    let mut result = fixed_result_v2();
+    result.points[1].dropped_packets = 17;
+    let json = result.to_json();
+    let lines: Vec<&str> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"setup\""))
+        .collect();
+    assert!(!lines[0].contains("dropped_packets"), "{}", lines[0]);
+    let degraded = lines[1];
+    let dropped = degraded.find("\"dropped_packets\": 17").expect(degraded);
+    assert!(degraded.find("\"refined\":").unwrap() < dropped);
+    assert!(dropped < degraded.find("\"power_w\":").unwrap());
 }
 
 #[test]

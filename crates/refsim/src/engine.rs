@@ -25,7 +25,7 @@
 use crate::routing::RefRouting;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use snoc_sim::{ActivityCounters, RoutingKind, Snapshot};
+use snoc_sim::{ActivityCounters, FaultEvent, FaultKind, FaultPlan, RoutingKind, Snapshot};
 use snoc_topology::{NodeId, RouterId, Topology};
 use snoc_traffic::{BurstModel, InjectionProcess, PatternSampler, TraceMessage, TrafficPattern};
 use std::collections::VecDeque;
@@ -143,6 +143,9 @@ impl RefFlit {
     }
 }
 
+/// A held wormhole route: `((out port, out VC), owner packet)`.
+type HeldRoute = Option<((usize, usize), u64)>;
+
 /// One router: per-VC input buffers, held routes, ST registers,
 /// wormhole output state, credit counters, round-robin pointers.
 #[derive(Debug, Clone)]
@@ -150,8 +153,8 @@ struct RefRouter {
     net_ports: usize,
     /// `inputs[port][vc]` — FIFO of buffered flits (by value).
     inputs: Vec<Vec<VecDeque<RefFlit>>>,
-    /// Route held from head to tail per input VC: `(out port, out VC)`.
-    held: Vec<Vec<Option<(usize, usize)>>>,
+    /// Route held from head to tail per input VC.
+    held: Vec<Vec<HeldRoute>>,
     /// ST register per output port: `(out VC, flit)`.
     st: Vec<Option<(usize, RefFlit)>>,
     /// Wormhole owner per network output VC.
@@ -185,6 +188,7 @@ struct RefReport {
     latency_max: u64,
     hops_sum: u64,
     stalled_generations: u64,
+    dropped_packets: u64,
     drained: bool,
     activity: ActivityCounters,
     histogram: Vec<u64>,
@@ -203,6 +207,7 @@ impl RefReport {
             latency_max: 0,
             hops_sum: 0,
             stalled_generations: 0,
+            dropped_packets: 0,
             drained: true,
             activity: ActivityCounters::default(),
             histogram: vec![0; 256],
@@ -237,6 +242,7 @@ impl RefReport {
             latency_max: self.latency_max,
             hops_sum: self.hops_sum,
             stalled_generations: self.stalled_generations,
+            dropped_packets: self.dropped_packets,
             drained: self.drained,
             activity: self.activity,
             latency_histogram: self.histogram,
@@ -268,6 +274,14 @@ pub struct RefSimulator {
     next_pid: u64,
     outstanding: u64,
     rng: ChaCha8Rng,
+    /// Scheduled fault events, sorted by cycle (stable).
+    faults: Vec<FaultEvent>,
+    next_fault: usize,
+    router_alive: Vec<bool>,
+    /// Per directed channel: not disabled by a `LinkDown`.
+    chan_enabled: Vec<bool>,
+    /// Per directed channel: enabled with both endpoint routers alive.
+    chan_alive: Vec<bool>,
 }
 
 impl RefSimulator {
@@ -338,6 +352,7 @@ impl RefSimulator {
             })
             .collect();
 
+        let chan_count = channels.len();
         Ok(RefSimulator {
             cfg: *cfg,
             topo: topo.clone(),
@@ -355,6 +370,11 @@ impl RefSimulator {
             next_pid: 0,
             outstanding: 0,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            faults: Vec::new(),
+            next_fault: 0,
+            router_alive: vec![true; nr],
+            chan_enabled: vec![true; chan_count],
+            chan_alive: vec![true; chan_count],
         })
     }
 
@@ -384,6 +404,300 @@ impl RefSimulator {
         let wires: usize = self.channels.iter().map(|c| c.flits.len()).sum();
         let queued: usize = self.inj_queues.iter().map(VecDeque::len).sum();
         buffered + wires + queued
+    }
+
+    /// Schedules fault events against the next run, mirroring
+    /// `snoc_sim::Simulator::set_fault_plan`: flits on dead hardware
+    /// (and the whole packets they belong to) are dropped and counted,
+    /// routing self-heals on the surviving graph, and traffic between
+    /// severed pairs quiesces. The drop rules are the same pure function
+    /// of pre-fault state, new liveness and new routing as the optimized
+    /// engine's, which is what keeps faulted runs exactly comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the plan references
+    /// hardware the topology does not have, or when a non-empty plan is
+    /// combined with non-minimal routing (the degraded table rebuild is
+    /// specified for minimal routing only).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        plan.validate(&self.topo)?;
+        if !plan.is_empty() && self.cfg.routing != RoutingKind::Minimal {
+            return Err("fault injection requires minimal routing".into());
+        }
+        self.faults = plan.events().to_vec();
+        self.next_fault = 0;
+        Ok(())
+    }
+
+    /// Applies every fault event due at or before the current cycle,
+    /// then repairs the network once for the whole batch. Called at the
+    /// top of each run-loop iteration, before the cycle's phases — the
+    /// same position the optimized engine applies faults at.
+    fn apply_due_faults(&mut self, report: &mut RefReport) {
+        let mut applied = false;
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].cycle <= self.now
+        {
+            let kind = self.faults[self.next_fault].kind;
+            self.next_fault += 1;
+            applied = true;
+            match kind {
+                FaultKind::LinkDown { a, b } => self.set_link_enabled(a, b, false),
+                FaultKind::LinkUp { a, b } => self.set_link_enabled(a, b, true),
+                FaultKind::RouterDown { router } => self.router_alive[router.index()] = false,
+            }
+        }
+        if applied {
+            self.repair_after_faults(report);
+        }
+    }
+
+    /// Flips both directed channels of the undirected link `a -- b`.
+    fn set_link_enabled(&mut self, a: RouterId, b: RouterId, enabled: bool) {
+        let pa = self.routing.port_to(a, b);
+        let pb = self.routing.port_to(b, a);
+        self.chan_enabled[self.chan_out[a.index()][pa]] = enabled;
+        self.chan_enabled[self.chan_out[b.index()][pb]] = enabled;
+    }
+
+    /// Rebuilds the world after a batch of fault events with the same
+    /// rules as `snoc_sim`'s repair: channel liveness, degraded routing,
+    /// the doomed-packet set (flits on dead hardware, wormhole state
+    /// pinned toward dead channels, heads severed from their destination
+    /// under the new routing), a sweep of those packets' flits from
+    /// every structure, drop accounting over measured packets, and a
+    /// ground-truth credit recount on every live channel.
+    fn repair_after_faults(&mut self, report: &mut RefReport) {
+        // 1. Channel liveness: enabled, with both endpoints alive.
+        for id in 0..self.channels.len() {
+            let (src, _) = self.chan_src[id];
+            let (dst, _) = self.chan_dst[id];
+            self.chan_alive[id] =
+                self.chan_enabled[id] && self.router_alive[src] && self.router_alive[dst];
+        }
+        // 2. Self-heal: minimal routes over the surviving graph, with
+        // the original port numbering and tie-break.
+        let routing = {
+            let chan_alive = &self.chan_alive;
+            let chan_out = &self.chan_out;
+            let cur = &self.routing;
+            cur.degraded(&self.router_alive, |a, b| {
+                chan_alive[chan_out[a.index()][cur.port_to(a, b)]]
+            })
+        };
+        // 3. The doomed-packet set. Whole packets die — wormhole flits
+        // are useless without their head, and in-order ejection means a
+        // doomed packet's tail can never have ejected.
+        let mut doomed: Vec<u64> = Vec::new();
+        for r in 0..self.routers.len() {
+            let router = &self.routers[r];
+            if !self.router_alive[r] {
+                for lanes in &router.inputs {
+                    for buf in lanes {
+                        for f in buf {
+                            doomed.push(f.packet);
+                        }
+                    }
+                }
+                for &(_, f) in router.st.iter().flatten() {
+                    doomed.push(f.packet);
+                }
+                continue;
+            }
+            let net = router.net_ports;
+            let dead_out = |out: usize| !self.chan_alive[self.chan_out[r][out]];
+            // Wormhole state pinned toward a dead channel: held routes,
+            // occupied ST registers, output-VC owners.
+            for lanes in &router.held {
+                for &((out, _), pid) in lanes.iter().flatten() {
+                    if out < net && dead_out(out) {
+                        doomed.push(pid);
+                    }
+                }
+            }
+            for (out, st) in router.st.iter().enumerate().take(net) {
+                if let Some((_, f)) = st {
+                    if dead_out(out) {
+                        doomed.push(f.packet);
+                    }
+                }
+            }
+            for (out, owners) in router.out_pkt.iter().enumerate() {
+                for &pid in owners.iter().flatten() {
+                    if dead_out(out) {
+                        doomed.push(pid);
+                    }
+                }
+            }
+            // Severed heads. Buffered heads are judged at this router;
+            // ST heads at the router across the channel they are
+            // committed to (ejection-port ST flits are home already).
+            // Liveness of the judging router makes same-router traffic
+            // die with it (a dead router's self-distance is still 0).
+            for lanes in &router.inputs {
+                for buf in lanes {
+                    for f in buf {
+                        if f.is_head && !routing.reachable(RouterId(r), f.dst_router) {
+                            doomed.push(f.packet);
+                        }
+                    }
+                }
+            }
+            for (out, st) in router.st.iter().enumerate() {
+                if let Some((_, f)) = st {
+                    if f.is_head {
+                        let at = if out < net {
+                            RouterId(self.chan_dst[self.chan_out[r][out]].0)
+                        } else {
+                            RouterId(r)
+                        };
+                        if !self.router_alive[at.index()] || !routing.reachable(at, f.dst_router) {
+                            doomed.push(f.packet);
+                        }
+                    }
+                }
+            }
+        }
+        for id in 0..self.channels.len() {
+            let dst_r = RouterId(self.chan_dst[id].0);
+            for &(_, _, f) in &self.channels[id].flits {
+                if !self.chan_alive[id] || (f.is_head && !routing.reachable(dst_r, f.dst_router)) {
+                    doomed.push(f.packet);
+                }
+            }
+        }
+        for node in 0..self.nodes {
+            let r = node / self.concentration;
+            for f in &self.inj_queues[node] {
+                if !self.router_alive[r]
+                    || (f.is_head && !routing.reachable(RouterId(r), f.dst_router))
+                {
+                    doomed.push(f.packet);
+                }
+            }
+        }
+        doomed.sort_unstable();
+        doomed.dedup();
+        // 4. Sweep the doomed packets' flits out of every structure
+        // (dead channels drop everything and void their credit queues;
+        // dead routers drop everything they hold).
+        let mut removed: Vec<RefFlit> = Vec::new();
+        for id in 0..self.channels.len() {
+            let ch = &mut self.channels[id];
+            if !self.chan_alive[id] {
+                removed.extend(ch.flits.drain(..).map(|(_, _, f)| f));
+                ch.credits.clear();
+            } else {
+                ch.flits.retain(|&(_, _, f)| {
+                    if doomed.binary_search(&f.packet).is_ok() {
+                        removed.push(f);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        for r in 0..self.routers.len() {
+            let dead_router = !self.router_alive[r];
+            let drop_pkt = |pid: u64| dead_router || doomed.binary_search(&pid).is_ok();
+            let router = &mut self.routers[r];
+            for lanes in &mut router.inputs {
+                for buf in lanes {
+                    buf.retain(|&f| {
+                        if drop_pkt(f.packet) {
+                            removed.push(f);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            for slot in router.held.iter_mut().flatten() {
+                if slot.is_some_and(|(_, pid)| drop_pkt(pid)) {
+                    *slot = None;
+                }
+            }
+            for st in &mut router.st {
+                if st.is_some_and(|(_, f)| drop_pkt(f.packet)) {
+                    let (_, f) = st.take().expect("checked");
+                    removed.push(f);
+                }
+            }
+            for owner in router.out_pkt.iter_mut().flatten() {
+                if owner.is_some_and(&drop_pkt) {
+                    *owner = None;
+                }
+            }
+        }
+        for node in 0..self.nodes {
+            let dead_router = !self.router_alive[node / self.concentration];
+            self.inj_queues[node].retain(|&f| {
+                if dead_router || doomed.binary_search(&f.packet).is_ok() {
+                    removed.push(f);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // 5. Account the drops. A doomed packet's flits all exist when
+        // it dies (created together, swept together), so no packet can
+        // span two repair batches and the distinct count is exact.
+        let mut dropped_pkts: Vec<u64> = removed
+            .iter()
+            .filter(|f| f.measured)
+            .map(|f| f.packet)
+            .collect();
+        report.activity.dropped_flits += dropped_pkts.len() as u64;
+        dropped_pkts.sort_unstable();
+        dropped_pkts.dedup();
+        report.dropped_packets += dropped_pkts.len() as u64;
+        self.outstanding = self.outstanding.saturating_sub(dropped_pkts.len() as u64);
+        // 6. Swap the degraded routing in (routes are recomputed per
+        // query here, so there are no caches to reset).
+        self.routing = routing;
+        // 7. Recount credits from ground truth on every live channel:
+        // initial credits minus flits on the wire, credits in flight
+        // back, flits buffered at the receiver, and an ST hold at the
+        // sender with this channel's VC.
+        for id in 0..self.channels.len() {
+            if !self.chan_alive[id] {
+                continue;
+            }
+            let (src, sp) = self.chan_src[id];
+            let (dst, dp) = self.chan_dst[id];
+            for vc in 0..self.cfg.vcs {
+                let wire = self.channels[id]
+                    .flits
+                    .iter()
+                    .filter(|&&(_, v, _)| v == vc)
+                    .count();
+                let returning = self.channels[id]
+                    .credits
+                    .iter()
+                    .filter(|&&(_, v)| v == vc)
+                    .count();
+                let lane = self.routers[dst].inputs[dp][vc].len();
+                let st_hold =
+                    usize::from(matches!(self.routers[src].st[sp], Some((v, _)) if v == vc));
+                let consumed = wire + returning + lane + st_hold;
+                self.routers[src].credits[sp][vc] = self
+                    .cfg
+                    .buffer_flits
+                    .checked_sub(consumed)
+                    .unwrap_or_else(|| panic!("credit recount underflow: channel {id} vc {vc}"));
+            }
+        }
+    }
+
+    /// Whether traffic between two endpoints can currently be carried:
+    /// both routers alive and connected on the surviving graph.
+    fn pair_online(&self, src: NodeId, dst: NodeId) -> bool {
+        let s = RouterId(src.index() / self.concentration);
+        let d = RouterId(dst.index() / self.concentration);
+        self.router_alive[s.index()] && self.router_alive[d.index()] && self.routing.reachable(s, d)
     }
 
     /// Runs open-loop synthetic traffic: per-cycle Bernoulli injection
@@ -418,6 +732,7 @@ impl RefSimulator {
         let mut process = InjectionProcess::new(topo_nodes, rate, self.cfg.packet_flits, burst);
         let sampler = PatternSampler::new(pattern, &self.topo);
         while self.now < end_measure || (self.outstanding > 0 && self.now < drain_cap) {
+            self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup && self.now < end_measure;
             self.step(measuring, &mut report);
             if self.now < end_measure {
@@ -455,6 +770,7 @@ impl RefSimulator {
         let drain_cap = end + 50_000;
         let mut next = 0usize;
         while next < trace.len() || (self.outstanding > 0 && self.now < drain_cap) {
+            self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup;
             self.step(measuring, &mut report);
             while next < trace.len() && trace[next].cycle <= self.now {
@@ -487,6 +803,9 @@ impl RefSimulator {
         report: &mut RefReport,
     ) {
         debug_assert_ne!(src, dst, "self-traffic never enters the network");
+        if !self.faults.is_empty() && !self.pair_online(src, dst) {
+            return; // severed pair: quiesce, not a queue stall
+        }
         if self.inj_queues[src.index()].len() + len as usize > self.cfg.injection_queue_flits {
             if measured {
                 report.stalled_generations += 1;
@@ -746,7 +1065,7 @@ impl RefSimulator {
                     continue;
                 };
                 let route = match self.routers[r].held[port][vc] {
-                    Some(held) => held,
+                    Some((held, _)) => held,
                     None => self.compute_route(r, &head),
                 };
                 if self.output_ready(r, &claimed, route, &head) {
@@ -771,7 +1090,7 @@ impl RefSimulator {
                 .pop_front()
                 .expect("nominated");
             if flit.is_head {
-                self.routers[r].held[port][vc] = Some(route);
+                self.routers[r].held[port][vc] = Some((route, flit.packet));
             }
             if flit.is_tail {
                 self.routers[r].held[port][vc] = None;
@@ -812,7 +1131,8 @@ impl RefSimulator {
                 self.outstanding = self.outstanding.saturating_sub(1);
                 report.record_delivery(self.now - flit.created, flit.hops, flit.packet_len);
             }
-            if flit.wants_reply {
+            if flit.wants_reply && (self.faults.is_empty() || self.pair_online(flit.dst, flit.src))
+            {
                 self.push_packet(flit.dst, flit.src, 6, false, flit.measured, report);
             }
         }

@@ -13,11 +13,12 @@
 //!   VC1 (mirrored for the − direction).
 //!
 //! Nothing here is shared with `snoc_sim`'s flattened arrays: distances
-//! come from a fresh BFS and next hops are recomputed from the written
-//! spec, so agreement between the two (pinned by the differential tests)
-//! is evidence about the spec, not about shared code.
+//! come from `snoc_topology`'s shared BFS helper over plain nested
+//! `Vec`s and next hops are recomputed from the written spec per query,
+//! so agreement between the two engines (pinned by the differential
+//! tests) is evidence about the spec, not about shared routing state.
 
-use snoc_topology::{RouterId, Topology, TopologyKind};
+use snoc_topology::{bfs_distances, RouterId, Topology, TopologyKind};
 
 /// Which next-hop rule the topology selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +36,15 @@ enum Strategy {
 #[derive(Debug, Clone)]
 pub struct RefRouting {
     strategy: Strategy,
-    /// `dist[a][b]` — hop distance between routers.
+    /// `dist[a][b]` — hop distance between routers (`usize::MAX` for
+    /// pairs severed by faults).
     dist: Vec<Vec<usize>>,
     /// Sorted neighbor list per router (ports are positions in it).
     neighbors: Vec<Vec<RouterId>>,
+    /// `usable[r][port]` — may a flit leave `r` through `port`? All
+    /// `true` on a healthy network; degraded rebuilds clear the entries
+    /// for dead links and dead endpoint routers.
+    usable: Vec<Vec<bool>>,
 }
 
 impl RefRouting {
@@ -52,17 +58,78 @@ impl RefRouting {
         let nr = topo.router_count();
         let neighbors: Vec<Vec<RouterId>> =
             topo.routers().map(|r| topo.neighbors(r).to_vec()).collect();
-        let dist = (0..nr).map(|src| bfs(&neighbors, src)).collect();
+        let dist: Vec<Vec<usize>> = (0..nr)
+            .map(|src| {
+                let d = bfs_distances(nr, RouterId(src), |r| &neighbors[r.index()][..]);
+                assert!(d.iter().all(|&x| x != usize::MAX), "disconnected topology");
+                d
+            })
+            .collect();
         let strategy = match topo.kind() {
             TopologyKind::Mesh { x, .. } => Strategy::Mesh { x: *x },
             TopologyKind::Torus { x, y } => Strategy::Torus { x: *x, y: *y },
             _ => Strategy::Table,
         };
+        let usable = neighbors.iter().map(|n| vec![true; n.len()]).collect();
         RefRouting {
             strategy,
             dist,
             neighbors,
+            usable,
         }
+    }
+
+    /// Rebuilds the routing state over the subgraph surviving a set of
+    /// faults, mirroring the spec of `snoc_sim::RoutingTable::degraded`:
+    /// a link is usable iff `link_alive` holds and both endpoint routers
+    /// are alive, ports keep their positions in the full sorted neighbor
+    /// list, every topology kind falls back to the BFS table strategy
+    /// with the documented tie-break over the surviving minimal
+    /// candidates, and severed pairs get `usize::MAX` distances —
+    /// callers must consult [`RefRouting::reachable`] first.
+    #[must_use]
+    pub fn degraded<F>(&self, router_alive: &[bool], mut link_alive: F) -> Self
+    where
+        F: FnMut(RouterId, RouterId) -> bool,
+    {
+        let nr = self.neighbors.len();
+        let usable: Vec<Vec<bool>> = (0..nr)
+            .map(|cur| {
+                self.neighbors[cur]
+                    .iter()
+                    .map(|&n| {
+                        router_alive[cur] && router_alive[n.index()] && link_alive(RouterId(cur), n)
+                    })
+                    .collect()
+            })
+            .collect();
+        let alive_adj: Vec<Vec<RouterId>> = (0..nr)
+            .map(|cur| {
+                self.neighbors[cur]
+                    .iter()
+                    .zip(&usable[cur])
+                    .filter(|&(_, &ok)| ok)
+                    .map(|(&n, _)| n)
+                    .collect()
+            })
+            .collect();
+        let dist: Vec<Vec<usize>> = (0..nr)
+            .map(|cur| bfs_distances(nr, RouterId(cur), |r| &alive_adj[r.index()][..]))
+            .collect();
+        RefRouting {
+            strategy: Strategy::Table,
+            dist,
+            neighbors: self.neighbors.clone(),
+            usable,
+        }
+    }
+
+    /// `true` if a path from `a` to `b` survives (always true for
+    /// [`RefRouting::new`] state; degraded state marks severed pairs
+    /// with a `usize::MAX` distance).
+    #[must_use]
+    pub fn reachable(&self, a: RouterId, b: RouterId) -> bool {
+        self.dist[a.index()][b.index()] != usize::MAX
     }
 
     /// Hop distance between two routers.
@@ -117,11 +184,16 @@ impl RefRouting {
             }
             Strategy::Table => {
                 let (c, d) = (cur.index(), target.index());
+                assert_ne!(
+                    self.dist[c][d],
+                    usize::MAX,
+                    "route queried for severed pair"
+                );
                 let want = self.dist[c][d] - 1;
                 let candidates: Vec<usize> = self.neighbors[c]
                     .iter()
                     .enumerate()
-                    .filter(|(_, n)| self.dist[n.index()][d] == want)
+                    .filter(|(port, n)| self.usable[c][*port] && self.dist[n.index()][d] == want)
                     .map(|(port, _)| port)
                     .collect();
                 assert!(!candidates.is_empty(), "minimal path must exist");
@@ -130,30 +202,6 @@ impl RefRouting {
             }
         }
     }
-}
-
-/// Breadth-first distances from `src` over the router graph.
-fn bfs(neighbors: &[Vec<RouterId>], src: usize) -> Vec<usize> {
-    let mut dist = vec![usize::MAX; neighbors.len()];
-    dist[src] = 0;
-    let mut frontier = vec![src];
-    while !frontier.is_empty() {
-        let mut next = Vec::new();
-        for &cur in &frontier {
-            for n in &neighbors[cur] {
-                if dist[n.index()] == usize::MAX {
-                    dist[n.index()] = dist[cur] + 1;
-                    next.push(n.index());
-                }
-            }
-        }
-        frontier = next;
-    }
-    assert!(
-        dist.iter().all(|&d| d != usize::MAX),
-        "disconnected topology"
-    );
-    dist
 }
 
 /// Dimension-order next hop on a mesh (X first, then Y).

@@ -24,9 +24,9 @@
 //! `verify` job runs one nightly).
 
 use proptest::prelude::*;
-use snoc_refsim::check::{compare_statistics, workload};
+use snoc_refsim::check::{compare_statistics, counts_close, workload};
 use snoc_refsim::{RefConfig, RefSimulator};
-use snoc_sim::{Conformance, RoutingKind, ShardedSimulator, SimConfig, Simulator};
+use snoc_sim::{Conformance, FaultPlan, RoutingKind, ShardedSimulator, SimConfig, Simulator};
 use snoc_topology::{NodeId, Topology};
 use snoc_traffic::{BurstModel, TrafficPattern};
 
@@ -141,6 +141,52 @@ fn check_exact_case(
     optimized
         .check_conservation()
         .map_err(|e| format!("conservation in exact mode: {e}"))
+}
+
+/// One faulted exact-equality case: the same explicit workload *and*
+/// the same seeded fault storm into both engines under minimal routing.
+/// Neither engine consumes randomness, and the drop rules are specified
+/// as a pure function of pre-fault state, so the snapshots — including
+/// `dropped_packets` and the `dropped_flits` activity counter — must be
+/// byte-for-byte equal even when the degraded graph severs pairs.
+fn check_faulted_exact_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    rate: f64,
+    storm_links: usize,
+    seed: u64,
+    cycles: u64,
+) -> Result<(), String> {
+    let (topo, vcs) = topology(topo_idx);
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, seed);
+    let pat = pattern(pat_idx);
+    let trace = workload(&topo, pat, rate, cycles, seed);
+    let warmup = cycles / 4;
+    // Storm lands mid-trace so in-flight flits are on the dead links.
+    let plan = FaultPlan::storm(&topo, storm_links, cycles / 3, cycles / 2, seed ^ 0xFA17);
+    let ctx = format!(
+        "topo {} pattern {pat} rate {rate:.4} storm {storm_links} seed {seed}",
+        topo.name()
+    );
+    let mut sim = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+    sim.set_fault_plan(&plan)
+        .map_err(|e| format!("{ctx}: sim rejected plan: {e}"))?;
+    let optimized = sim.run_trace(&trace, warmup).snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+    rsim.set_fault_plan(&plan)
+        .map_err(|e| format!("{ctx}: refsim rejected plan: {e}"))?;
+    let reference = rsim.run_workload(&trace, warmup);
+    if optimized != reference {
+        return Err(format!(
+            "faulted exact mode diverged: {ctx} ({} messages, {} events)\n\
+             optimized: {optimized:?}\nreference: {reference:?}",
+            trace.len(),
+            plan.events().len()
+        ));
+    }
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: conservation under faults: {e}"))
 }
 
 /// One sharded-equivalence case: the sharded parallel engine at 2 and
@@ -277,6 +323,22 @@ proptest! {
         prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
     }
 
+    /// Fuzzed fault storms: random link storms over every topology
+    /// family, same plan into both engines, workload-driven so the
+    /// comparison stays exact — live drops, degraded re-routes and
+    /// quiesced pairs must all agree bit for bit.
+    #[test]
+    fn exact_equality_under_fault_storms(
+        topo_idx in 0usize..6,
+        pat_idx in 0usize..6,
+        rate in 0.005f64..0.10,
+        storm_links in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = check_faulted_exact_case(topo_idx, pat_idx, rate, storm_links, seed, 1_200);
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
     /// Fuzzed shard-equivalence: 2- and 4-shard runs of the parallel
     /// engine must be byte-identical to the monolithic engine under
     /// deterministic routing, for every topology family and pattern.
@@ -356,6 +418,109 @@ fn reference_routing_agrees_with_optimized_tables() {
             }
         }
     }
+}
+
+/// The degraded routing rebuild must agree across engines on every
+/// (router, target) decision over the surviving graph — distances,
+/// reachability, ports and VCs — with a dead router and dead links, for
+/// every topology family. Differential at the routing layer, where a
+/// tie-break drift would be hardest to see end-to-end.
+#[test]
+fn degraded_reference_routing_agrees_with_optimized_tables() {
+    use snoc_refsim::RefRouting;
+    use snoc_sim::{Flit, PacketId, RoutingTable};
+    use snoc_topology::RouterId;
+
+    for idx in 0..6 {
+        let (topo, vcs) = topology(idx);
+        let nr = topo.router_count();
+        let mut router_alive = vec![true; nr];
+        router_alive[nr / 2] = false;
+        let dead_links: Vec<_> = topo.links().take(2).collect();
+        let link_alive = |a: RouterId, b: RouterId| {
+            !dead_links.contains(&(a, b)) && !dead_links.contains(&(b, a))
+        };
+        let table = RoutingTable::degraded(&topo, &router_alive, link_alive);
+        let reference = RefRouting::new(&topo).degraded(&router_alive, link_alive);
+        for cur in topo.routers() {
+            for dst in topo.routers() {
+                assert_eq!(
+                    table.reachable(cur, dst),
+                    reference.reachable(cur, dst),
+                    "{}: reachable {cur} -> {dst}",
+                    topo.name()
+                );
+                if !table.reachable(cur, dst) || cur == dst {
+                    continue;
+                }
+                assert_eq!(
+                    table.distance(cur, dst),
+                    reference.distance(cur, dst),
+                    "{}: degraded dist {cur} -> {dst}",
+                    topo.name()
+                );
+                if !router_alive[cur.index()] {
+                    continue; // nothing routes out of a dead router
+                }
+                for hops in 0..2u32 {
+                    let mut flit = Flit::nth_of_packet(
+                        PacketId(0),
+                        0,
+                        1,
+                        NodeId(0),
+                        NodeId(dst.index()),
+                        dst,
+                        0,
+                        false,
+                        false,
+                    );
+                    flit.hops = hops as u16;
+                    let opt = table.route(cur, &flit, 0, vcs);
+                    let (port, vc) = reference.route(cur, dst, hops, vcs);
+                    assert_eq!(
+                        (opt.port, opt.vc),
+                        (port, vc),
+                        "{}: degraded route {cur} -> {dst} hop {hops}",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic statistical fault case on the flagship topology:
+/// independent RNG streams, same escalating storm — drop counts within
+/// binomial tolerance, surviving traffic within the statistical tier.
+#[test]
+fn fault_storm_statistics_agree_across_engines() {
+    let (topo, vcs) = topology(0); // Slim NoC 3x3: diameter 2, heals well
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, 4242);
+    let plan = FaultPlan::storm(&topo, 8, 900, 1_200, 0xFA17);
+    let mut sim = Simulator::build(&topo, &sim_cfg).unwrap();
+    sim.set_fault_plan(&plan).unwrap();
+    let optimized = sim
+        .run_synthetic(TrafficPattern::Random, 0.08, 400, 3_200)
+        .snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    rsim.set_fault_plan(&plan).unwrap();
+    let reference = rsim.run_synthetic(TrafficPattern::Random, 0.08, 400, 3_200);
+    optimized.check_conservation().unwrap();
+    reference.check_conservation().unwrap();
+    assert!(optimized.dropped_packets > 0, "storm must hit live traffic");
+    assert!(reference.dropped_packets > 0, "storm must hit live traffic");
+    assert!(
+        counts_close(
+            optimized.dropped_packets,
+            reference.dropped_packets,
+            6.0,
+            12.0
+        ),
+        "dropped diverged: optimized {} vs reference {}",
+        optimized.dropped_packets,
+        reference.dropped_packets
+    );
+    compare_statistics(&optimized, &reference, 50).unwrap();
 }
 
 /// Zero-rate runs: both engines must report a completely idle network.

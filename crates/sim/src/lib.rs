@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod flit;
 mod link;
 mod network;
@@ -50,6 +51,7 @@ pub mod soa_harness;
 mod stats;
 
 pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
 pub use network::shard::ShardedSimulator;
 pub use network::Simulator;

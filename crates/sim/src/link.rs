@@ -303,6 +303,70 @@ impl Channel {
             Channel::Elastic { live, .. } => *live as usize,
         }
     }
+
+    /// Fault scan (credited mode — the fault-injection envelope):
+    /// visits every in-flight flit, in wire order.
+    pub(crate) fn scan_flits<V: FnMut(FlitRef)>(&self, mut visit: V) {
+        match self {
+            Channel::Credited { in_flight, .. } => {
+                for &(_, _, fr) in in_flight {
+                    visit(fr);
+                }
+            }
+            Channel::Elastic { .. } => unreachable!("fault scans run on credited links only"),
+        }
+    }
+
+    /// Fault sweep (credited mode — the fault-injection envelope):
+    /// removes every in-flight flit whose packet satisfies `drop_pkt`,
+    /// appending the released flits to `removed`; with `dead` the wire
+    /// itself failed, so everything on it — flits *and* returning
+    /// credits — is lost. Survivor order is preserved.
+    pub(crate) fn sweep_faults<D: FnMut(u64) -> bool>(
+        &mut self,
+        arena: &mut crate::flit::FlitArena,
+        mut drop_pkt: D,
+        dead: bool,
+        removed: &mut Vec<crate::flit::Flit>,
+    ) {
+        let Channel::Credited {
+            in_flight, credits, ..
+        } = self
+        else {
+            unreachable!("fault sweeps run on credited links only")
+        };
+        let mut kept = VecDeque::with_capacity(in_flight.len());
+        for (when, vc, fr) in in_flight.drain(..) {
+            if dead || drop_pkt(arena.get(fr).packet.0) {
+                removed.push(arena.remove(fr));
+            } else {
+                kept.push_back((when, vc, fr));
+            }
+        }
+        *in_flight = kept;
+        if dead {
+            credits.clear();
+        }
+    }
+
+    /// Flits in flight on one VC (fault-time credit recount).
+    pub(crate) fn wire_count(&self, vc: usize) -> usize {
+        match self {
+            Channel::Credited { in_flight, .. } => {
+                in_flight.iter().filter(|&&(_, v, _)| v == vc).count()
+            }
+            Channel::Elastic { .. } => unreachable!("fault recounts run on credited links only"),
+        }
+    }
+
+    /// Credits in flight back upstream on one VC (fault-time credit
+    /// recount).
+    pub(crate) fn credit_count(&self, vc: usize) -> usize {
+        match self {
+            Channel::Credited { credits, .. } => credits.iter().filter(|&&(_, v)| v == vc).count(),
+            Channel::Elastic { .. } => unreachable!("fault recounts run on credited links only"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 
 pub(crate) mod shard;
 
-use crate::config::{BufferSizing, LinkMode, RoutingKind, SimConfig, SimError};
+use crate::config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
 use crate::link::Channel;
 use crate::router::{AllocResult, RouterCore, StFlit};
@@ -84,6 +85,18 @@ pub struct Simulator {
     /// Whether the run loops may fast-forward over event-free cycles
     /// (on by default; equivalence-tested against the off setting).
     cycle_skip: bool,
+    /// Armed fault schedule, sorted by cycle (empty on fault-free runs,
+    /// which keeps every fault path out of the hot loop).
+    faults: Vec<FaultEvent>,
+    /// Cursor into `faults`: the next unapplied event.
+    next_fault: usize,
+    /// Per-router liveness under the armed fault plan.
+    router_alive: Vec<bool>,
+    /// Per-channel link state: `false` while the undirected link is cut
+    /// (both directed channels of a link flip together).
+    chan_enabled: Vec<bool>,
+    /// Derived per-channel liveness: enabled with both endpoints alive.
+    chan_alive: Vec<bool>,
     /// Scratch for the ST-drain phase (reused every cycle).
     scratch_st: Vec<(usize, StFlit)>,
     /// Scratch for the allocation phase (reused every cycle).
@@ -253,6 +266,11 @@ impl Simulator {
             active_inj: Vec::new(),
             inj_queued: vec![false; topo.node_count()],
             cycle_skip: true,
+            faults: Vec::new(),
+            next_fault: 0,
+            router_alive: vec![true; nr],
+            chan_enabled: vec![true; chan_count],
+            chan_alive: vec![true; chan_count],
             scratch_st: Vec::new(),
             scratch_alloc: AllocResult::default(),
         })
@@ -276,6 +294,269 @@ impl Simulator {
     /// toggle exists so tests can assert that equivalence.
     pub fn set_cycle_skipping(&mut self, enabled: bool) {
         self.cycle_skip = enabled;
+    }
+
+    /// Arms a deterministic fault schedule ([`FaultPlan`]) to be applied
+    /// live during the next run: at each scheduled cycle, flits on dead
+    /// hardware (and whole packets they belong to) are dropped and
+    /// counted, routing self-heals on the surviving graph, and traffic
+    /// between severed pairs quiesces. Same plan + same seed ⇒ the same
+    /// [`SimReport`], bit for bit, with cycle-skipping on or off.
+    ///
+    /// Fault injection is supported on the edge-buffer + credited-link +
+    /// minimal-routing envelope — exactly the envelope the reference
+    /// simulator models, so every faulted configuration stays
+    /// differentially verifiable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan references
+    /// hardware the topology does not have or the configuration is
+    /// outside the supported envelope.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        plan.validate(&self.topo)
+            .map_err(|reason| SimError::InvalidConfig { reason })?;
+        if !plan.is_empty() {
+            let unsupported = |what: &str| SimError::InvalidConfig {
+                reason: format!("fault injection requires {what}"),
+            };
+            if !matches!(self.cfg.router_arch, RouterArch::EdgeBuffer) {
+                return Err(unsupported("edge-buffer routers"));
+            }
+            if self.cfg.link_mode != LinkMode::Credited {
+                return Err(unsupported("credited links"));
+            }
+            if self.cfg.routing != RoutingKind::Minimal {
+                return Err(unsupported("minimal routing"));
+            }
+        }
+        self.faults = plan.events().to_vec();
+        self.next_fault = 0;
+        Ok(())
+    }
+
+    /// Applies every fault event due at or before the current cycle,
+    /// then repairs the network once for the whole batch. Called at the
+    /// top of each run-loop iteration, before the cycle's phases.
+    fn apply_due_faults(&mut self, report: &mut SimReport) {
+        let mut applied = false;
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].cycle <= self.now
+        {
+            let kind = self.faults[self.next_fault].kind;
+            self.next_fault += 1;
+            applied = true;
+            match kind {
+                FaultKind::LinkDown { a, b } => self.set_link_enabled(a, b, false),
+                FaultKind::LinkUp { a, b } => self.set_link_enabled(a, b, true),
+                FaultKind::RouterDown { router } => self.router_alive[router.index()] = false,
+            }
+        }
+        if applied {
+            self.repair_after_faults(report);
+        }
+    }
+
+    /// Flips both directed channels of the undirected link `a -- b`.
+    fn set_link_enabled(&mut self, a: RouterId, b: RouterId, enabled: bool) {
+        let pa = port_toward(&self.topo, a, b);
+        let pb = port_toward(&self.topo, b, a);
+        self.chan_enabled[self.chan_out[a.index()][pa]] = enabled;
+        self.chan_enabled[self.chan_out[b.index()][pb]] = enabled;
+    }
+
+    /// Rebuilds the world after a batch of fault events: derives channel
+    /// liveness, recomputes routing on the surviving graph, determines
+    /// the packets that cannot survive, sweeps their flits everywhere,
+    /// recounts flow-control credits from ground truth, and swaps the
+    /// new table in. The doomed set is a pure function of the pre-fault
+    /// state, the new liveness and the new table — the reference engine
+    /// mirrors the same rules, which is what keeps faulted runs exactly
+    /// comparable across engines.
+    fn repair_after_faults(&mut self, report: &mut SimReport) {
+        // 1. Channel liveness: enabled, with both endpoints alive.
+        for id in 0..self.channels.len() {
+            let (src, _) = self.chan_src[id];
+            let (dst, _) = self.chan_dst[id];
+            self.chan_alive[id] =
+                self.chan_enabled[id] && self.router_alive[src] && self.router_alive[dst];
+        }
+        // 2. Self-heal: minimal routes over the surviving graph, with
+        // the original port numbering and tie-break.
+        let table = {
+            let topo = &self.topo;
+            let chan_alive = &self.chan_alive;
+            let chan_out = &self.chan_out;
+            RoutingTable::degraded(topo, &self.router_alive, |a, b| {
+                chan_alive[chan_out[a.index()][port_toward(topo, a, b)]]
+            })
+        };
+        // 3. The doomed-packet set: every packet with a flit on dead
+        // hardware, pinned by wormhole state toward a dead channel, or
+        // severed from its destination under the new table. Whole
+        // packets die — wormhole flits are useless without their head,
+        // and in-order ejection means a doomed packet's tail can never
+        // have ejected, so "doomed" and "delivered" never overlap.
+        let mut doomed: Vec<u64> = Vec::new();
+        {
+            let arena = &self.arena;
+            for r in 0..self.routers.len() {
+                let router = &self.routers[r];
+                if !self.router_alive[r] {
+                    router.scan_flits(|fr, _| doomed.push(arena.get(fr).packet.0));
+                    continue;
+                }
+                let ports = &self.chan_out[r];
+                let chan_alive = &self.chan_alive;
+                router.stuck_packets(arena, |port| !chan_alive[ports[port]], &mut doomed);
+                // Severed heads. Buffered heads are judged at this
+                // router; ST heads at the router across the channel they
+                // are committed to (alive: dead ones were caught above).
+                // Liveness of the judging router makes same-router
+                // traffic die with it (`dist[dead][dead]` is 0).
+                router.scan_flits(|fr, st_port| {
+                    let f = arena.get(fr);
+                    if !f.kind.is_head() {
+                        return;
+                    }
+                    let at = match st_port {
+                        Some(p) => RouterId(self.chan_dst[ports[p]].0),
+                        None => RouterId(r),
+                    };
+                    if !self.router_alive[at.index()] || !table.reachable(at, f.dst_router) {
+                        doomed.push(f.packet.0);
+                    }
+                });
+            }
+            for id in 0..self.channels.len() {
+                let dst_r = RouterId(self.chan_dst[id].0);
+                if !self.chan_alive[id] {
+                    self.channels[id].scan_flits(|fr| doomed.push(arena.get(fr).packet.0));
+                } else {
+                    // In-flight heads are judged at the receiving router.
+                    self.channels[id].scan_flits(|fr| {
+                        let f = arena.get(fr);
+                        if f.kind.is_head() && !table.reachable(dst_r, f.dst_router) {
+                            doomed.push(f.packet.0);
+                        }
+                    });
+                }
+            }
+            for node in 0..self.node_count {
+                let r = node / self.concentration;
+                for &fr in &self.inj_queues[node] {
+                    let f = arena.get(fr);
+                    if !self.router_alive[r]
+                        || (f.kind.is_head() && !table.reachable(RouterId(r), f.dst_router))
+                    {
+                        doomed.push(f.packet.0);
+                    }
+                }
+            }
+        }
+        doomed.sort_unstable();
+        doomed.dedup();
+        // 4. Sweep the doomed packets' flits out of every structure
+        // (dead channels drop everything and void their credit queues).
+        let mut removed: Vec<Flit> = Vec::new();
+        for id in 0..self.channels.len() {
+            let dead = !self.chan_alive[id];
+            self.channels[id].sweep_faults(
+                &mut self.arena,
+                |p| doomed.binary_search(&p).is_ok(),
+                dead,
+                &mut removed,
+            );
+        }
+        for r in 0..self.routers.len() {
+            if self.router_alive[r] {
+                self.routers[r].sweep_faults(
+                    &mut self.arena,
+                    |p| doomed.binary_search(&p).is_ok(),
+                    &mut removed,
+                );
+            } else {
+                self.routers[r].sweep_faults(&mut self.arena, |_| true, &mut removed);
+            }
+        }
+        for node in 0..self.node_count {
+            let arena = &mut self.arena;
+            let removed = &mut removed;
+            self.inj_queues[node].retain(|&fr| {
+                if doomed.binary_search(&arena.get(fr).packet.0).is_ok() {
+                    removed.push(arena.remove(fr));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // 5. Account the drops. A doomed packet's flits all exist when
+        // it dies (created together, swept together), so no packet can
+        // span two repair batches and the distinct count is exact.
+        let mut dropped_pkts: Vec<u64> = removed
+            .iter()
+            .filter(|f| f.measured)
+            .map(|f| f.packet.0)
+            .collect();
+        report.activity.dropped_flits += dropped_pkts.len() as u64;
+        dropped_pkts.sort_unstable();
+        dropped_pkts.dedup();
+        report.dropped_packets += dropped_pkts.len() as u64;
+        self.outstanding = self.outstanding.saturating_sub(dropped_pkts.len() as u64);
+        // Sweeping can empty injection queues whose nodes are still on
+        // the worklist; the injection phase pops unconditionally, so
+        // compact stale entries now (routers and channels tolerate
+        // stale entries until the end-of-step compaction).
+        let inj_queues = &self.inj_queues;
+        let inj_queued = &mut self.inj_queued;
+        self.active_inj.retain(|&node| {
+            if inj_queues[node].is_empty() {
+                inj_queued[node] = false;
+                false
+            } else {
+                true
+            }
+        });
+        // 6. Swap the degraded table in and reset the per-router route
+        // and nomination caches (both are computed against the table).
+        self.table = Arc::new(table);
+        for router in &mut self.routers {
+            router.invalidate_route_caches();
+        }
+        // 7. Recount credits from ground truth on every live channel:
+        // initial credits minus flits on the wire, flits buffered at the
+        // receiver, credits in flight back, and an ST hold at the
+        // sender. For untouched channels this recomputes the value the
+        // incremental protocol already holds; for channels that lost
+        // flits — or just recovered — it is the repair.
+        for id in 0..self.channels.len() {
+            if !self.chan_alive[id] {
+                continue;
+            }
+            let (src, sp) = self.chan_src[id];
+            let (dst, dp) = self.chan_dst[id];
+            let init = self.init_credits[src][sp];
+            for vc in 0..self.cfg.vcs {
+                let consumed = self.channels[id].wire_count(vc)
+                    + self.channels[id].credit_count(vc)
+                    + self.routers[dst].lane_len(dp, vc)
+                    + usize::from(self.routers[src].st_holds(sp, vc));
+                let credits = init
+                    .checked_sub(consumed)
+                    .unwrap_or_else(|| panic!("credit recount underflow: channel {id} vc {vc}"));
+                self.routers[src].set_lane_credits(sp, vc, credits);
+            }
+        }
+    }
+
+    /// Whether traffic between two endpoints can currently be carried:
+    /// both routers alive and connected on the surviving graph. Severed
+    /// pairs quiesce generation (and protocol replies) instead of
+    /// wedging the drain phase with packets that could never route.
+    fn pair_online(&self, src: NodeId, dst: NodeId) -> bool {
+        let s = RouterId(src.index() / self.concentration);
+        let d = RouterId(dst.index() / self.concentration);
+        self.router_alive[s.index()] && self.router_alive[d.index()] && self.table.reachable(s, d)
     }
 
     /// Runs open-loop synthetic traffic: `rate` flits/node/cycle of
@@ -362,6 +643,7 @@ impl Simulator {
             }
         }
         while self.now < end_measure || (self.outstanding > 0 && self.now < drain_cap) {
+            self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup && self.now < end_measure;
             self.step(measuring, &mut report);
             if self.now < end_measure {
@@ -412,6 +694,7 @@ impl Simulator {
         let drain_cap = end + 50_000;
         let mut next = 0usize;
         while next < trace.len() || (self.outstanding > 0 && self.now < drain_cap) {
+            self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup;
             self.step(measuring, &mut report);
             while next < trace.len() && trace[next].cycle <= self.now {
@@ -456,6 +739,12 @@ impl Simulator {
             return;
         }
         let mut next = horizon;
+        // Pending fault events are wake-ups too: the jump lands exactly
+        // on the next fault cycle, so skipped runs apply faults on the
+        // same cycles as single-stepped ones.
+        if let Some(e) = self.faults.get(self.next_fault) {
+            next = Some(next.map_or(e.cycle, |n| n.min(e.cycle)));
+        }
         for &id in &self.active_channels {
             if let Some(e) = self.channels[id].next_event(self.now) {
                 next = Some(next.map_or(e, |n| n.min(e)));
@@ -477,6 +766,9 @@ impl Simulator {
         report: &mut SimReport,
     ) {
         debug_assert_ne!(src, dst, "self-traffic never enters the network");
+        if !self.faults.is_empty() && !self.pair_online(src, dst) {
+            return; // severed pair: quiesce, not a queue stall
+        }
         let queue_len = self.inj_queues[src.index()].len();
         if queue_len + len as usize > self.cfg.injection_queue_flits {
             if measured {
@@ -811,7 +1103,8 @@ impl Simulator {
                     flit.packet_len,
                 );
             }
-            if flit.wants_reply {
+            if flit.wants_reply && (self.faults.is_empty() || self.pair_online(flit.dst, flit.src))
+            {
                 // The destination answers with a 6-flit read reply.
                 self.push_packet(flit.dst, flit.src, 6, false, flit.measured, report);
             }
@@ -838,6 +1131,14 @@ impl Simulator {
         let queues: usize = self.inj_queues.iter().map(VecDeque::len).sum();
         routers + links + queues
     }
+}
+
+/// Physical output-port index of `r` toward adjacent `peer`. Channel
+/// ports follow the sorted neighbor order, so this is a binary search.
+fn port_toward(topo: &Topology, r: RouterId, peer: RouterId) -> usize {
+    topo.neighbors(r)
+        .binary_search(&peer)
+        .expect("fault events name adjacent routers (validated)")
 }
 
 /// A minimal flit used to probe routing decisions.
@@ -891,6 +1192,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Conformance;
     use snoc_traffic::TraceWorkload;
 
     fn small_sn() -> Topology {
@@ -1251,5 +1553,126 @@ mod tests {
         assert_eq!(report.total_cycles, 51_000, "clock lands on the boundary");
         assert_eq!(report.delivered_packets, 0);
         assert!(report.drained);
+    }
+
+    #[test]
+    fn fault_plan_requires_supported_envelope() {
+        let topo = small_sn();
+        let plan = FaultPlan::storm(&topo, 2, 100, 100, 1);
+        let mut cbr = Simulator::build(&topo, &SimConfig::cbr(20)).unwrap();
+        assert!(cbr.set_fault_plan(&plan).is_err(), "CBR unsupported");
+        let mut elastic = Simulator::build(&topo, &SimConfig::elastic_links()).unwrap();
+        assert!(
+            elastic.set_fault_plan(&plan).is_err(),
+            "elastic unsupported"
+        );
+        let mut ok = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        assert!(ok.set_fault_plan(&plan).is_ok());
+        assert!(
+            cbr.set_fault_plan(&FaultPlan::default()).is_ok(),
+            "the empty plan is fine anywhere"
+        );
+    }
+
+    #[test]
+    fn link_storm_drops_and_self_heals() {
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let plan = FaultPlan::storm(&topo, 8, 1_200, 800, 42);
+        sim.set_fault_plan(&plan).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.10, 1_000, 4_000);
+        assert!(
+            report.dropped_packets > 0,
+            "a storm under load must catch flits in flight: {report}"
+        );
+        assert!(report.drained, "self-healed network must drain");
+        assert_eq!(
+            report.delivered_packets + report.dropped_packets,
+            report.injected_packets,
+            "extended conservation: delivered + dropped == injected"
+        );
+        assert_eq!(sim.in_flight_flits(), 0);
+        assert!(report.activity.dropped_flits >= report.dropped_packets);
+        report.snapshot().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn fault_runs_identical_with_skip_on_and_off() {
+        let topo = small_sn();
+        let plan = FaultPlan::storm(&topo, 6, 800, 1_500, 9);
+        let run = |skip: bool| {
+            let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+            sim.set_cycle_skipping(skip);
+            sim.set_fault_plan(&plan).unwrap();
+            sim.run_synthetic(TrafficPattern::Random, 0.06, 500, 3_000)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.to_json(), off.to_json(), "byte-identical reports");
+        assert!(on.dropped_packets > 0, "the run actually exercised drops");
+    }
+
+    #[test]
+    fn severed_partition_quiesces_instead_of_wedging() {
+        // Cutting the middle link of a 1×3 mesh line strands router 2:
+        // everything in flight across the cut dies, later traffic to or
+        // from the island is quiesced, and the rest still drains.
+        let topo = Topology::mesh(3, 1, 1);
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            cycle: 600,
+            kind: FaultKind::LinkDown {
+                a: RouterId(1),
+                b: RouterId(2),
+            },
+        }]);
+        sim.set_fault_plan(&plan).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.10, 400, 2_000);
+        assert!(report.drained, "{report}");
+        assert_eq!(
+            report.delivered_packets + report.dropped_packets,
+            report.injected_packets
+        );
+        assert_eq!(sim.in_flight_flits(), 0);
+        assert!(report.delivered_packets > 0, "0 -- 1 traffic still flows");
+    }
+
+    #[test]
+    fn router_down_kills_its_traffic_but_the_rest_drains() {
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            cycle: 900,
+            kind: FaultKind::RouterDown {
+                router: RouterId(4),
+            },
+        }]);
+        sim.set_fault_plan(&plan).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.08, 500, 2_500);
+        assert!(report.drained, "{report}");
+        assert_eq!(
+            report.delivered_packets + report.dropped_packets,
+            report.injected_packets
+        );
+        assert_eq!(sim.in_flight_flits(), 0);
+        report.snapshot().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn idle_faults_do_not_change_the_clock_path() {
+        // Fault events during a dead window are wake-ups for the
+        // cycle-skipper but drop nothing and leave the boundary exact.
+        let topo = small_sn();
+        let mut sim = Simulator::build(&topo, &SimConfig::default()).unwrap();
+        let plan = FaultPlan::storm(&topo, 3, 10_000, 5_000, 3);
+        sim.set_fault_plan(&plan).unwrap();
+        let report = sim.run_synthetic(TrafficPattern::Random, 0.0, 1_000, 50_000);
+        assert_eq!(report.total_cycles, 51_000);
+        assert_eq!(report.dropped_packets, 0);
+        assert!(report.drained);
+        assert!(
+            !report.to_json().contains("dropped"),
+            "clean JSON stays clean"
+        );
     }
 }

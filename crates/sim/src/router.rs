@@ -93,6 +93,11 @@ struct EdgeLanes {
     /// ([`NO_ROUTE`] = none).
     route_port: Vec<u16>,
     route_vc: Vec<u8>,
+    /// Packet holding the lane's route ([`NO_PKT`] = none). The lane can
+    /// be momentarily empty while a route is held (bodies still
+    /// upstream), so the fault sweep needs the owner recorded here to
+    /// release wormhole state of dropped packets.
+    route_pkt: Vec<u64>,
     /// Occupancy word per input port — allocation skips ports at 0, and
     /// the VC scan skips clear bits without touching the slab.
     occ: Vec<u64>,
@@ -154,6 +159,7 @@ impl EdgeLanes {
             len: vec![0; lanes],
             route_port: vec![NO_ROUTE; lanes],
             route_vc: vec![0; lanes],
+            route_pkt: vec![NO_PKT; lanes],
             occ: vec![0; in_ports],
             occ_port: (0..lanes).map(|l| (l / vcs) as u32).collect(),
             occ_bit: (0..lanes).map(|l| 1u64 << (l % vcs)).collect(),
@@ -1098,13 +1104,16 @@ impl RouterCore {
                 }
             }
             let fr = lanes.pop(lane);
-            let kind = arena.get(fr).kind;
+            let f = arena.get(fr);
+            let kind = f.kind;
             if kind.is_head() {
                 lanes.route_port[lane] = route.port as u16;
                 lanes.route_vc[lane] = route.vc as u8;
+                lanes.route_pkt[lane] = f.packet.0;
             }
             if kind.is_tail() {
                 lanes.route_port[lane] = NO_ROUTE;
+                lanes.route_pkt[lane] = NO_PKT;
             }
             rr_in[port] = fast_wrap(vc + 1, vcs);
             out.rr_out[route.port] = fast_wrap(port + 1, in_ports);
@@ -1385,6 +1394,12 @@ impl RouterCore {
                         "front cache set on empty lane {lane} at {}",
                         self.id
                     );
+                    assert_eq!(
+                        lanes.route_port[lane] == NO_ROUTE,
+                        lanes.route_pkt[lane] == NO_PKT,
+                        "route holder drifted at lane {lane} of {}",
+                        self.id
+                    );
                 }
             }
             ArchState::Cb(cb) => {
@@ -1450,6 +1465,164 @@ impl RouterCore {
             "live-flit counter drifted at {}",
             self.id
         );
+    }
+
+    /// Drops every route-derived cache: the lazily computed front-flit
+    /// routes and the cross-cycle nomination cache. Must run on every
+    /// router when the routing table is swapped (fault repair) — both
+    /// caches embed decisions of the outgoing table.
+    pub(crate) fn invalidate_route_caches(&mut self) {
+        match &mut self.arch {
+            ArchState::Edge(lanes) => {
+                lanes.front_pkt.fill(NO_PKT);
+                lanes.front_route_port.fill(NO_ROUTE);
+            }
+            ArchState::Cb(cb) => {
+                cb.stage_pkt.fill(NO_PKT);
+                cb.stage_cport.fill(NO_ROUTE);
+            }
+        }
+        self.nom_valid.fill(false);
+    }
+
+    /// Fault scan: reports the packet id of every wormhole commitment
+    /// toward a network output port whose channel `dead_out` declares
+    /// dead — held lane routes, occupied ST registers, and output-VC
+    /// ownership. Those packets are pinned to the dead channel and must
+    /// be dropped whole (wormhole routes never re-route mid-packet).
+    pub(crate) fn stuck_packets<F: FnMut(usize) -> bool>(
+        &self,
+        arena: &FlitArena,
+        mut dead_out: F,
+        out: &mut Vec<u64>,
+    ) {
+        let ArchState::Edge(lanes) = &self.arch else {
+            unreachable!("fault sweeps run on the edge-buffer datapath only")
+        };
+        for lane in 0..lanes.route_port.len() {
+            let p = lanes.route_port[lane];
+            if p != NO_ROUTE && (p as usize) < self.net_ports && dead_out(p as usize) {
+                out.push(lanes.route_pkt[lane]);
+            }
+        }
+        for port in 0..self.net_ports {
+            if self.out.st_occupied(port) && dead_out(port) {
+                out.push(arena.get(self.out.st_flit[port]).packet.0);
+            }
+        }
+        for lane in 0..self.net_ports * self.vcs {
+            let holder = self.out.out_pkt[lane];
+            if holder != NO_PKT && dead_out(lane / self.vcs) {
+                out.push(holder);
+            }
+        }
+    }
+
+    /// Fault scan: visits every flit buffered in this router. ST flits
+    /// report the network output port they are about to cross
+    /// (`Some(port)`); everything else reports `None`.
+    pub(crate) fn scan_flits<V: FnMut(FlitRef, Option<usize>)>(&self, mut visit: V) {
+        let ArchState::Edge(lanes) = &self.arch else {
+            unreachable!("fault sweeps run on the edge-buffer datapath only")
+        };
+        for lane in 0..lanes.len.len() {
+            for i in 0..u32::from(lanes.len[lane]) {
+                let mut pos = u32::from(lanes.head[lane]) + i;
+                if pos >= lanes.cap[lane] {
+                    pos -= lanes.cap[lane];
+                }
+                visit(lanes.slots[(lanes.base[lane] + pos) as usize], None);
+            }
+        }
+        for port in 0..self.net_ports + self.local_ports {
+            if self.out.st_occupied(port) {
+                visit(
+                    self.out.st_flit[port],
+                    (port < self.net_ports).then_some(port),
+                );
+            }
+        }
+    }
+
+    /// Fault sweep: removes every flit whose packet satisfies `drop_pkt`
+    /// from the input lanes and ST registers (appending the released
+    /// flits to `removed`), and clears the wormhole state — held lane
+    /// routes and output-VC ownership — those packets owned. Survivors
+    /// keep their order. Credits are *not* touched here: the network
+    /// recomputes every alive channel's credit counters from ground
+    /// truth after sweeping.
+    pub(crate) fn sweep_faults<D: FnMut(u64) -> bool>(
+        &mut self,
+        arena: &mut FlitArena,
+        mut drop_pkt: D,
+        removed: &mut Vec<Flit>,
+    ) {
+        let vcs = self.vcs;
+        let net_ports = self.net_ports;
+        let ArchState::Edge(lanes) = &mut self.arch else {
+            unreachable!("fault sweeps run on the edge-buffer datapath only")
+        };
+        let mut dropped_here = 0usize;
+        let mut kept: Vec<FlitRef> = Vec::new();
+        for lane in 0..lanes.len.len() {
+            let n = lanes.len[lane];
+            if n > 0 {
+                kept.clear();
+                for _ in 0..n {
+                    let fr = lanes.pop(lane);
+                    if drop_pkt(arena.get(fr).packet.0) {
+                        removed.push(arena.remove(fr));
+                        dropped_here += 1;
+                    } else {
+                        kept.push(fr);
+                    }
+                }
+                for &fr in &kept {
+                    lanes.push(lane, fr);
+                }
+            }
+            if lanes.route_port[lane] != NO_ROUTE && drop_pkt(lanes.route_pkt[lane]) {
+                lanes.route_port[lane] = NO_ROUTE;
+                lanes.route_pkt[lane] = NO_PKT;
+            }
+        }
+        for port in 0..net_ports + self.local_ports {
+            if self.out.st_occupied(port) {
+                let fr = self.out.st_flit[port];
+                if drop_pkt(arena.get(fr).packet.0) {
+                    removed.push(arena.remove(fr));
+                    self.out.st_flit[port] = FlitRef::INVALID;
+                    self.out.st_mask[port >> 6] &= !(1 << (port & 63));
+                    self.out.st_live -= 1;
+                    dropped_here += 1;
+                }
+            }
+        }
+        for lane in 0..net_ports * vcs {
+            if self.out.out_pkt[lane] != NO_PKT && drop_pkt(self.out.out_pkt[lane]) {
+                self.out.out_pkt[lane] = NO_PKT;
+            }
+        }
+        self.live_flits -= dropped_here;
+    }
+
+    /// Fault support: overwrites one output lane's credit counter with a
+    /// ground-truth recount, keeping the per-port sum in sync. Callers
+    /// must invalidate the nomination cache afterwards
+    /// ([`RouterCore::invalidate_route_caches`]).
+    pub(crate) fn set_lane_credits(&mut self, out_port: usize, vc: usize, value: usize) {
+        let lane = out_port * self.vcs + vc;
+        let old = self.out.credits[lane];
+        let new = u32::try_from(value).expect("credit count fits u32");
+        self.out.credits[lane] = new;
+        self.out.port_credits[out_port] = self.out.port_credits[out_port] - old + new;
+    }
+
+    /// Whether the ST register of `out_port` holds a flit bound for
+    /// output VC `vc` — that flit has already consumed a credit, so the
+    /// fault-time credit recount must account for it.
+    pub(crate) fn st_holds(&self, out_port: usize, vc: usize) -> bool {
+        self.out.st_occupied(out_port) && self.out.st_vc[out_port] as usize == vc
     }
 
     /// Flits buffered in one edge input lane (harness introspection).

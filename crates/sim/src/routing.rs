@@ -129,6 +129,105 @@ impl RoutingTable {
         }
     }
 
+    /// Rebuilds a minimal table over the subgraph surviving a set of
+    /// faults: a link is usable iff `link_alive` holds and both of its
+    /// endpoint routers are marked alive.
+    ///
+    /// Ports keep their original numbering (positions in the full
+    /// sorted neighbor list), so the simulator's channel indices stay
+    /// valid — only next-hop choices change. Every topology kind falls
+    /// back to the BFS table strategy with the documented
+    /// `(cur·31 + dst·17) mod candidates` tie-break over the surviving
+    /// minimal candidates and hop-indexed VCs: dimension-order tables
+    /// cannot route around a dead link, and hop-indexed VCs remain
+    /// cycle-free on the repaired paths for the same reason as on the
+    /// irregular topologies. Unreachable pairs get `u16::MAX`
+    /// sentinels in `dist` and `next_port`; callers must consult
+    /// [`RoutingTable::reachable`] before routing toward a pair.
+    #[must_use]
+    pub fn degraded<F>(topo: &Topology, router_alive: &[bool], mut link_alive: F) -> Self
+    where
+        F: FnMut(RouterId, RouterId) -> bool,
+    {
+        let nr = topo.router_count();
+        let neighbors: Vec<Vec<RouterId>> =
+            topo.routers().map(|r| topo.neighbors(r).to_vec()).collect();
+        // usable[cur][port]: may a flit leave `cur` through `port`?
+        let usable: Vec<Vec<bool>> = (0..nr)
+            .map(|cur| {
+                neighbors[cur]
+                    .iter()
+                    .map(|&n| {
+                        router_alive[cur] && router_alive[n.index()] && link_alive(RouterId(cur), n)
+                    })
+                    .collect()
+            })
+            .collect();
+        let alive_adj: Vec<Vec<RouterId>> = (0..nr)
+            .map(|cur| {
+                neighbors[cur]
+                    .iter()
+                    .zip(&usable[cur])
+                    .filter(|&(_, &ok)| ok)
+                    .map(|(&n, _)| n)
+                    .collect()
+            })
+            .collect();
+        let mut dist = vec![u16::MAX; nr * nr];
+        for cur in 0..nr {
+            let d = snoc_topology::bfs_distances(nr, RouterId(cur), |r| &alive_adj[r.index()][..]);
+            for (j, &dj) in d.iter().enumerate() {
+                if dj != usize::MAX {
+                    dist[cur * nr + j] = dj as u16;
+                }
+            }
+        }
+        let mut next_port = vec![u16::MAX; nr * nr];
+        for cur in 0..nr {
+            for dst in 0..nr {
+                if cur == dst || dist[cur * nr + dst] == u16::MAX {
+                    continue;
+                }
+                let want = dist[cur * nr + dst] - 1;
+                let candidate = |(_, (n, ok)): &(usize, (&RouterId, &bool))| {
+                    **ok && dist[n.index() * nr + dst] == want
+                };
+                let count = neighbors[cur]
+                    .iter()
+                    .zip(&usable[cur])
+                    .enumerate()
+                    .filter(candidate)
+                    .count();
+                assert!(count > 0, "reachable pair must have a next hop");
+                let pick = (cur.wrapping_mul(31).wrapping_add(dst.wrapping_mul(17))) % count;
+                let port = neighbors[cur]
+                    .iter()
+                    .zip(&usable[cur])
+                    .enumerate()
+                    .filter(candidate)
+                    .nth(pick)
+                    .map(|(port, _)| port)
+                    .expect("pick < count");
+                next_port[cur * nr + dst] = port as u16;
+            }
+        }
+        RoutingTable {
+            nr,
+            dist,
+            next_port,
+            route_vc: None,
+            neighbors,
+        }
+    }
+
+    /// `true` if the table has a path from `a` to `b` (always true for
+    /// [`RoutingTable::minimal`] tables; [`RoutingTable::degraded`]
+    /// tables mark severed pairs with a `u16::MAX` distance sentinel).
+    #[must_use]
+    pub fn reachable(&self, a: RouterId, b: RouterId) -> bool {
+        self.dist[a.index() * self.nr + b.index()] != u16::MAX
+    }
+
     /// Hop distance between two routers.
     #[must_use]
     pub fn distance(&self, a: RouterId, b: RouterId) -> usize {
@@ -208,6 +307,11 @@ impl RoutingTable {
         assert_ne!(cur, dst, "flit already at target");
         let idx = cur.index() * self.nr + dst.index();
         let port = self.next_port[idx] as usize;
+        debug_assert_ne!(
+            port,
+            u16::MAX as usize,
+            "routing toward an unreachable destination"
+        );
         let vc = match &self.route_vc {
             Some(table) => (table[idx] as usize).min(vcs - 1),
             None => (hops as usize).min(vcs - 1),

@@ -50,6 +50,11 @@ pub struct ActivityCounters {
     pub wire_flit_tiles: u64,
     /// Flits handed to local nodes.
     pub ejections: u64,
+    /// Flits of measured packets discarded by live fault injection
+    /// (dead hardware, severed routes). Always 0 on fault-free runs —
+    /// the JSON serialization omits it then, keeping fault-free reports
+    /// byte-identical to pre-fault-subsystem ones.
+    pub dropped_flits: u64,
 }
 
 impl ActivityCounters {
@@ -82,6 +87,7 @@ impl ActivityCounters {
         self.link_flit_hops += other.link_flit_hops;
         self.wire_flit_tiles += other.wire_flit_tiles;
         self.ejections += other.ejections;
+        self.dropped_flits += other.dropped_flits;
     }
 }
 
@@ -117,6 +123,9 @@ pub struct Snapshot {
     pub hops_sum: u64,
     /// Packets dropped at generation because the injection queue was full.
     pub stalled_generations: u64,
+    /// Measured packets destroyed by live fault injection (0 on
+    /// fault-free runs).
+    pub dropped_packets: u64,
     /// Whether every measured packet drained.
     pub drained: bool,
     /// Hardware activity during the measurement window.
@@ -168,8 +177,12 @@ impl Snapshot {
     ///   cb_writes`; one side is all-zero per router architecture);
     /// - every buffered flit popped was read once
     ///   (`buffer_reads == buffer_accesses + bypasses + cb_writes`);
-    /// - no packet is delivered that was not injected, and a drained run
-    ///   delivered every measured packet;
+    /// - no packet is delivered that was not injected
+    ///   (`delivered + dropped <= injected`), and a drained run
+    ///   accounted for every measured packet
+    ///   (`delivered + dropped == injected` — fault injection extends
+    ///   the law: a measured packet either arrives or is counted
+    ///   dropped, never silently lost);
     /// - the latency histogram accounts for every delivered packet.
     ///
     /// # Errors
@@ -203,16 +216,16 @@ impl Snapshot {
                 a.buffer_reads
             ));
         }
-        if self.delivered_packets > self.injected_packets {
+        if self.delivered_packets + self.dropped_packets > self.injected_packets {
             return Err(format!(
-                "delivered {} > injected {}",
-                self.delivered_packets, self.injected_packets
+                "delivered {} + dropped {} > injected {}",
+                self.delivered_packets, self.dropped_packets, self.injected_packets
             ));
         }
-        if self.drained && self.delivered_packets != self.injected_packets {
+        if self.drained && self.delivered_packets + self.dropped_packets != self.injected_packets {
             return Err(format!(
-                "drained run delivered {} of {} injected",
-                self.delivered_packets, self.injected_packets
+                "drained run delivered {} and dropped {} of {} injected",
+                self.delivered_packets, self.dropped_packets, self.injected_packets
             ));
         }
         let hist: u64 = self.latency_histogram.iter().sum();
@@ -250,6 +263,7 @@ impl Conformance for SimReport {
             latency_max: self.latency_max,
             hops_sum: self.hops_sum,
             stalled_generations: self.stalled_generations,
+            dropped_packets: self.dropped_packets,
             drained: self.drained,
             activity: self.activity,
             latency_histogram: hist,
@@ -284,6 +298,12 @@ pub struct SimReport {
     /// Packets that could not be created because the injection queue was
     /// full (offered load above acceptance).
     pub stalled_generations: u64,
+    /// Measured packets destroyed by live fault injection: at least one
+    /// of their flits was dropped, so their tail can never eject. The
+    /// conservation law becomes `injected == delivered + in-flight +
+    /// dropped`. Always 0 on fault-free runs and omitted from the JSON
+    /// then.
+    pub dropped_packets: u64,
     /// `true` if every measured packet drained before the drain cap.
     pub drained: bool,
     /// Hardware activity during the measurement window.
@@ -304,6 +324,7 @@ impl SimReport {
             latency_histogram: vec![0; 256],
             hops_sum: 0,
             stalled_generations: 0,
+            dropped_packets: 0,
             drained: true,
             activity: ActivityCounters::default(),
         }
@@ -416,13 +437,24 @@ impl SimReport {
             self.stalled_generations
         );
         let _ = writeln!(out, "  \"drained\": {},", self.drained);
+        // Fault counters appear only when faults actually dropped
+        // something, so fault-free reports stay byte-identical to
+        // pre-fault-subsystem ones (goldens, caches, equivalence tests).
+        if self.dropped_packets > 0 {
+            let _ = writeln!(out, "  \"dropped_packets\": {},", self.dropped_packets);
+        }
         let a = &self.activity;
+        let dropped = if a.dropped_flits > 0 {
+            format!(", \"dropped_flits\": {}", a.dropped_flits)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  \"activity\": {{\"buffer_accesses\": {}, \"buffer_writes\": {}, \
              \"buffer_reads\": {}, \"cb_writes\": {}, \"cb_reads\": {}, \"bypasses\": {}, \
              \"crossbar_traversals\": {}, \"alloc_grants\": {}, \"link_flit_hops\": {}, \
-             \"wire_flit_tiles\": {}, \"ejections\": {}}},",
+             \"wire_flit_tiles\": {}, \"ejections\": {}{dropped}}},",
             a.buffer_accesses,
             a.buffer_writes,
             a.buffer_reads,
@@ -581,6 +613,7 @@ mod tests {
             link_flit_hops: 11,
             wire_flit_tiles: 6,
             ejections: 7,
+            dropped_flits: 12,
         };
         a.add(&b);
         a.add(&b);
@@ -590,6 +623,7 @@ mod tests {
         assert_eq!(a.buffer_reads, 18);
         assert_eq!(a.alloc_grants, 20);
         assert_eq!(a.link_flit_hops, 22);
+        assert_eq!(a.dropped_flits, 24);
     }
 
     #[test]
@@ -695,6 +729,41 @@ mod tests {
         r2.drained = true;
         let err2 = r2.snapshot().check_conservation().unwrap_err();
         assert!(err2.contains("drained"), "{err2}");
+    }
+
+    #[test]
+    fn fault_counters_are_omitted_when_zero() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        r.record_delivery(10, 2, 6);
+        r.injected_packets = 1;
+        let clean = r.to_json();
+        assert!(!clean.contains("dropped"), "fault-free JSON is unchanged");
+        let mut faulted = r.clone();
+        faulted.injected_packets = 3;
+        faulted.dropped_packets = 2;
+        faulted.activity.dropped_flits = 12;
+        let json = faulted.to_json();
+        assert!(json.contains("\"dropped_packets\": 2"));
+        assert!(json.contains("\"dropped_flits\": 12"));
+        assert_ne!(clean, json);
+    }
+
+    #[test]
+    fn drained_conservation_accounts_for_drops() {
+        let mut r = SimReport::new(4);
+        r.measured_cycles = 100;
+        r.record_delivery(10, 2, 6);
+        r.injected_packets = 3;
+        r.dropped_packets = 2;
+        r.drained = true;
+        assert!(r.snapshot().check_conservation().is_ok());
+        r.dropped_packets = 1;
+        let err = r.snapshot().check_conservation().unwrap_err();
+        assert!(err.contains("drained"), "{err}");
+        r.dropped_packets = 4;
+        let err = r.snapshot().check_conservation().unwrap_err();
+        assert!(err.contains("> injected"), "{err}");
     }
 
     #[test]

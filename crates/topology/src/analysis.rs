@@ -1,7 +1,6 @@
 //! Shortest-path analysis over router graphs.
 
-use crate::{RouterId, Topology};
-use std::collections::VecDeque;
+use crate::{bfs_distances, RouterId, Topology};
 
 /// Shortest-path statistics of a topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,21 +17,7 @@ pub struct PathStats {
 
 /// BFS distances from one router. Unreachable routers get `usize::MAX`.
 pub(crate) fn bfs(topo: &Topology, src: RouterId) -> Vec<usize> {
-    let n = topo.router_count();
-    let mut dist = vec![usize::MAX; n];
-    dist[src.index()] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(r) = queue.pop_front() {
-        let d = dist[r.index()];
-        for &next in topo.neighbors(r) {
-            if dist[next.index()] == usize::MAX {
-                dist[next.index()] = d + 1;
-                queue.push_back(next);
-            }
-        }
-    }
-    dist
+    bfs_distances(topo.router_count(), src, |r| topo.neighbors(r))
 }
 
 /// All-pairs shortest-path statistics via per-source BFS.

@@ -1,0 +1,179 @@
+//! The workspace's one seeded breadth-first traversal.
+//!
+//! Three subsystems previously hand-rolled BFS — resilience analysis
+//! (components + path stats over degraded graphs), the shard
+//! partitioner (greedy frontier growth), and the reference router's
+//! distance tables — and each carried its own queue discipline. They
+//! now share this helper, so the traversal order is pinned in exactly
+//! one place.
+//!
+//! # Tie-break
+//!
+//! Traversal order is fully deterministic: routers are discovered in
+//! first-parent order, and the neighbors of one parent are expanded in
+//! adjacency-list order. Since every adjacency list in this crate is
+//! sorted ascending, routers at equal distance are visited in the order
+//! of `(discovery order of parent, neighbor index)` — the unique
+//! lexicographically-smallest BFS order. `partition`, `resilience`,
+//! the reference routing tables, and the optimized engine's degraded
+//! rerouting all inherit this order, and
+//! `tie_break_is_lowest_index_first` pins it.
+
+use crate::RouterId;
+use std::collections::VecDeque;
+
+/// What to do with a router just reached by [`bfs_from`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfsControl {
+    /// Keep it: expand its neighbors onto the frontier.
+    Descend,
+    /// Skip it: counts as visited (never re-reached) but its neighbors
+    /// are not expanded — e.g. a router already claimed by another
+    /// partition part.
+    Prune,
+    /// Halt the whole traversal immediately.
+    Stop,
+}
+
+/// Breadth-first traversal from `src` over an arbitrary adjacency view.
+///
+/// Calls `visit(router, hop_distance)` exactly once per reachable
+/// router, in the deterministic order documented at the module level
+/// (`src` first, at distance 0). `neighbors` supplies the adjacency
+/// list of a router; pass a closure over [`crate::Topology::neighbors`]
+/// or over any rebuilt (e.g. degraded) adjacency.
+///
+/// `router_count` bounds the visited-marker allocation; every router
+/// index returned by `neighbors` must be below it.
+pub fn bfs_from<'a, N, V>(router_count: usize, src: RouterId, mut neighbors: N, mut visit: V)
+where
+    N: FnMut(RouterId) -> &'a [RouterId],
+    V: FnMut(RouterId, usize) -> BfsControl,
+{
+    let mut seen = vec![false; router_count];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back((src, 0usize));
+    while let Some((r, d)) = queue.pop_front() {
+        match visit(r, d) {
+            BfsControl::Stop => return,
+            BfsControl::Prune => continue,
+            BfsControl::Descend => {}
+        }
+        for &n in neighbors(r) {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                queue.push_back((n, d + 1));
+            }
+        }
+    }
+}
+
+/// Hop distances from `src` to every router; unreachable routers get
+/// `usize::MAX`. Built on [`bfs_from`], so it shares the documented
+/// traversal order.
+#[must_use]
+pub fn bfs_distances<'a, N>(router_count: usize, src: RouterId, neighbors: N) -> Vec<usize>
+where
+    N: FnMut(RouterId) -> &'a [RouterId],
+{
+    let mut dist = vec![usize::MAX; router_count];
+    bfs_from(router_count, src, neighbors, |r, d| {
+        dist[r.index()] = d;
+        BfsControl::Descend
+    });
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn distances_match_topology_bfs() {
+        for t in [
+            Topology::slim_noc(5, 1).unwrap(),
+            Topology::mesh(4, 4, 1),
+            Topology::torus(4, 4, 1),
+        ] {
+            for src in t.routers() {
+                let d = bfs_distances(t.router_count(), src, |r| t.neighbors(r));
+                assert_eq!(d, t.distances_from(src), "{} from {src:?}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_is_lowest_index_first() {
+        // On a 3x3 mesh from the corner, routers at each distance must
+        // appear in ascending index order: equal-distance candidates
+        // are discovered through the lowest-index parent first, and a
+        // parent's sorted adjacency list expands lowest index first.
+        let t = Topology::mesh(3, 3, 1);
+        let mut order = Vec::new();
+        bfs_from(
+            t.router_count(),
+            RouterId(0),
+            |r| t.neighbors(r),
+            |r, d| {
+                order.push((d, r.index()));
+                BfsControl::Descend
+            },
+        );
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "BFS order must be (distance, index)-sorted");
+        assert_eq!(order.len(), 9);
+    }
+
+    #[test]
+    fn prune_stops_expansion_but_not_traversal() {
+        // Line 0-1-2-3: pruning router 1 makes 2 and 3 unreachable.
+        let t = Topology::mesh(4, 1, 1);
+        let mut visited = Vec::new();
+        bfs_from(
+            t.router_count(),
+            RouterId(0),
+            |r| t.neighbors(r),
+            |r, _| {
+                visited.push(r.index());
+                if r.index() == 1 {
+                    BfsControl::Prune
+                } else {
+                    BfsControl::Descend
+                }
+            },
+        );
+        assert_eq!(visited, vec![0, 1]);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let t = Topology::mesh(4, 4, 1);
+        let mut count = 0;
+        bfs_from(
+            t.router_count(),
+            RouterId(0),
+            |r| t.neighbors(r),
+            |_, _| {
+                count += 1;
+                if count == 3 {
+                    BfsControl::Stop
+                } else {
+                    BfsControl::Descend
+                }
+            },
+        );
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn unreachable_routers_get_max_sentinel() {
+        // An adjacency view that hides every link isolates the source.
+        let t = Topology::mesh(3, 3, 1);
+        let d = bfs_distances(t.router_count(), RouterId(4), |_| &[]);
+        assert_eq!(d[4], 0);
+        assert_eq!(d.iter().filter(|&&x| x == usize::MAX).count(), 8);
+    }
+}

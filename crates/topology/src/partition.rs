@@ -10,8 +10,7 @@
 //! shard count must produce the same partition on every run, or the
 //! sharded engine's bit-exactness contract falls apart.
 
-use crate::{RouterId, Topology};
-use std::collections::VecDeque;
+use crate::{bfs_from, BfsControl, RouterId, Topology};
 
 impl Topology {
     /// Partitions the routers into `parts` balanced, BFS-contiguous
@@ -29,32 +28,33 @@ impl Topology {
         let parts = parts.clamp(1, nr.max(1));
         let mut assign = vec![usize::MAX; nr];
         let (base, extra) = (nr / parts, nr % parts);
-        let mut queue = VecDeque::new();
         for part in 0..parts {
             let target = base + usize::from(part < extra);
             let mut size = 0;
-            queue.clear();
             while size < target {
-                if queue.is_empty() {
-                    // Grow from the lowest-index unassigned router —
-                    // restarts here when the current frontier dies out
-                    // (disconnected graph or fully surrounded part).
-                    match (0..nr).find(|&r| assign[r] == usize::MAX) {
-                        Some(seed) => queue.push_back(seed),
-                        None => break,
-                    }
-                }
-                let v = queue.pop_front().expect("non-empty queue");
-                if assign[v] != usize::MAX {
-                    continue; // claimed since it was enqueued
-                }
-                assign[v] = part;
-                size += 1;
-                for &w in self.neighbors(RouterId(v)) {
-                    if assign[w.index()] == usize::MAX {
-                        queue.push_back(w.index());
-                    }
-                }
+                // Grow from the lowest-index unassigned router —
+                // re-seeds here when the current frontier dies out
+                // (disconnected graph or fully surrounded part).
+                let Some(seed) = (0..nr).find(|&r| assign[r] == usize::MAX) else {
+                    break;
+                };
+                bfs_from(
+                    nr,
+                    RouterId(seed),
+                    |r| self.neighbors(r),
+                    |r, _| {
+                        if assign[r.index()] != usize::MAX {
+                            return BfsControl::Prune; // claimed by an earlier part
+                        }
+                        assign[r.index()] = part;
+                        size += 1;
+                        if size < target {
+                            BfsControl::Descend
+                        } else {
+                            BfsControl::Stop
+                        }
+                    },
+                );
             }
         }
         assign

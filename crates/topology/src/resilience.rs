@@ -6,11 +6,10 @@
 //! that claim testable: remove a random subset of links and measure how
 //! connectivity and path lengths degrade.
 
-use crate::{RouterId, Topology};
+use crate::{bfs_distances, bfs_from, BfsControl, RouterId, Topology};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
 
 /// Result of one link-failure experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,12 +45,16 @@ impl Topology {
         let fail_count = (fraction * links.len() as f64).floor() as usize;
         let surviving = &links[fail_count..];
 
-        // Rebuild adjacency for the degraded graph.
+        // Rebuild adjacency for the degraded graph (sorted, so the
+        // shared BFS helper's documented tie-break applies unchanged).
         let nr = self.router_count();
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nr];
+        let mut adj: Vec<Vec<RouterId>> = vec![Vec::new(); nr];
         for &(a, b) in surviving {
-            adj[a.index()].push(b.index());
-            adj[b.index()].push(a.index());
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
         }
 
         // Largest component + BFS path stats inside it.
@@ -63,17 +66,16 @@ impl Topology {
             }
             let id = comp_sizes.len();
             let mut size = 0;
-            let mut queue = VecDeque::from([start]);
-            component[start] = id;
-            while let Some(v) = queue.pop_front() {
-                size += 1;
-                for &w in &adj[v] {
-                    if component[w] == usize::MAX {
-                        component[w] = id;
-                        queue.push_back(w);
-                    }
-                }
-            }
+            bfs_from(
+                nr,
+                RouterId(start),
+                |r| &adj[r.index()],
+                |r, _| {
+                    component[r.index()] = id;
+                    size += 1;
+                    BfsControl::Descend
+                },
+            );
             comp_sizes.push(size);
         }
         let (largest_id, &largest) = comp_sizes
@@ -89,17 +91,7 @@ impl Topology {
             if component[src] != largest_id {
                 continue;
             }
-            let mut dist = vec![usize::MAX; nr];
-            dist[src] = 0;
-            let mut queue = VecDeque::from([src]);
-            while let Some(v) = queue.pop_front() {
-                for &w in &adj[v] {
-                    if dist[w] == usize::MAX {
-                        dist[w] = dist[v] + 1;
-                        queue.push_back(w);
-                    }
-                }
-            }
+            let dist = bfs_distances(nr, RouterId(src), |r| &adj[r.index()]);
             for (j, &d) in dist.iter().enumerate() {
                 if j > src && component[j] == largest_id {
                     diameter = diameter.max(d);
