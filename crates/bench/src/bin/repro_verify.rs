@@ -24,6 +24,15 @@
 //! mid-run link storm, holding both engines to byte-exact agreement —
 //! including the dropped-packet accounting and self-healed routing.
 //!
+//! A deadlock-freedom tier closes the run: fuzzed fault scenarios
+//! (seeded link storms, downed routers) across the topology pool, each
+//! survivor graph's up*/down* repair table run through the
+//! channel-dependency-graph cycle checker at 1 VC and at the family's
+//! configured VC count, plus a rebuild-determinism check. Any cycle or
+//! nondeterministic rebuild fails the run. The storm rows above also
+//! fail on a no-progress watchdog abort, so a wedged drain phase is a
+//! first-class divergence, not a silent truncation.
+//!
 //! `--smoke` shrinks windows to prove the pipeline end-to-end; `--json`
 //! emits one JSON object per case instead of the table.
 
@@ -32,9 +41,10 @@ use snoc_core::{format_float, TextTable};
 use snoc_refsim::check::{compare_statistics, workload};
 use snoc_refsim::{RefConfig, RefSimulator};
 use snoc_sim::{
-    Conformance, FaultPlan, RoutingKind, ShardedSimulator, SimConfig, Simulator, Snapshot,
+    verify_deadlock_free, Conformance, FaultKind, FaultPlan, RoutingKind, RoutingTable,
+    ShardedSimulator, SimConfig, Simulator, Snapshot,
 };
-use snoc_topology::Topology;
+use snoc_topology::{RouterId, Topology};
 use snoc_traffic::TrafficPattern;
 
 /// One differential case of the matrix.
@@ -263,9 +273,16 @@ fn fault_outcomes(args: &Args) -> Vec<Outcome> {
         rsim.set_fault_plan(&plan).expect("minimal routing");
         let trace = workload(&topo, TrafficPattern::Random, 0.05, cycles, 0xD1FF);
         let warmup = cycles / 4;
-        let optimized = sim.run_trace(&trace, warmup).snapshot();
+        let report = sim.run_trace(&trace, warmup);
+        let deadlock = report.deadlock.clone();
+        let optimized = report.snapshot();
         let reference = rsim.run_workload(&trace, warmup);
-        let verdict = evaluate(&optimized, &reference, "exact");
+        // A watchdog abort under the storm is a routing-liveness bug in
+        // its own right, even if both engines abort identically.
+        let verdict = match deadlock {
+            Some(d) => Err(format!("watchdog abort under storm: {d}")),
+            None => evaluate(&optimized, &reference, "exact"),
+        };
         outcomes.push(Outcome {
             label: format!("{} Random Minimal 0.05 [storm exact]", topo.name()),
             optimized,
@@ -274,6 +291,97 @@ fn fault_outcomes(args: &Args) -> Vec<Outcome> {
         });
     }
     outcomes
+}
+
+/// A probe flit bound for `dst`'s router, for exercising
+/// [`RoutingTable::route`] outside a simulator.
+fn probe_flit(dst: RouterId) -> snoc_sim::Flit {
+    snoc_sim::Flit::packet(
+        snoc_sim::PacketId(0),
+        snoc_topology::NodeId(0),
+        snoc_topology::NodeId(dst.index()),
+        dst,
+        1,
+        0,
+        true,
+        false,
+    )[0]
+}
+
+/// Deadlock-freedom tier: fuzzes seeded fault scenarios (link storms
+/// plus, on odd seeds, one downed router) across the topology pool,
+/// builds the up*/down* repair table for each survivor graph, and runs
+/// the channel-dependency-graph cycle checker at 1 VC and at the
+/// family's configured VC count. 1 VC is the adversarial setting: a
+/// table that leans on VC transitions for cycle breaking fails there.
+/// Each table is also rebuilt from scratch and held to decision-level
+/// determinism, since both engines must derive identical tables
+/// independently for the exact differential tiers to hold.
+///
+/// Returns `(tables_checked, failures)`.
+fn cdg_failures(args: &Args) -> (usize, Vec<String>) {
+    let mut pool = topologies();
+    // The irregular 2-column Slim NoC is absent from the differential
+    // matrix (too small for stable statistics) but is the family whose
+    // minimal tables deadlock soonest; keep it in the CDG sweep.
+    pool.push((Topology::slim_noc(3, 2).unwrap(), 2));
+    let seeds: u64 = if args.smoke || args.quick { 8 } else { 64 };
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for (topo, vcs) in &pool {
+        let nr = topo.router_count();
+        for seed in 0..seeds {
+            let storm_links = 1 + (seed as usize) % 6;
+            let plan = FaultPlan::storm(topo, storm_links, 0, 100, 0xCD6 ^ (seed * 7919));
+            let mut dead_links: Vec<(usize, usize)> = Vec::new();
+            for event in plan.events() {
+                if let FaultKind::LinkDown { a, b } = event.kind {
+                    dead_links.push((a.index(), b.index()));
+                }
+            }
+            let mut alive = vec![true; nr];
+            if seed % 2 == 1 {
+                alive[(seed as usize * 131) % nr] = false;
+            }
+            let link_alive = |a: RouterId, b: RouterId| {
+                let key = (a.index().min(b.index()), a.index().max(b.index()));
+                !dead_links.contains(&key)
+            };
+            let table = RoutingTable::degraded(topo, &alive, link_alive);
+            checked += 1;
+            let label = format!("{} seed {seed}", topo.name());
+            for check_vcs in [1usize, *vcs] {
+                if let Err(e) = verify_deadlock_free(&table, topo, check_vcs) {
+                    failures.push(format!("{label} vcs {check_vcs}: {e}"));
+                }
+            }
+            // Rebuild determinism: identical distances and identical
+            // first-hop decisions for every reachable pair.
+            let rebuilt = RoutingTable::degraded(topo, &alive, link_alive);
+            'pairs: for s in 0..nr {
+                for d in 0..nr {
+                    let (src, dst) = (RouterId(s), RouterId(d));
+                    if table.distance(src, dst) != rebuilt.distance(src, dst) {
+                        failures.push(format!("{label}: rebuild changed distance {s}->{d}"));
+                        break 'pairs;
+                    }
+                    if s == d || !alive[s] || !alive[d] || !table.reachable(src, dst) {
+                        continue;
+                    }
+                    let flit = probe_flit(dst);
+                    let (a, b) = (
+                        table.route(src, &flit, 0, *vcs),
+                        rebuilt.route(src, &flit, 0, *vcs),
+                    );
+                    if a != b {
+                        failures.push(format!("{label}: rebuild changed route {s}->{d}"));
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+    }
+    (checked, failures)
 }
 
 fn evaluate(
@@ -305,6 +413,7 @@ fn main() {
     outcomes.extend(shard_outcomes(&args));
     outcomes.extend(fault_outcomes(&args));
     let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.verdict.is_err()).collect();
+    let (cdg_checked, cdg_failures) = cdg_failures(&args);
 
     if args.json {
         println!("[");
@@ -363,15 +472,23 @@ fn main() {
             ]);
         }
         table.print(args.csv);
+        println!(
+            "deadlock freedom: {cdg_checked} degraded tables CDG-checked, {} cycle(s) found",
+            cdg_failures.len()
+        );
     }
-    if !failures.is_empty() {
+    if !failures.is_empty() || !cdg_failures.is_empty() {
         eprintln!(
-            "repro_verify: {} of {} cases failed:",
+            "repro_verify: {} of {} cases failed, {} deadlock-freedom violations:",
             failures.len(),
-            outcomes.len()
+            outcomes.len(),
+            cdg_failures.len()
         );
         for o in &failures {
             eprintln!("  REPRO {}: {}", o.label, o.verdict.as_ref().unwrap_err());
+        }
+        for f in &cdg_failures {
+            eprintln!("  REPRO cdg {f}");
         }
         std::process::exit(1);
     }

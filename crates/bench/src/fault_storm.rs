@@ -23,6 +23,12 @@ use snoc_traffic::TrafficPattern;
 /// retention isolates the degradation.
 pub const LOAD: f64 = 0.05;
 
+/// Offered load of the deadlock-hunt sweep — past every network's
+/// saturation knee, so buffers stay full and any channel-dependency
+/// cycle in a degraded routing table would actually wedge rather than
+/// hide behind slack credits.
+pub const SATURATION_LOAD: f64 = 0.60;
+
 /// Failed-link fractions swept (0 is the per-network baseline).
 pub const FRACTIONS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
 
@@ -64,6 +70,22 @@ pub fn failed_links(network: &str, fraction: f64) -> usize {
 /// is dominated by the degraded steady state.
 #[must_use]
 pub fn storm_campaign(args: &Args) -> Campaign {
+    storm_campaign_at("fault_storm", LOAD, args)
+}
+
+/// The deadlock-hunt variant: the same network × fraction storm grid
+/// driven at [`SATURATION_LOAD`]. Every simulator runs with its
+/// no-progress watchdog armed (the default), and `Setup::run_load`
+/// panics with the full diagnostic on a watchdog abort — so merely
+/// completing this campaign is evidence that every degraded table kept
+/// flits moving under maximal backpressure. Throughput retention from
+/// this sweep is not a figure; liveness is the product.
+#[must_use]
+pub fn saturation_storm_campaign(args: &Args) -> Campaign {
+    storm_campaign_at("fault_storm_saturation", SATURATION_LOAD, args)
+}
+
+fn storm_campaign_at(name: &str, load: f64, args: &Args) -> Campaign {
     let warmup = args.warmup();
     let measure = args.measure();
     // All failures land in the first tenth of the measured window.
@@ -90,10 +112,10 @@ pub fn storm_campaign(args: &Args) -> Campaign {
         }
     }
     args.configure(
-        Campaign::new("fault_storm")
+        Campaign::new(name)
             .with_setups(setups)
             .with_patterns(vec![TrafficPattern::Random])
-            .with_loads(vec![LOAD])
+            .with_loads(vec![load])
             .with_windows(warmup, args.measure())
             .with_stop_at_saturation(false),
     )
@@ -190,6 +212,24 @@ mod tests {
             assert_eq!(failed_links(network, 0.0), 0);
             assert!(failed_links(network, 0.10) > 0, "{network}");
         }
+    }
+
+    #[test]
+    fn saturation_campaign_mirrors_the_storm_grid_at_high_load() {
+        let args = Args {
+            smoke: true,
+            ..Args::default()
+        };
+        let c = saturation_storm_campaign(&args);
+        assert_eq!(c.setups.len(), NETWORKS.len() * FRACTIONS.len());
+        assert_eq!(c.loads, vec![SATURATION_LOAD]);
+        let names: Vec<_> = c.setups.iter().map(|s| s.name.clone()).collect();
+        let base: Vec<_> = storm_campaign(&args)
+            .setups
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(names, base, "same cells, only the load differs");
     }
 
     #[test]

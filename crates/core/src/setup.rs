@@ -283,7 +283,10 @@ impl Setup {
     /// # Panics
     ///
     /// Panics if the setup cannot construct a simulator (all presets in
-    /// this crate can).
+    /// this crate can), or if the simulator's no-progress watchdog
+    /// aborts the run — a wedged point would otherwise be silently
+    /// folded into campaign statistics, so it fails loudly with the
+    /// full deadlock diagnostic instead.
     pub fn run_load(
         &self,
         pattern: TrafficPattern,
@@ -292,7 +295,11 @@ impl Setup {
         measure: u64,
     ) -> SimReport {
         let mut sim = self.simulator().expect("valid setup");
-        sim.run_synthetic(pattern, rate, warmup, measure)
+        let report = sim.run_synthetic(pattern, rate, warmup, measure);
+        if let Some(diag) = &report.deadlock {
+            panic!("simulation deadlocked ({}): {diag}", self.name);
+        }
+        report
     }
 
     /// Runs one synthetic-traffic point on the sharded parallel engine.

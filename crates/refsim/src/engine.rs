@@ -282,6 +282,16 @@ pub struct RefSimulator {
     chan_enabled: Vec<bool>,
     /// Per directed channel: enabled with both endpoint routers alive.
     chan_alive: Vec<bool>,
+    /// No-progress watchdog bound in cycles (`None` disarms it),
+    /// mirroring `snoc_sim::Simulator::set_watchdog`: with flits live
+    /// but unmoving for the bound, the run loop stops instead of
+    /// spinning to the drain cap.
+    watchdog: Option<u64>,
+    /// Last cycle with progress: a flit delivery, switch traversal,
+    /// injection, packet creation, or an applied fault batch — the same
+    /// event set the optimized engine counts, so both engines abort on
+    /// the same cycle.
+    last_progress: u64,
 }
 
 impl RefSimulator {
@@ -353,6 +363,8 @@ impl RefSimulator {
             .collect();
 
         let chan_count = channels.len();
+        let watchdog =
+            snoc_sim::default_watchdog_bound(routing.max_finite_distance(), cfg.packet_flits);
         Ok(RefSimulator {
             cfg: *cfg,
             topo: topo.clone(),
@@ -375,7 +387,28 @@ impl RefSimulator {
             router_alive: vec![true; nr],
             chan_enabled: vec![true; chan_count],
             chan_alive: vec![true; chan_count],
+            watchdog: Some(watchdog),
+            last_progress: 0,
         })
+    }
+
+    /// Sets the no-progress watchdog bound in cycles, or disarms it
+    /// with `None` — the mirror of `snoc_sim::Simulator::set_watchdog`,
+    /// armed by default at the same
+    /// `snoc_sim::default_watchdog_bound`. It never perturbs a run that
+    /// makes progress.
+    pub fn set_watchdog(&mut self, bound: Option<u64>) {
+        self.watchdog = bound;
+    }
+
+    /// `true` when the armed watchdog bound has elapsed with flits live
+    /// but unmoving. The cheap counter comparison short-circuits before
+    /// the structural in-flight recount.
+    fn watchdog_expired(&self) -> bool {
+        match self.watchdog {
+            Some(bound) => self.now - self.last_progress >= bound && self.in_flight_flits() > 0,
+            None => false,
+        }
     }
 
     /// The number of endpoint nodes.
@@ -449,6 +482,10 @@ impl RefSimulator {
         }
         if applied {
             self.repair_after_faults(report);
+            // A fault batch is progress, exactly as in the optimized
+            // engine: the network was reshaped and wedged flits may
+            // have been swept.
+            self.last_progress = self.now;
         }
     }
 
@@ -731,6 +768,7 @@ impl RefSimulator {
         let drain_cap = end_measure + measure.max(2_000);
         let mut process = InjectionProcess::new(topo_nodes, rate, self.cfg.packet_flits, burst);
         let sampler = PatternSampler::new(pattern, &self.topo);
+        self.last_progress = self.now;
         while self.now < end_measure || (self.outstanding > 0 && self.now < drain_cap) {
             self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup && self.now < end_measure;
@@ -751,6 +789,9 @@ impl RefSimulator {
                     }
                 }
             }
+            if self.watchdog_expired() {
+                break;
+            }
             self.now += 1;
         }
         report.drained = self.outstanding == 0;
@@ -769,6 +810,7 @@ impl RefSimulator {
         report.measured_cycles = end.saturating_sub(warmup).max(1);
         let drain_cap = end + 50_000;
         let mut next = 0usize;
+        self.last_progress = self.now;
         while next < trace.len() || (self.outstanding > 0 && self.now < drain_cap) {
             self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup;
@@ -784,6 +826,9 @@ impl RefSimulator {
                     measuring,
                     &mut report,
                 );
+            }
+            if self.watchdog_expired() {
+                break;
             }
             self.now += 1;
         }
@@ -855,6 +900,7 @@ impl RefSimulator {
                 intermediate_done: false,
             });
         }
+        self.last_progress = self.now;
     }
 
     /// Source-side adaptive route selection (§6), mirroring the spec's
@@ -945,6 +991,7 @@ impl RefSimulator {
                     let (_, _, flit) = self.channels[id].flits.pop_front().expect("checked");
                     let (dst, port) = self.chan_dst[id];
                     self.deliver(dst, port, vc, flit);
+                    self.last_progress = now;
                     if measuring {
                         report.activity.buffer_writes += 1;
                     }
@@ -965,6 +1012,7 @@ impl RefSimulator {
                 let Some((out_vc, flit)) = self.routers[r].st[port].take() else {
                     continue;
                 };
+                self.last_progress = now;
                 if measuring {
                     report.activity.crossbar_traversals += 1;
                 }
@@ -994,6 +1042,7 @@ impl RefSimulator {
             if self.routers[r].inputs[port][0].len() < self.cfg.buffer_flits {
                 let flit = self.inj_queues[node].pop_front().expect("non-empty");
                 self.deliver(r, port, 0, flit);
+                self.last_progress = now;
                 if measuring {
                     report.activity.buffer_writes += 1;
                 }

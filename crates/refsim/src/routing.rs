@@ -10,7 +10,13 @@
 //!   (ties go forward) with the stateless dateline VC rule — going
 //!   forward, a hop made from a position past the destination
 //!   (`cur > dst`) precedes the wrap edge and uses VC0, anything else
-//!   VC1 (mirrored for the − direction).
+//!   VC1 (mirrored for the − direction);
+//! - **up\*/down\*** (degraded rebuilds): deadlock-free routing over the
+//!   surviving graph — a canonical BFS spanning forest orders routers
+//!   by `(tree level, index)`, a path may never turn from a down hop
+//!   (toward a larger key) back up, and the memoryless table commits to
+//!   the descent (a router with a finite all-down distance to the
+//!   destination always routes down), with the same hash tie-break.
 //!
 //! Nothing here is shared with `snoc_sim`'s flattened arrays: distances
 //! come from `snoc_topology`'s shared BFS helper over plain nested
@@ -19,9 +25,10 @@
 //! tests) is evidence about the spec, not about shared routing state.
 
 use snoc_topology::{bfs_distances, RouterId, Topology, TopologyKind};
+use std::collections::VecDeque;
 
 /// Which next-hop rule the topology selects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Strategy {
     /// Dimension-order on an `x × y` mesh.
     Mesh { x: usize },
@@ -29,6 +36,15 @@ enum Strategy {
     Torus { x: usize, y: usize },
     /// BFS minimal table with hash tie-break.
     Table,
+    /// Up*/down* over a degraded graph: routers ordered by
+    /// `(level[v], v)`, descent committed via the per-destination
+    /// all-down distances (`down[dst][v]`, `usize::MAX` where no
+    /// all-down path exists). `dist` holds the walked table path
+    /// lengths under this strategy, not BFS distances.
+    UpDown {
+        level: Vec<usize>,
+        down: Vec<Vec<usize>>,
+    },
 }
 
 /// Reference routing state: plain nested `Vec`s, recomputed per query
@@ -83,10 +99,14 @@ impl RefRouting {
     /// faults, mirroring the spec of `snoc_sim::RoutingTable::degraded`:
     /// a link is usable iff `link_alive` holds and both endpoint routers
     /// are alive, ports keep their positions in the full sorted neighbor
-    /// list, every topology kind falls back to the BFS table strategy
-    /// with the documented tie-break over the surviving minimal
-    /// candidates, and severed pairs get `usize::MAX` distances —
-    /// callers must consult [`RefRouting::reachable`] first.
+    /// list, every topology kind switches to deadlock-free **up\*/down\***
+    /// routing over the surviving graph (canonical BFS spanning forest
+    /// from lowest-index roots, descent committed per destination, the
+    /// documented hash tie-break among legal next hops), and severed
+    /// pairs get `usize::MAX` distances — callers must consult
+    /// [`RefRouting::reachable`] first. Distances report the exact
+    /// walked table path length, which may exceed the BFS distance of
+    /// the surviving graph (the price of deadlock freedom).
     #[must_use]
     pub fn degraded<F>(&self, router_alive: &[bool], mut link_alive: F) -> Self
     where
@@ -113,11 +133,56 @@ impl RefRouting {
                     .collect()
             })
             .collect();
-        let dist: Vec<Vec<usize>> = (0..nr)
-            .map(|cur| bfs_distances(nr, RouterId(cur), |r| &alive_adj[r.index()][..]))
-            .collect();
+        let forest = snoc_topology::bfs_forest(nr, |r| &alive_adj[r.index()][..]);
+        let key = |v: usize| (forest.level[v], v);
+        // Ascending key order: when `dist[v][dst]` is computed, every
+        // up-neighbor's entry is already final.
+        let mut order: Vec<usize> = (0..nr).collect();
+        order.sort_unstable_by_key(|&v| key(v));
+        let mut down = vec![vec![usize::MAX; nr]; nr];
+        let mut dist = vec![vec![usize::MAX; nr]; nr];
+        let mut queue = VecDeque::new();
+        for dst in 0..nr {
+            // All-down distances by BFS from dst: a down hop v → w has
+            // key(v) < key(w), so finiteness propagates from w to its
+            // smaller-key usable neighbors.
+            let dd = &mut down[dst];
+            dd[dst] = 0;
+            queue.push_back(dst);
+            while let Some(w) = queue.pop_front() {
+                for (&n, &ok) in self.neighbors[w].iter().zip(&usable[w]) {
+                    let v = n.index();
+                    if ok && key(v) < key(w) && dd[v] == usize::MAX {
+                        dd[v] = dd[w] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            // Table path lengths: commit to the descent where the
+            // all-down distance is finite, otherwise one up hop through
+            // the best up-neighbor.
+            for &v in &order {
+                if dd[v] != usize::MAX {
+                    dist[v][dst] = dd[v];
+                    continue;
+                }
+                let mut best = usize::MAX;
+                for (&n, &ok) in self.neighbors[v].iter().zip(&usable[v]) {
+                    let u = n.index();
+                    if ok && key(u) < key(v) {
+                        best = best.min(dist[u][dst]);
+                    }
+                }
+                if best != usize::MAX {
+                    dist[v][dst] = best + 1;
+                }
+            }
+        }
         RefRouting {
-            strategy: Strategy::Table,
+            strategy: Strategy::UpDown {
+                level: forest.level,
+                down,
+            },
             dist,
             neighbors: self.neighbors.clone(),
             usable,
@@ -136,6 +201,21 @@ impl RefRouting {
     #[must_use]
     pub fn distance(&self, a: RouterId, b: RouterId) -> usize {
         self.dist[a.index()][b.index()]
+    }
+
+    /// Largest finite distance in the table — the diameter for healthy
+    /// state, the longest walked table path for degraded state. Scales
+    /// the default no-progress watchdog bound, mirroring
+    /// `snoc_sim::RoutingTable::max_finite_distance`.
+    #[must_use]
+    pub fn max_finite_distance(&self) -> usize {
+        self.dist
+            .iter()
+            .flatten()
+            .filter(|&&d| d != usize::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of router-to-router ports at `r`.
@@ -173,13 +253,13 @@ impl RefRouting {
     pub fn route(&self, cur: RouterId, target: RouterId, hops: u32, vcs: usize) -> (usize, usize) {
         assert_ne!(cur, target, "flit already at target");
         let hop_vc = (hops as usize).min(vcs - 1);
-        match self.strategy {
+        match &self.strategy {
             Strategy::Mesh { x } => {
-                let next = dor_next_mesh(cur, target, x);
+                let next = dor_next_mesh(cur, target, *x);
                 (self.port_to(cur, next), hop_vc)
             }
             Strategy::Torus { x, y } => {
-                let (next, vc) = dor_next_torus(cur, target, x, y);
+                let (next, vc) = dor_next_torus(cur, target, *x, *y);
                 (self.port_to(cur, next), vc.min(vcs - 1))
             }
             Strategy::Table => {
@@ -197,6 +277,47 @@ impl RefRouting {
                     .map(|(port, _)| port)
                     .collect();
                 assert!(!candidates.is_empty(), "minimal path must exist");
+                let pick = (c.wrapping_mul(31).wrapping_add(d.wrapping_mul(17))) % candidates.len();
+                (candidates[pick], hop_vc)
+            }
+            Strategy::UpDown { level, down } => {
+                let (c, d) = (cur.index(), target.index());
+                assert_ne!(
+                    self.dist[c][d],
+                    usize::MAX,
+                    "route queried for severed pair"
+                );
+                let key = |v: usize| (level[v], v);
+                // Committed descent: once the all-down distance is
+                // finite, only down hops that shorten it are legal;
+                // before that, only up hops that shorten the table path.
+                // Guard order matters: the sentinel check must
+                // short-circuit before the `+ 1` comparison, identically
+                // to the optimized table builder, so the candidate sets
+                // (and hence the hash tie-break) agree bit for bit.
+                let descending = down[d][c] != usize::MAX;
+                let candidates: Vec<usize> = self.neighbors[c]
+                    .iter()
+                    .enumerate()
+                    .filter(|(port, n)| {
+                        let v = n.index();
+                        self.usable[c][*port]
+                            && if descending {
+                                key(v) > key(c)
+                                    && down[d][v] != usize::MAX
+                                    && down[d][v] + 1 == down[d][c]
+                            } else {
+                                key(v) < key(c)
+                                    && self.dist[v][d] != usize::MAX
+                                    && self.dist[v][d] + 1 == self.dist[c][d]
+                            }
+                    })
+                    .map(|(port, _)| port)
+                    .collect();
+                assert!(
+                    !candidates.is_empty(),
+                    "reachable pair must have a next hop"
+                );
                 let pick = (c.wrapping_mul(31).wrapping_add(d.wrapping_mul(17))) % candidates.len();
                 (candidates[pick], hop_vc)
             }

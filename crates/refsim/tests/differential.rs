@@ -189,6 +189,57 @@ fn check_faulted_exact_case(
         .map_err(|e| format!("{ctx}: conservation under faults: {e}"))
 }
 
+/// One saturation-storm exact case: the faulted exact tier pushed past
+/// the network's capacity (offered load 0.4–1.0), where wormhole
+/// backpressure chains are longest and a deadlock-prone repair table
+/// would actually wedge. Both engines run with their default-armed
+/// watchdogs; the run must either drain or abort with the structured
+/// diagnostic — and the snapshots must stay byte-for-byte equal either
+/// way.
+fn check_saturated_storm_case(
+    topo_idx: usize,
+    pat_idx: usize,
+    rate: f64,
+    storm_links: usize,
+    seed: u64,
+    cycles: u64,
+) -> Result<(), String> {
+    let (topo, vcs) = topology(topo_idx);
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, seed);
+    let pat = pattern(pat_idx);
+    let trace = workload(&topo, pat, rate, cycles, seed);
+    let warmup = cycles / 4;
+    let plan = FaultPlan::storm(&topo, storm_links, cycles / 3, cycles / 2, seed ^ 0xFA17);
+    let ctx = format!(
+        "topo {} pattern {pat} saturation rate {rate:.4} storm {storm_links} seed {seed}",
+        topo.name()
+    );
+    let mut sim = Simulator::build(&topo, &sim_cfg).expect("sim builds");
+    sim.set_fault_plan(&plan)
+        .map_err(|e| format!("{ctx}: sim rejected plan: {e}"))?;
+    let report = sim.run_trace(&trace, warmup);
+    if !report.drained && report.deadlock.is_none() {
+        return Err(format!(
+            "{ctx}: run neither drained nor watchdog-aborted (outstanding flits at cap)"
+        ));
+    }
+    let optimized = report.snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).expect("refsim builds");
+    rsim.set_fault_plan(&plan)
+        .map_err(|e| format!("{ctx}: refsim rejected plan: {e}"))?;
+    let reference = rsim.run_workload(&trace, warmup);
+    if optimized != reference {
+        return Err(format!(
+            "saturated storm diverged: {ctx} ({} messages)\n\
+             optimized: {optimized:?}\nreference: {reference:?}",
+            trace.len()
+        ));
+    }
+    optimized
+        .check_conservation()
+        .map_err(|e| format!("{ctx}: conservation at saturation: {e}"))
+}
+
 /// One sharded-equivalence case: the sharded parallel engine at 2 and
 /// 4 shards against the monolithic engine on identical synthetic
 /// traffic. Deterministic routing replicates the global injection
@@ -336,6 +387,21 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let r = check_faulted_exact_case(topo_idx, pat_idx, rate, storm_links, seed, 1_200);
+        prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
+    }
+
+    /// Fuzzed saturation-load storms: the fault tier at offered loads
+    /// past capacity, where a deadlock-prone repair would wedge the
+    /// drain phase. Exactness must survive saturation.
+    #[test]
+    fn exact_equality_under_saturation_storms(
+        topo_idx in 0usize..6,
+        pat_idx in 0usize..6,
+        rate in 0.4f64..1.0,
+        storm_links in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = check_saturated_storm_case(topo_idx, pat_idx, rate, storm_links, seed, 600);
         prop_assert!(r.is_ok(), "REPRO {}", r.unwrap_err());
     }
 
@@ -537,6 +603,73 @@ fn zero_rate_agrees_exactly() {
     assert_eq!(optimized, reference);
     assert_eq!(optimized.delivered_packets, 0);
     assert_eq!(optimized.total_cycles, 21_000);
+}
+
+/// The two engines must agree on the watchdog's *progress event set*
+/// cycle for cycle. A bound-1 watchdog is the maximally sensitive
+/// probe: it aborts on the first cycle where live flits exist but no
+/// progress event (delivery, switch traversal, injection, packet or
+/// fault arrival) occurs. A healthy multi-flit wormhole stream has a
+/// progress event on every in-flight cycle, so neither engine may
+/// fire even through a saturated fault storm — and if either engine's
+/// bump sites deviated by a single cycle anywhere in the run, its
+/// truncated clock would break the byte-for-byte snapshot equality
+/// this asserts.
+#[test]
+fn bound_one_watchdogs_agree_across_engines_under_storm() {
+    let (topo, vcs) = topology(2); // torus 4x4: datelines + wrap links
+    let (sim_cfg, ref_cfg) = configs(vcs, RoutingKind::Minimal, 99);
+    let trace = workload(&topo, TrafficPattern::Adversarial1, 0.7, 800, 99);
+    let plan = FaultPlan::storm(&topo, 4, 260, 400, 99 ^ 0xFA17);
+    let mut sim = Simulator::build(&topo, &sim_cfg).unwrap();
+    sim.set_fault_plan(&plan).unwrap();
+    sim.set_watchdog(Some(1));
+    let report = sim.run_trace(&trace, 200);
+    assert!(
+        report.deadlock.is_none(),
+        "a live run must bump progress every in-flight cycle: {}",
+        report.deadlock.unwrap()
+    );
+    let optimized = report.snapshot();
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    rsim.set_fault_plan(&plan).unwrap();
+    rsim.set_watchdog(Some(1));
+    let reference = rsim.run_workload(&trace, 200);
+    assert_eq!(
+        optimized, reference,
+        "progress event sets must agree cycle for cycle"
+    );
+}
+
+/// The reference engine's watchdog aborts on the same condition as the
+/// optimized one: isolated single-flit packets leave a quiet
+/// allocation cycle, so a bound-1 watchdog cuts the run short instead
+/// of letting it drain.
+#[test]
+fn reference_watchdog_aborts_like_the_optimized_engine() {
+    let topo = Topology::mesh(4, 3, 2);
+    let (mut sim_cfg, _) = configs(2, RoutingKind::Minimal, 11);
+    sim_cfg.packet_flits = 1;
+    let ref_cfg = RefConfig::try_from_sim(&sim_cfg)
+        .expect("edge/credited config")
+        .with_seed(11);
+    // Control: at the default bound the same run goes the distance.
+    let mut healthy = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    let full = healthy.run_synthetic(TrafficPattern::Random, 0.005, 100, 400);
+    assert!(full.total_cycles >= 500, "healthy horizon");
+    // Bound 1 cuts the run at the first quiet cycle instead.
+    let mut rsim = RefSimulator::build(&topo, &ref_cfg).unwrap();
+    rsim.set_watchdog(Some(1));
+    let aborted = rsim.run_synthetic(TrafficPattern::Random, 0.005, 100, 400);
+    assert!(aborted.total_cycles < full.total_cycles, "abort truncates");
+    // The optimized engine under the identical config (and its own
+    // RNG) aborts the same way, with the diagnostic attached.
+    let mut sim = Simulator::build(&topo, &sim_cfg).unwrap();
+    sim.set_watchdog(Some(1));
+    let report = sim.run_synthetic(TrafficPattern::Random, 0.005, 100, 400);
+    assert!(report.deadlock.is_some(), "optimized watchdog fires too");
+    assert!(aborted.total_cycles < 500);
+    assert!(report.total_cycles < 500);
 }
 
 /// A deterministic saturation-stress case: conservation laws must hold

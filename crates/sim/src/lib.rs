@@ -16,9 +16,16 @@
 //!   advances per stage per cycle across VCs, §4.2);
 //! - **SMART links**: `H` grid hops per link cycle (§3.2.2);
 //! - **routing**: deterministic minimal routing with hop-indexed VCs
-//!   (VC0 on hop 1, VC1 on hop 2 — the paper's deadlock-freedom scheme),
-//!   dimension-order routing with dateline VCs for tori, and the adaptive
-//!   schemes of §6 (UGAL-L, UGAL-G, XY-adaptive).
+//!   (VC0 on hop 1, VC1 on hop 2 — the paper's §4.3 scheme; its
+//!   deadlock-freedom is conditional on `|VC|` covering the hop count,
+//!   and [`verify_deadlock_free`] states the exact per-table-kind
+//!   contract), dimension-order routing with
+//!   dateline VCs for tori, up*/down* repair tables under faults, and
+//!   the adaptive schemes of §6 (UGAL-L, UGAL-G, XY-adaptive);
+//! - **deadlock analysis**: a channel-dependency-graph cycle checker
+//!   ([`verify_deadlock_free`]) run at every degraded-table swap in
+//!   debug builds, and a no-progress watchdog that turns a wedged run
+//!   into a structured [`DeadlockDiagnostic`] instead of a hang.
 //!
 //! # Example
 //!
@@ -40,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod deadlock;
 mod fault;
 mod flit;
 mod link;
@@ -51,11 +59,15 @@ pub mod soa_harness;
 mod stats;
 
 pub use config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
+pub use deadlock::{
+    default_watchdog_bound, verify_deadlock_free, verify_route_deadlock_free, DeadlockDiagnostic,
+    StuckPacket, WaitForEdge,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flit::{Flit, FlitArena, FlitKind, FlitRef, PacketId};
 pub use network::shard::ShardedSimulator;
 pub use network::Simulator;
-pub use routing::RoutingTable;
+pub use routing::{RouteDecision, RoutingTable};
 pub use stats::{
     saturation_heuristic, ActivityCounters, Conformance, LatencyLoadPoint, SimReport, Snapshot,
 };

@@ -4,6 +4,7 @@
 pub(crate) mod shard;
 
 use crate::config::{BufferSizing, LinkMode, RouterArch, RoutingKind, SimConfig, SimError};
+use crate::deadlock::{DeadlockDiagnostic, StuckPacket, WaitForEdge};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
 use crate::link::Channel;
@@ -101,6 +102,14 @@ pub struct Simulator {
     scratch_st: Vec<(usize, StFlit)>,
     /// Scratch for the allocation phase (reused every cycle).
     scratch_alloc: AllocResult,
+    /// No-progress watchdog bound in cycles (`None` disarms it): if
+    /// flits are live but nothing has moved for this many cycles, the
+    /// run aborts with a [`crate::DeadlockDiagnostic`] instead of
+    /// spinning in the drain loop forever.
+    watchdog: Option<u64>,
+    /// Last cycle with progress: a flit delivery, switch traversal,
+    /// injection, packet creation, or an applied fault batch.
+    last_progress: u64,
 }
 
 impl Simulator {
@@ -238,6 +247,8 @@ impl Simulator {
         };
 
         let chan_count = channels.len();
+        let watchdog =
+            crate::deadlock::default_watchdog_bound(table.max_finite_distance(), cfg.packet_flits);
         Ok(Simulator {
             cfg: cfg.clone(),
             topo: topo.clone(),
@@ -273,6 +284,8 @@ impl Simulator {
             chan_alive: vec![true; chan_count],
             scratch_st: Vec::new(),
             scratch_alloc: AllocResult::default(),
+            watchdog: Some(watchdog),
+            last_progress: 0,
         })
     }
 
@@ -294,6 +307,18 @@ impl Simulator {
     /// toggle exists so tests can assert that equivalence.
     pub fn set_cycle_skipping(&mut self, enabled: bool) {
         self.cycle_skip = enabled;
+    }
+
+    /// Sets the no-progress watchdog bound in cycles, or disarms it
+    /// with `None`. Armed by default at
+    /// [`crate::default_watchdog_bound`] of the routing diameter and
+    /// packet length: if flits are live but none moves for the bound,
+    /// the run returns with [`SimReport::deadlock`] populated instead
+    /// of spinning in the drain loop forever. The watchdog never
+    /// perturbs a live run — reports of runs that make progress are
+    /// bit-identical with it armed or disarmed.
+    pub fn set_watchdog(&mut self, bound: Option<u64>) {
+        self.watchdog = bound;
     }
 
     /// Arms a deterministic fault schedule ([`FaultPlan`]) to be applied
@@ -353,6 +378,10 @@ impl Simulator {
         }
         if applied {
             self.repair_after_faults(report);
+            // A fault batch is progress: it reshapes the network (and
+            // may drop the very flits that were wedged), so the
+            // watchdog clock restarts.
+            self.last_progress = self.now;
         }
     }
 
@@ -519,6 +548,13 @@ impl Simulator {
         });
         // 6. Swap the degraded table in and reset the per-router route
         // and nomination caches (both are computed against the table).
+        // Debug builds first re-verify the deadlock-freedom the
+        // up*/down* construction promises — including for packets
+        // already mid-flight with accumulated hop counts.
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::verify_deadlock_free(&table, &self.topo, self.cfg.vcs) {
+            panic!("degraded routing table is not deadlock-free: {e}");
+        }
         self.table = Arc::new(table);
         for router in &mut self.routers {
             router.invalidate_route_caches();
@@ -642,6 +678,7 @@ impl Simulator {
                 }
             }
         }
+        self.last_progress = self.now;
         while self.now < end_measure || (self.outstanding > 0 && self.now < drain_cap) {
             self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup && self.now < end_measure;
@@ -670,6 +707,10 @@ impl Simulator {
                     }
                 }
             }
+            if self.watchdog_expired() {
+                report.deadlock = Some(self.deadlock_diagnostic());
+                break;
+            }
             let horizon = calendar.peek().map(|&Reverse((cycle, _))| cycle);
             let (cap, idle_target) = if self.now < end_measure {
                 (end_measure, end_measure)
@@ -693,6 +734,7 @@ impl Simulator {
         report.measured_cycles = end.saturating_sub(warmup).max(1);
         let drain_cap = end + 50_000;
         let mut next = 0usize;
+        self.last_progress = self.now;
         while next < trace.len() || (self.outstanding > 0 && self.now < drain_cap) {
             self.apply_due_faults(&mut report);
             let measuring = self.now >= warmup;
@@ -708,6 +750,10 @@ impl Simulator {
                     measuring,
                     &mut report,
                 );
+            }
+            if self.watchdog_expired() {
+                report.deadlock = Some(self.deadlock_diagnostic());
+                break;
             }
             let (horizon, cap) = if next < trace.len() {
                 // More messages pend: the loop runs to the next one
@@ -744,6 +790,15 @@ impl Simulator {
         // same cycles as single-stepped ones.
         if let Some(e) = self.faults.get(self.next_fault) {
             next = Some(next.map_or(e.cycle, |n| n.min(e.cycle)));
+        }
+        // The watchdog deadline is a wake-up when flits are live: a
+        // skipped-over expiry must still fire on the exact cycle the
+        // single-stepped loop would report.
+        if let Some(bound) = self.watchdog {
+            if !self.arena.is_empty() {
+                let deadline = self.last_progress + bound;
+                next = Some(next.map_or(deadline, |n| n.min(deadline)));
+            }
         }
         for &id in &self.active_channels {
             if let Some(e) = self.channels[id].next_event(self.now) {
@@ -823,6 +878,7 @@ impl Simulator {
             self.inj_queues[src.index()].push_back(fr);
         }
         self.activate_injection(src.index());
+        self.last_progress = self.now;
     }
 
     /// Adaptive route selection at the source (§6): UGAL-L/UGAL-G pick
@@ -971,6 +1027,7 @@ impl Simulator {
             if let Some((vc, flit)) = delivered {
                 self.routers[dst].deliver(port, vc, flit, &mut self.arena);
                 self.activate_router(dst);
+                self.last_progress = now;
                 if measuring {
                     report.activity.buffer_writes += 1;
                 }
@@ -987,6 +1044,7 @@ impl Simulator {
             self.routers[r].drain_st(&mut st);
             let net_ports = self.chan_out[r].len();
             for &(port, stf) in &st {
+                self.last_progress = now;
                 if measuring {
                     report.activity.crossbar_traversals += 1;
                 }
@@ -1049,6 +1107,7 @@ impl Simulator {
                 self.arena.get_mut(fr).injected = now;
                 self.routers[r].deliver(port, 0, fr, &mut self.arena);
                 self.activate_router(r);
+                self.last_progress = now;
                 if measuring {
                     report.activity.buffer_writes += 1;
                 }
@@ -1109,6 +1168,76 @@ impl Simulator {
                 self.push_packet(flit.dst, flit.src, 6, false, flit.measured, report);
             }
         }
+    }
+
+    /// `true` when the armed watchdog bound has elapsed with flits live
+    /// but unmoving. Checked once per run-loop iteration, after the
+    /// cycle's phases — the cheap counter comparison comes first, so a
+    /// healthy run pays one subtraction per iteration.
+    fn watchdog_expired(&self) -> bool {
+        match self.watchdog {
+            Some(bound) => self.now - self.last_progress >= bound && !self.arena.is_empty(),
+            None => false,
+        }
+    }
+
+    /// Builds the structured abort diagnostic for a fired watchdog:
+    /// every pinned packet head (capped at 64) and the wait-for edge
+    /// its buffered head is blocked on. The per-packet scan needs the
+    /// edge-buffer datapath; central-buffer runs report the counters
+    /// with empty lists.
+    fn deadlock_diagnostic(&self) -> DeadlockDiagnostic {
+        const CAP: usize = 64;
+        let mut diag = DeadlockDiagnostic {
+            cycle: self.now,
+            last_progress: self.last_progress,
+            in_flight_flits: self.arena.len(),
+            stuck_packets: Vec::new(),
+            wait_for: Vec::new(),
+        };
+        if !matches!(self.cfg.router_arch, RouterArch::EdgeBuffer) {
+            return diag;
+        }
+        let arena = &self.arena;
+        let table = &self.table;
+        for r in 0..self.routers.len() {
+            let stuck = &mut diag.stuck_packets;
+            let waits = &mut diag.wait_for;
+            self.routers[r].scan_flits(|fr, st_port| {
+                let f = arena.get(fr);
+                if !f.kind.is_head() {
+                    return;
+                }
+                if stuck.len() < CAP {
+                    stuck.push(StuckPacket {
+                        packet: f.packet.0,
+                        router: r,
+                        dst_router: f.dst_router.index(),
+                        in_st: st_port.is_some(),
+                    });
+                }
+                // Buffered heads yield a wait-for edge: the output the
+                // table routes them to. ST heads are already committed
+                // and heads parked at their target wait for ejection,
+                // not a channel.
+                let here = RouterId(r);
+                let target = RoutingTable::target(f);
+                if st_port.is_none()
+                    && target != here
+                    && table.reachable(here, target)
+                    && waits.len() < CAP
+                {
+                    let d = table.route(here, f, 0, self.cfg.vcs);
+                    waits.push(WaitForEdge {
+                        from_router: r,
+                        port: d.port,
+                        vc: d.vc,
+                        to_router: table.peer(here, d.port).index(),
+                    });
+                }
+            });
+        }
+        diag
     }
 
     /// Total flits currently inside the network (buffers, links, ST) and

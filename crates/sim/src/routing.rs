@@ -1,13 +1,44 @@
-//! Routing: deterministic minimal tables with hop-indexed VCs, and
-//! dimension-order routing with dateline VCs for meshes and tori.
+//! Routing: deterministic minimal tables with hop-indexed VCs,
+//! dimension-order routing with dateline VCs for meshes and tori, and
+//! deadlock-free up*/down* repair tables for degraded (post-fault)
+//! networks.
 //!
 //! The paper uses static minimum routing computed with Dijkstra (§5.1);
-//! on unit-weight router graphs BFS yields identical paths. Deadlock
-//! freedom follows the paper's §4.3 scheme: a packet on hop `h` uses
-//! VC `min(h, |VC|−1)`, so VC dependencies only increase and cannot
-//! cycle as long as `|VC|` is at least the maximal hop count. For tori,
-//! hop-indexed VCs do not cut the ring cycles, so dimension-order
-//! routing with a dateline VC switch is used instead.
+//! on unit-weight router graphs BFS yields identical paths.
+//!
+//! # Deadlock freedom, per table kind
+//!
+//! The guarantee differs by strategy — the honest contract, checkable
+//! with [`crate::verify_deadlock_free`]:
+//!
+//! - **Mesh (dimension-order)**: deadlock-free at any VC count. DOR
+//!   permits no turn from Y back into X, which leaves the channel
+//!   dependency graph acyclic on every VC separately.
+//! - **Torus (dimension-order + dateline VCs)**: deadlock-free at
+//!   `|VC| ≥ 2`. Hop-indexed VCs cannot cut a ring cycle, so the VC is
+//!   taken from the precomputed dateline table instead (VC0 before the
+//!   wrap edge, VC1 after), independent of the hop count.
+//! - **Irregular minimal tables** (Slim NoC, Dragonfly, FBF, …): the
+//!   paper's §4.3 scheme — a packet on hop `h` uses VC `min(h,
+//!   |VC|−1)`, so VC dependencies only increase and cannot cycle — is
+//!   valid **only while `|VC|` is at least the maximal hop count**.
+//!   The clamp at `|VC|−1` merges all later hops onto the top VC, so
+//!   the guarantee is conditional on the configuration, not absolute;
+//!   the shipped configs keep `|VC|` at the fault-free diameter or
+//!   above. It also only covers freshly injected traffic (hop counters
+//!   start at 0): [`crate::verify_deadlock_free`] additionally models
+//!   packets mid-flight with accumulated hops — which saturate the
+//!   clamp — and irregular minimal tables fail that stricter model at
+//!   any VC count. Only hop-offset-robust schemes (mesh DOR, torus
+//!   datelines, up*/down*) pass it, which is why fault repair never
+//!   reuses the hop-indexed scheme.
+//! - **Degraded tables** ([`RoutingTable::degraded`]): deterministic
+//!   **up*/down*** routing over the surviving graph — deadlock-free on
+//!   arbitrary connected subgraphs with *any* VC count and no
+//!   dependence on path length, which is exactly what fault repair
+//!   needs (post-fault paths can far exceed the fault-free diameter).
+//!   Debug builds re-verify every swapped-in degraded table with the
+//!   CDG checker.
 //!
 //! All strategies are fully precomputed at construction time: `route`
 //! is two flat-array loads (`next_port[cur * nr + dst]` plus the VC
@@ -129,21 +160,49 @@ impl RoutingTable {
         }
     }
 
-    /// Rebuilds a minimal table over the subgraph surviving a set of
-    /// faults: a link is usable iff `link_alive` holds and both of its
-    /// endpoint routers are marked alive.
+    /// Rebuilds a **deadlock-free up\*/down\*** table over the subgraph
+    /// surviving a set of faults: a link is usable iff `link_alive`
+    /// holds and both of its endpoint routers are marked alive.
     ///
     /// Ports keep their original numbering (positions in the full
     /// sorted neighbor list), so the simulator's channel indices stay
-    /// valid — only next-hop choices change. Every topology kind falls
-    /// back to the BFS table strategy with the documented
-    /// `(cur·31 + dst·17) mod candidates` tie-break over the surviving
-    /// minimal candidates and hop-indexed VCs: dimension-order tables
-    /// cannot route around a dead link, and hop-indexed VCs remain
-    /// cycle-free on the repaired paths for the same reason as on the
-    /// irregular topologies. Unreachable pairs get `u16::MAX`
-    /// sentinels in `dist` and `next_port`; callers must consult
-    /// [`RoutingTable::reachable`] before routing toward a pair.
+    /// valid — only next-hop choices change. Unreachable pairs get
+    /// `u16::MAX` sentinels in `dist` and `next_port`; callers must
+    /// consult [`RoutingTable::reachable`] before routing toward a
+    /// pair. `reachable` coincides with plain connectivity of the
+    /// surviving graph, so the doomed-packet rules are unchanged from
+    /// the BFS repair this replaced.
+    ///
+    /// # The up\*/down\* scheme
+    ///
+    /// A canonical BFS spanning forest is grown over the surviving
+    /// graph ([`snoc_topology::bfs_forest`]: each tree is rooted at the
+    /// lowest-index live router of its component and grown in the
+    /// pinned lexicographic BFS order). Routers are totally ordered by
+    /// `key(v) = (tree level, router index)`; every surviving edge is
+    /// *up* toward its smaller-key endpoint and *down* toward its
+    /// larger-key endpoint. A legal path climbs up zero or more hops,
+    /// then descends zero or more hops — never down-then-up. All-up
+    /// chains strictly decrease `key` and all-down chains strictly
+    /// increase it, so no channel-dependency cycle can close at any VC
+    /// count, hop-clamped VCs included.
+    ///
+    /// The table is memoryless (`next_port[cur][dst]` only), so the
+    /// turn restriction is enforced by *committing to the descent*: per
+    /// destination, `D[v]` is the shortest all-down distance to `dst`
+    /// and `T[v]` the table path length (`D[v]` where finite, else one
+    /// up hop plus the best up-neighbor's `T`). A router with finite
+    /// `D` always routes down; a down hop lands on a router whose `D`
+    /// is again finite, so no path ever turns back up. Ties among legal
+    /// next hops keep the documented `(cur·31 + dst·17) mod candidates`
+    /// hash over ascending port order.
+    ///
+    /// [`RoutingTable::distance`] reports `T` — the exact length of the
+    /// path the table walks, which may exceed the BFS distance of the
+    /// surviving graph (the price of deadlock freedom). `T` is bounded
+    /// by the router count: table paths are simple, since revisiting a
+    /// router in the descent would contradict its infinite `D` during
+    /// the climb.
     #[must_use]
     pub fn degraded<F>(topo: &Topology, router_alive: &[bool], mut link_alive: F) -> Self
     where
@@ -173,40 +232,79 @@ impl RoutingTable {
                     .collect()
             })
             .collect();
+        let forest = snoc_topology::bfs_forest(nr, |r| &alive_adj[r.index()][..]);
+        // The up*/down* total order: up endpoint = smaller key.
+        let key = |v: usize| (forest.level[v], v);
+        // Routers in ascending key order, so that when `T[v]` is
+        // computed every up-neighbor's `T` is already final.
+        let mut order: Vec<usize> = (0..nr).collect();
+        order.sort_unstable_by_key(|&v| key(v));
         let mut dist = vec![u16::MAX; nr * nr];
-        for cur in 0..nr {
-            let d = snoc_topology::bfs_distances(nr, RouterId(cur), |r| &alive_adj[r.index()][..]);
-            for (j, &dj) in d.iter().enumerate() {
-                if dj != usize::MAX {
-                    dist[cur * nr + j] = dj as u16;
+        let mut next_port = vec![u16::MAX; nr * nr];
+        // Per-destination scratch: D (all-down distance) and T (table
+        // path length).
+        let mut down = vec![u32::MAX; nr];
+        let mut total = vec![u32::MAX; nr];
+        let mut queue = std::collections::VecDeque::new();
+        for dst in 0..nr {
+            dist[dst * nr + dst] = 0;
+            // D by BFS from dst: a down hop v → w has key(v) < key(w),
+            // so D propagates from w to its smaller-key neighbors.
+            down.fill(u32::MAX);
+            total.fill(u32::MAX);
+            down[dst] = 0;
+            queue.push_back(dst);
+            while let Some(w) = queue.pop_front() {
+                for (&n, &ok) in neighbors[w].iter().zip(&usable[w]) {
+                    let v = n.index();
+                    if ok && key(v) < key(w) && down[v] == u32::MAX {
+                        down[v] = down[w] + 1;
+                        queue.push_back(v);
+                    }
                 }
             }
-        }
-        let mut next_port = vec![u16::MAX; nr * nr];
-        for cur in 0..nr {
-            for dst in 0..nr {
-                if cur == dst || dist[cur * nr + dst] == u16::MAX {
+            // T in ascending key order: commit to the descent where D
+            // is finite, otherwise climb through the best up-neighbor.
+            // Every non-root has its BFS parent as an up-neighbor and
+            // the root's tree path to dst is all-down, so T is finite
+            // exactly on dst's component.
+            for &v in &order {
+                if down[v] != u32::MAX {
+                    total[v] = down[v];
                     continue;
                 }
-                let want = dist[cur * nr + dst] - 1;
-                let candidate = |(_, (n, ok)): &(usize, (&RouterId, &bool))| {
-                    **ok && dist[n.index() * nr + dst] == want
+                let mut best = u32::MAX;
+                for (&n, &ok) in neighbors[v].iter().zip(&usable[v]) {
+                    let u = n.index();
+                    if ok && key(u) < key(v) {
+                        best = best.min(total[u]);
+                    }
+                }
+                if best != u32::MAX {
+                    total[v] = best + 1;
+                }
+            }
+            for cur in 0..nr {
+                if cur == dst || total[cur] == u32::MAX {
+                    continue;
+                }
+                dist[cur * nr + dst] = total[cur] as u16;
+                let descending = down[cur] != u32::MAX;
+                let candidate = |port: usize| {
+                    let n = neighbors[cur][port].index();
+                    usable[cur][port]
+                        && if descending {
+                            key(n) > key(cur) && down[n] != u32::MAX && down[n] + 1 == down[cur]
+                        } else {
+                            key(n) < key(cur) && total[n] != u32::MAX && total[n] + 1 == total[cur]
+                        }
                 };
-                let count = neighbors[cur]
-                    .iter()
-                    .zip(&usable[cur])
-                    .enumerate()
-                    .filter(candidate)
-                    .count();
+                let count = (0..neighbors[cur].len()).filter(|&p| candidate(p)).count();
                 assert!(count > 0, "reachable pair must have a next hop");
                 let pick = (cur.wrapping_mul(31).wrapping_add(dst.wrapping_mul(17))) % count;
-                let port = neighbors[cur]
-                    .iter()
-                    .zip(&usable[cur])
-                    .enumerate()
-                    .filter(candidate)
+                let port = (0..neighbors[cur].len())
+                    .filter(|&p| candidate(p))
                     .nth(pick)
-                    .map(|(port, _)| port)
                     .expect("pick < count");
                 next_port[cur * nr + dst] = port as u16;
             }
@@ -300,10 +398,31 @@ impl RoutingTable {
         self.route_toward(cur, flit.dst_router, flit.hops, vcs)
     }
 
+    /// Largest finite distance in the table: the diameter for
+    /// [`RoutingTable::minimal`] tables, the longest walked table path
+    /// for [`RoutingTable::degraded`] ones. Scales the default
+    /// no-progress watchdog bound.
+    #[must_use]
+    pub fn max_finite_distance(&self) -> usize {
+        self.dist
+            .iter()
+            .filter(|&&d| d != u16::MAX)
+            .map(|&d| d as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Shared table lookup behind [`RoutingTable::route`] and
-    /// [`RoutingTable::route_direct`].
+    /// [`RoutingTable::route_direct`] (and the deadlock checker, which
+    /// probes it pair by pair).
     #[inline]
-    fn route_toward(&self, cur: RouterId, dst: RouterId, hops: u16, vcs: usize) -> RouteDecision {
+    pub(crate) fn route_toward(
+        &self,
+        cur: RouterId,
+        dst: RouterId,
+        hops: u16,
+        vcs: usize,
+    ) -> RouteDecision {
         assert_ne!(cur, dst, "flit already at target");
         let idx = cur.index() * self.nr + dst.index();
         let port = self.next_port[idx] as usize;
@@ -503,6 +622,66 @@ mod tests {
         let mid = table.peer(src, d1.port);
         let d2 = table.route(mid, &f, 0, 2);
         assert_eq!(d2.vc, 1, "second hop on VC1");
+    }
+
+    #[test]
+    fn degraded_walks_match_reported_distances() {
+        // Kill a router and a link on a torus; every surviving pair
+        // must still walk to its target in exactly `distance` hops
+        // (the up*/down* T metric), within the simple-path bound.
+        let t = Topology::torus(4, 4, 1);
+        let mut alive = vec![true; t.router_count()];
+        alive[5] = false;
+        let table = RoutingTable::degraded(&t, &alive, |a, b| {
+            (a.index().min(b.index()), a.index().max(b.index())) != (0, 1)
+        });
+        for src in t.routers() {
+            for dst in t.routers() {
+                if src == dst || !alive[src.index()] || !alive[dst.index()] {
+                    continue;
+                }
+                assert!(table.reachable(src, dst), "{src} -> {dst}");
+                assert_eq!(walk(&t, &table, src, dst), table.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_dead_router_is_unreachable_but_self_distance_zero() {
+        let t = Topology::mesh(3, 3, 1);
+        let mut alive = vec![true; t.router_count()];
+        alive[4] = false;
+        let table = RoutingTable::degraded(&t, &alive, |_, _| true);
+        let dead = RouterId(4);
+        assert_eq!(table.distance(dead, dead), 0, "self distance stays 0");
+        for r in t.routers() {
+            if r != dead {
+                assert!(!table.reachable(dead, r));
+                assert!(!table.reachable(r, dead));
+                // The 3x3 mesh minus its center stays connected.
+                for s in t.routers() {
+                    if s != dead && s != r {
+                        assert!(table.reachable(s, r));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_severed_component_gets_sentinels() {
+        // Cut the line 0-1-2-3 between 1 and 2.
+        let t = Topology::mesh(4, 1, 1);
+        let alive = vec![true; 4];
+        let table = RoutingTable::degraded(&t, &alive, |a, b| {
+            (a.index().min(b.index()), a.index().max(b.index())) != (1, 2)
+        });
+        assert!(table.reachable(RouterId(0), RouterId(1)));
+        assert!(table.reachable(RouterId(2), RouterId(3)));
+        assert!(!table.reachable(RouterId(0), RouterId(2)));
+        assert!(!table.reachable(RouterId(3), RouterId(1)));
+        assert_eq!(walk(&t, &table, RouterId(0), RouterId(1)), 1);
+        assert_eq!(walk(&t, &table, RouterId(3), RouterId(2)), 1);
     }
 
     #[test]

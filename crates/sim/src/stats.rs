@@ -306,6 +306,12 @@ pub struct SimReport {
     pub dropped_packets: u64,
     /// `true` if every measured packet drained before the drain cap.
     pub drained: bool,
+    /// Set when the no-progress watchdog aborted the run: flits were
+    /// live but nothing moved for the watchdog bound. `None` on every
+    /// healthy run (and omitted from the JSON then). A watchdog abort
+    /// also implies `drained == false` whenever measured packets were
+    /// still in flight.
+    pub deadlock: Option<crate::DeadlockDiagnostic>,
     /// Hardware activity during the measurement window.
     pub activity: ActivityCounters,
 }
@@ -326,6 +332,7 @@ impl SimReport {
             stalled_generations: 0,
             dropped_packets: 0,
             drained: true,
+            deadlock: None,
             activity: ActivityCounters::default(),
         }
     }
@@ -442,6 +449,40 @@ impl SimReport {
         // pre-fault-subsystem ones (goldens, caches, equivalence tests).
         if self.dropped_packets > 0 {
             let _ = writeln!(out, "  \"dropped_packets\": {},", self.dropped_packets);
+        }
+        // Same omission rule for the watchdog diagnostic: only aborted
+        // runs carry it, healthy reports keep the v1 byte layout.
+        if let Some(d) = &self.deadlock {
+            let stuck: Vec<String> = d
+                .stuck_packets
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"packet\": {}, \"router\": {}, \"dst_router\": {}, \"in_st\": {}}}",
+                        s.packet, s.router, s.dst_router, s.in_st
+                    )
+                })
+                .collect();
+            let waits: Vec<String> = d
+                .wait_for
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"from_router\": {}, \"port\": {}, \"vc\": {}, \"to_router\": {}}}",
+                        w.from_router, w.port, w.vc, w.to_router
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  \"deadlock\": {{\"cycle\": {}, \"last_progress\": {}, \
+                 \"in_flight_flits\": {}, \"stuck_packets\": [{}], \"wait_for\": [{}]}},",
+                d.cycle,
+                d.last_progress,
+                d.in_flight_flits,
+                stuck.join(", "),
+                waits.join(", ")
+            );
         }
         let a = &self.activity;
         let dropped = if a.dropped_flits > 0 {

@@ -85,6 +85,49 @@ where
     dist
 }
 
+/// A BFS spanning forest over an adjacency view: per router, the root
+/// of its tree and its depth below that root. Produced by
+/// [`bfs_forest`]; the up*/down* degraded-routing tables are built on
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsForest {
+    /// `root[r]` — the root of `r`'s tree: the lowest router index in
+    /// `r`'s connected component.
+    pub root: Vec<RouterId>,
+    /// `level[r]` — BFS depth of `r` below its root (0 at the root).
+    pub level: Vec<usize>,
+}
+
+/// Builds the canonical BFS spanning forest of an adjacency view: the
+/// lowest-index router not yet covered seeds each tree (so every root
+/// is the minimum index of its component), and each tree is grown with
+/// [`bfs_from`]'s pinned traversal order. Every router is covered — an
+/// isolated router becomes a singleton tree rooted at itself.
+///
+/// Two properties the callers lean on: the forest is a pure function
+/// of the adjacency view (deterministic across rebuilds), and adjacent
+/// routers differ in `level` by at most 1 (BFS layering), so ordering
+/// routers by `(level, index)` orients every surviving edge.
+#[must_use]
+pub fn bfs_forest<'a, N>(router_count: usize, mut neighbors: N) -> BfsForest
+where
+    N: FnMut(RouterId) -> &'a [RouterId],
+{
+    let mut root = vec![RouterId(0); router_count];
+    let mut level = vec![usize::MAX; router_count];
+    for s in 0..router_count {
+        if level[s] != usize::MAX {
+            continue; // already claimed by an earlier (lower-root) tree
+        }
+        bfs_from(router_count, RouterId(s), &mut neighbors, |r, d| {
+            root[r.index()] = RouterId(s);
+            level[r.index()] = d;
+            BfsControl::Descend
+        });
+    }
+    BfsForest { root, level }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +209,60 @@ mod tests {
             },
         );
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn forest_on_connected_graph_is_one_tree_with_bfs_levels() {
+        let t = Topology::mesh(3, 3, 1);
+        let f = bfs_forest(t.router_count(), |r| t.neighbors(r));
+        assert!(f.root.iter().all(|&r| r == RouterId(0)));
+        assert_eq!(f.level, t.distances_from(RouterId(0)));
+        // Adjacent routers sit on adjacent (or equal) BFS layers.
+        for r in t.routers() {
+            for &n in t.neighbors(r) {
+                assert!(f.level[r.index()].abs_diff(f.level[n.index()]) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn forest_roots_are_component_minima() {
+        // Line 0-1-2-3 with the 1-2 link hidden: components {0,1} and
+        // {2,3}, rooted at 0 and 2; isolated views root every router at
+        // itself.
+        let t = Topology::mesh(4, 1, 1);
+        let cut: Vec<Vec<RouterId>> = t
+            .routers()
+            .map(|r| {
+                t.neighbors(r)
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        let (a, b) = (r.index().min(n.index()), r.index().max(n.index()));
+                        (a, b) != (1, 2)
+                    })
+                    .collect()
+            })
+            .collect();
+        let f = bfs_forest(t.router_count(), |r| &cut[r.index()][..]);
+        assert_eq!(
+            f.root,
+            vec![RouterId(0), RouterId(0), RouterId(2), RouterId(2)]
+        );
+        assert_eq!(f.level, vec![0, 1, 0, 1]);
+        let isolated = bfs_forest(t.router_count(), |_| &[]);
+        for r in t.routers() {
+            assert_eq!(isolated.root[r.index()], r);
+            assert_eq!(isolated.level[r.index()], 0);
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_across_rebuilds() {
+        let t = Topology::slim_noc(3, 2).unwrap();
+        let a = bfs_forest(t.router_count(), |r| t.neighbors(r));
+        let b = bfs_forest(t.router_count(), |r| t.neighbors(r));
+        assert_eq!(a, b);
     }
 
     #[test]

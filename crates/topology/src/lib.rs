@@ -45,7 +45,7 @@ mod resilience;
 mod slimnoc;
 
 pub use analysis::PathStats;
-pub use bfs::{bfs_distances, bfs_from, BfsControl};
+pub use bfs::{bfs_distances, bfs_forest, bfs_from, BfsControl, BfsForest};
 pub use configs::{paper_config, paper_config_names, table2_rows, ConfigDescriptor, Table2Row};
 pub use error::TopologyError;
 pub use resilience::ResilienceReport;
